@@ -1,0 +1,96 @@
+//! Buffer bounds (paper equations 1 and 3, plus the Bauer et al. ablation).
+
+/// Minimum guardian buffer in bits (paper eq. 1):
+/// `B_min = le + ρ · f_max`.
+///
+/// `le` is the line-encoding overhead, `rho` the relative clock-rate
+/// difference (eq. 2), `f_max` the longest frame on the network.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[0, 1)` or not finite.
+#[must_use]
+pub fn min_buffer_bits(line_encoding_bits: u32, rho: f64, max_frame_bits: u32) -> f64 {
+    assert!(
+        rho.is_finite() && (0.0..1.0).contains(&rho),
+        "ρ must be in [0, 1), got {rho}"
+    );
+    f64::from(line_encoding_bits) + rho * f64::from(max_frame_bits)
+}
+
+/// The Bauer et al. variant of eq. 1 with the `ρ · f_max` term doubled
+/// ("Bauer et al. find that the ρ·f_max term was multiplied by a factor
+/// of 2, however the assumptions ... are unclear"). Kept as the A1
+/// ablation: it halves the admissible clock-rate difference.
+///
+/// # Panics
+///
+/// Panics if `rho` is outside `[0, 1)` or not finite.
+#[must_use]
+pub fn bauer_min_buffer_bits(line_encoding_bits: u32, rho: f64, max_frame_bits: u32) -> f64 {
+    assert!(
+        rho.is_finite() && (0.0..1.0).contains(&rho),
+        "ρ must be in [0, 1), got {rho}"
+    );
+    f64::from(line_encoding_bits) + 2.0 * rho * f64::from(max_frame_bits)
+}
+
+/// Maximum safe guardian buffer in bits (paper eq. 3):
+/// `B_max = f_min − 1` — strictly less than the shortest frame, so the
+/// guardian can never hold (and hence never replay) a complete frame.
+///
+/// # Panics
+///
+/// Panics if `min_frame_bits == 0`.
+#[must_use]
+pub fn max_buffer_bits(min_frame_bits: u32) -> u32 {
+    assert!(min_frame_bits > 0, "frames have at least one bit");
+    min_frame_bits - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_types::constants::{LINE_ENCODING_BITS, N_FRAME_MIN_BITS, X_FRAME_MAX_BITS};
+
+    #[test]
+    fn min_buffer_is_line_encoding_plus_slip() {
+        // ρ = 0: only the line-encoding bits.
+        assert!((min_buffer_bits(4, 0.0, 1000) - 4.0).abs() < f64::EPSILON);
+        // 1% slip over 1000 bits: 10 extra bits.
+        assert!((min_buffer_bits(4, 0.01, 1000) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bauer_variant_doubles_the_slip_term() {
+        let ours = min_buffer_bits(4, 0.01, 1000);
+        let bauer = bauer_min_buffer_bits(4, 0.01, 1000);
+        assert!((bauer - ours - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_buffer_is_one_below_smallest_frame() {
+        assert_eq!(max_buffer_bits(N_FRAME_MIN_BITS), 27);
+        assert_eq!(max_buffer_bits(1), 0);
+    }
+
+    #[test]
+    fn paper_scenario_respects_both_bounds() {
+        // ±100 ppm and the longest TTP/C X-frame: B_min ≈ 4 + 0.42 bits —
+        // comfortably below B_max = 27.
+        let b_min = min_buffer_bits(LINE_ENCODING_BITS, 0.0002, X_FRAME_MAX_BITS);
+        assert!(b_min < f64::from(max_buffer_bits(N_FRAME_MIN_BITS)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ρ must be in [0, 1)")]
+    fn rho_is_range_checked() {
+        let _ = min_buffer_bits(4, 1.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_length_frames_are_rejected() {
+        let _ = max_buffer_bits(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the Section 6 closed forms: inverse
+//! relationships, monotonicity, and domain behavior.
+
+use proptest::prelude::*;
+use tta_analysis::{
+    bauer_min_buffer_bits, clock_ratio_limit, figure3_series, max_buffer_bits, max_frame_bits,
+    max_rho, min_buffer_bits, rho, rho_from_crystal_ppm,
+};
+
+proptest! {
+    /// Equations (4) and (7) are inverses of each other.
+    #[test]
+    fn eq4_and_eq7_invert(
+        f_min in 6u32..512,
+        f_max in 16u32..100_000,
+        le in 0u32..5,
+    ) {
+        prop_assume!(f_min > le + 1);
+        let Ok(rho_limit) = max_rho(f_min, f_max, le) else {
+            return Err(TestCaseError::reject("infeasible"));
+        };
+        prop_assume!(rho_limit < 1.0);
+        let back = max_frame_bits(f_min, le, rho_limit).unwrap();
+        prop_assert!((back - f64::from(f_max)).abs() < 1e-6 * f64::from(f_max).max(1.0));
+    }
+
+    /// f_max is monotone: larger ρ shrinks the largest safe frame;
+    /// larger f_min headroom grows it.
+    #[test]
+    fn eq4_monotonicity(
+        f_min in 8u32..256,
+        le in 0u32..4,
+        rho_a in 1u32..1_000,
+        rho_b in 1u32..1_000,
+    ) {
+        prop_assume!(f_min > le + 1);
+        let (lo, hi) = if rho_a <= rho_b { (rho_a, rho_b) } else { (rho_b, rho_a) };
+        prop_assume!(lo < hi);
+        let f_lo = max_frame_bits(f_min, le, f64::from(hi) * 1e-4).unwrap();
+        let f_hi = max_frame_bits(f_min, le, f64::from(lo) * 1e-4).unwrap();
+        prop_assert!(f_hi > f_lo, "smaller ρ must allow larger frames");
+        let f_bigger_min = max_frame_bits(f_min + 8, le, f64::from(hi) * 1e-4).unwrap();
+        prop_assert!(f_bigger_min > f_lo, "larger f_min must allow larger frames");
+    }
+
+    /// The minimum buffer grows with ρ and frame size; the Bauer variant
+    /// always dominates the eq. (1) form.
+    #[test]
+    fn buffer_bounds_are_monotone_and_ordered(
+        le in 0u32..8,
+        rho_scaled in 0u32..5_000,
+        f_a in 1u32..100_000,
+        f_b in 1u32..100_000,
+    ) {
+        let r = f64::from(rho_scaled) * 1e-4;
+        prop_assume!(r < 1.0);
+        let (small, large) = if f_a <= f_b { (f_a, f_b) } else { (f_b, f_a) };
+        prop_assert!(min_buffer_bits(le, r, small) <= min_buffer_bits(le, r, large));
+        prop_assert!(bauer_min_buffer_bits(le, r, large) >= min_buffer_bits(le, r, large));
+        // At ρ = 0 both collapse to the line-encoding bits.
+        prop_assert_eq!(min_buffer_bits(le, 0.0, large), f64::from(le));
+    }
+
+    /// The permitted buffer is always strictly below the smallest frame —
+    /// the no-replay guarantee by construction.
+    #[test]
+    fn max_buffer_never_holds_a_frame(f_min in 1u32..1_000_000) {
+        prop_assert!(max_buffer_bits(f_min) < f_min);
+    }
+
+    /// The Figure 3 curve is monotone: widening the frame-size range
+    /// (smaller f_min at fixed f_max) lowers the admissible clock ratio,
+    /// and the ratio is always > 1 and at most f_max/(1+le).
+    #[test]
+    fn figure3_curve_shape(
+        f_max in 32u32..10_000,
+        le in 0u32..8,
+        f_min_a in 1u32..10_000,
+        f_min_b in 1u32..10_000,
+    ) {
+        let a = f_min_a.min(f_max);
+        let b = f_min_b.min(f_max);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let wide = clock_ratio_limit(f_max, lo, le).unwrap();
+        let narrow = clock_ratio_limit(f_max, hi, le).unwrap();
+        prop_assert!(narrow >= wide, "narrower range must not reduce the ratio");
+        let ceiling = clock_ratio_limit(f_max, f_max, le).unwrap();
+        prop_assert!(narrow <= ceiling + 1e-12);
+        prop_assert!((ceiling - f64::from(f_max) / f64::from(1 + le)).abs() < 1e-9);
+    }
+
+    /// Every point emitted by the series generator satisfies its own
+    /// equation and the configured floor.
+    #[test]
+    fn figure3_series_is_self_consistent(
+        maxes in prop::collection::vec(16u32..5_000, 1..4),
+        floor in 1u32..64,
+        steps in 1u32..64,
+        le in 0u32..6,
+    ) {
+        for point in figure3_series(&maxes, floor, steps, le) {
+            prop_assert!(point.min_frame_bits >= floor);
+            prop_assert!(point.min_frame_bits <= point.max_frame_bits);
+            let expected = clock_ratio_limit(point.max_frame_bits, point.min_frame_bits, le).unwrap();
+            prop_assert!((point.ratio_limit - expected).abs() < 1e-12);
+        }
+    }
+
+    /// ρ from rates and ρ from crystal tolerance agree where they overlap:
+    /// a guardian `t` ppm fast vs a node `t` ppm slow gives (to first
+    /// order) 2t·1e-6.
+    #[test]
+    fn crystal_rho_matches_rate_rho(t_ppm in 1u32..1_000) {
+        let t = f64::from(t_ppm);
+        let fast = 1.0 + t * 1e-6;
+        let slow = 1.0 - t * 1e-6;
+        let from_rates = rho(fast, slow);
+        let from_crystals = rho_from_crystal_ppm(t);
+        // First-order agreement: relative error below t·1e-6.
+        prop_assert!((from_rates - from_crystals).abs() / from_crystals < 2.0 * t * 1e-6 + 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! Analysis-layer benches: Figure 3 series generation and the closed-form
+//! limit evaluations (cheap by design — these run inside design-space
+//! exploration loops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tta_analysis::{clock_ratio_limit, figure3_series, max_frame_bits, max_rho};
+use tta_types::constants::{LINE_ENCODING_BITS, N_FRAME_MIN_BITS, X_FRAME_MAX_BITS};
+
+fn bench_limits(c: &mut Criterion) {
+    c.bench_function("eq4_max_frame_bits", |b| {
+        b.iter(|| black_box(max_frame_bits(N_FRAME_MIN_BITS, LINE_ENCODING_BITS, 2e-4)));
+    });
+    c.bench_function("eq7_max_rho", |b| {
+        b.iter(|| {
+            black_box(max_rho(
+                N_FRAME_MIN_BITS,
+                X_FRAME_MAX_BITS,
+                LINE_ENCODING_BITS,
+            ))
+        });
+    });
+    c.bench_function("eq10_clock_ratio_limit", |b| {
+        b.iter(|| black_box(clock_ratio_limit(X_FRAME_MAX_BITS, N_FRAME_MIN_BITS, 4)));
+    });
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_series");
+    for steps in [16u32, 256, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| {
+                black_box(figure3_series(
+                    &[128, 512, X_FRAME_MAX_BITS],
+                    N_FRAME_MIN_BITS,
+                    steps,
+                    LINE_ENCODING_BITS,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_limits, bench_figure3);
+criterion_main!(benches);

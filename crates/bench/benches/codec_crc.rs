@@ -1,0 +1,72 @@
+//! Wire-layer throughput: frame encode/decode and CRC-24 digestion.
+//!
+//! Relevant to the Section 6 analysis: the guardian must process frames
+//! at line rate while holding at most `f_min − 1` bits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tta_types::{
+    decode_frame, BitVec, CState, Crc24, FrameBuilder, FrameClass, MembershipVector, NodeId,
+};
+
+fn cstate() -> CState {
+    CState::new(512, 7, 1, MembershipVector::full(4))
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crc24");
+    for bits in [28u32, 76, 2076, 115_000] {
+        let mut payload = BitVec::with_capacity(bits as usize);
+        for i in 0..bits {
+            payload.push(i % 3 == 0);
+        }
+        group.throughput(Throughput::Elements(u64::from(bits)));
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &payload, |b, payload| {
+            b.iter(|| black_box(Crc24::new().digest_bits(payload).finish()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+
+    let iframe = FrameBuilder::new(FrameClass::IFrame, NodeId::new(2))
+        .cstate(cstate())
+        .build()
+        .expect("valid frame");
+    group.bench_function("encode_iframe", |b| b.iter(|| black_box(iframe.encode())));
+    let bits = iframe.encode();
+    group.bench_function("decode_iframe", |b| {
+        b.iter(|| black_box(decode_frame(&bits).expect("valid bits")));
+    });
+
+    let data = vec![0xA5u8; 240];
+    let xframe = FrameBuilder::new(FrameClass::XFrame, NodeId::new(1))
+        .cstate(cstate())
+        .data_bits(&data)
+        .build()
+        .expect("valid frame");
+    group.bench_function("encode_xframe_max", |b| b.iter(|| black_box(xframe.encode())));
+    let bits = xframe.encode();
+    group.bench_function("decode_xframe_max", |b| {
+        b.iter(|| black_box(decode_frame(&bits).expect("valid bits")));
+    });
+
+    group.finish();
+}
+
+fn bench_guardian_forwarding(c: &mut Criterion) {
+    use tta_guardian::buffer::simulate_forwarding;
+    let mut group = c.benchmark_group("guardian_forwarding");
+    group.sample_size(20);
+    for bits in [2_076u32, 115_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| black_box(simulate_forwarding(bits, 1.0, 1.0 - 2e-4, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_encode_decode, bench_guardian_forwarding);
+criterion_main!(benches);

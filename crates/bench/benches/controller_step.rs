@@ -1,0 +1,81 @@
+//! Protocol hot path: controller successor enumeration and stepping.
+//!
+//! The model checker calls `Controller::successors` for every node in
+//! every expanded state; this bench isolates that cost per protocol
+//! state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tta_protocol::{
+    ChannelObservation, ChannelView, Controller, EagerStartPolicy, HostChoices,
+};
+use tta_types::{FrameKind, NodeId};
+
+const SLOTS: u16 = 4;
+
+fn listen_node() -> Controller {
+    let choices = HostChoices::eager();
+    let mut policy = EagerStartPolicy;
+    let mut c = Controller::new(NodeId::new(1), SLOTS);
+    for _ in 0..2 {
+        c = c.step(&ChannelView::silent(), &choices, &mut policy);
+    }
+    c
+}
+
+fn active_node() -> Controller {
+    let choices = HostChoices::eager();
+    let mut policy = EagerStartPolicy;
+    let mut c = listen_node();
+    // Integrate on two cold-start frames, then gather a majority.
+    let cs = ChannelView::both(ChannelObservation::frame(FrameKind::ColdStart, 1));
+    c = c.step(&cs, &choices, &mut policy);
+    c = c.step(&cs, &choices, &mut policy);
+    for id in [3u16, 4, 1] {
+        let view = ChannelView::both(ChannelObservation::frame(FrameKind::CState, id));
+        c = c.step(&view, &choices, &mut policy);
+    }
+    c
+}
+
+fn bench_successors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_successors");
+    let choices = HostChoices::checking();
+    let silent = ChannelView::silent();
+    let traffic = ChannelView::both(ChannelObservation::frame(FrameKind::CState, 2));
+
+    group.bench_function("freeze_silent", |b| {
+        let node = Controller::new(NodeId::new(0), SLOTS);
+        b.iter(|| black_box(node.successors(&silent, &choices)));
+    });
+    group.bench_function("listen_with_traffic", |b| {
+        let node = listen_node();
+        b.iter(|| black_box(node.successors(&traffic, &choices)));
+    });
+    group.bench_function("integrated_with_traffic", |b| {
+        let node = active_node();
+        b.iter(|| black_box(node.successors(&traffic, &choices)));
+    });
+    group.finish();
+}
+
+fn bench_full_round(c: &mut Criterion) {
+    c.bench_function("controller_step_full_round", |b| {
+        let choices = HostChoices::eager();
+        let node = active_node();
+        let views: Vec<ChannelView> = (1..=SLOTS)
+            .map(|id| ChannelView::both(ChannelObservation::frame(FrameKind::CState, id)))
+            .collect();
+        b.iter(|| {
+            let mut policy = EagerStartPolicy;
+            let mut n = node;
+            for view in &views {
+                n = n.step(view, &choices, &mut policy);
+            }
+            black_box(n)
+        });
+    });
+}
+
+criterion_group!(benches, bench_successors, bench_full_round);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Simulator throughput: slots per second per topology, and full
+//! fault-injection trials (the E9 workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tta_guardian::CouplerAuthority;
+use tta_sim::{Campaign, FaultPlan, Scenario, SimBuilder, Topology};
+
+const SLOTS: u64 = 400;
+
+fn bench_golden_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_golden");
+    group.throughput(Throughput::Elements(SLOTS));
+    for (name, topology, authority) in [
+        ("bus", Topology::Bus, CouplerAuthority::Passive),
+        ("star_small_shifting", Topology::Star, CouplerAuthority::SmallShifting),
+        ("star_full_shifting", Topology::Star, CouplerAuthority::FullShifting),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| {
+                let report = SimBuilder::new(4)
+                    .topology(topology)
+                    .authority(authority)
+                    .slots(SLOTS)
+                    .plan(FaultPlan::none())
+                    .build()
+                    .run();
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_cluster_size");
+    for nodes in [4usize, 8, 16] {
+        group.throughput(Throughput::Elements(SLOTS));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let report = SimBuilder::new(nodes)
+                    .slots(SLOTS)
+                    .plan(FaultPlan::none())
+                    .build()
+                    .run();
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_campaign_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("sos_campaign_10_trials_bus", |b| {
+        b.iter(|| {
+            let report = Campaign::new(4, Topology::Bus, CouplerAuthority::Passive)
+                .trials(10)
+                .run(Scenario::SosSender);
+            black_box(report)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_golden_runs, bench_cluster_sizes, bench_campaign_trial);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment E9 — bus vs. star fault containment (the motivating
+//! Ademaj et al. comparison, run as Monte-Carlo fault-injection
+//! campaigns on the simulator).
+//!
+//! Expected shape, per the paper's Section 2.2 and our Section 5/6
+//! results:
+//!
+//! * SOS, masquerading-cold-start and invalid-C-state faults propagate in
+//!   the **bus** topology but are contained by central guardians with
+//!   blocking/reshaping authority;
+//! * passive coupler faults (silence, noise) are tolerated everywhere
+//!   thanks to channel redundancy;
+//! * the **out-of-slot replay** — possible only for a full-shifting
+//!   central guardian — is the one fault the star topology *adds*.
+
+use tta_analysis::tables::Table;
+use tta_bench::heading;
+use tta_guardian::CouplerAuthority;
+use tta_sim::{Campaign, Scenario, Topology};
+
+const TRIALS: u32 = 40;
+
+fn main() {
+    heading("E9 — fault containment: bus (local guardians) vs. star (central guardians)");
+    println!("{TRIALS} randomized trials per cell; 4-node cluster, 400 slots per trial.");
+    println!("cell format: propagation rate (healthy node frozen or startup failed)\n");
+
+    let configs = [
+        ("bus / local guardians", Topology::Bus, CouplerAuthority::Passive),
+        ("star / passive hub", Topology::Star, CouplerAuthority::Passive),
+        ("star / time windows", Topology::Star, CouplerAuthority::TimeWindows),
+        ("star / small shifting", Topology::Star, CouplerAuthority::SmallShifting),
+        ("star / full shifting", Topology::Star, CouplerAuthority::FullShifting),
+    ];
+
+    let mut table = Table::new([
+        "fault scenario",
+        configs[0].0,
+        configs[1].0,
+        configs[2].0,
+        configs[3].0,
+        configs[4].0,
+    ]);
+
+    for scenario in Scenario::all() {
+        let mut row = vec![scenario.to_string()];
+        for (_, topology, authority) in configs {
+            let campaign = Campaign::new(4, topology, authority).trials(TRIALS);
+            let report = campaign.run(scenario);
+            row.push(if report.applicable() {
+                format!("{:.0}%", report.propagation_rate() * 100.0)
+            } else {
+                "n/a".to_string()
+            });
+        }
+        table.row(row);
+    }
+    println!("{table}");
+
+    println!("reading the table:");
+    println!(" * SOS / masquerade / invalid C-state: high on the bus, 0% once the central");
+    println!("   guardian can block and reshape — the benefit that motivated the star.");
+    println!(" * coupler replay: n/a everywhere except the full-shifting star — the new");
+    println!("   failure mode that full-frame buffering introduces (the paper's tradeoff).");
+    println!(" * silence/noise channel faults: contained everywhere by channel redundancy.");
+}

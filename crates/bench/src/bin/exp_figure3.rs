@@ -1,0 +1,72 @@
+//! Experiment F3 — Figure 3: relationship between frame-size range and
+//! the admissible ratio of clock rates.
+//!
+//! The curve is eq. (10): ρ_max/ρ_min = f_max / (f_max − f_min + 1 + le),
+//! plotted for le = 4; valid systems lie **below** it. The paper's spot
+//! check — f_max = f_min = 128 bits gives a ratio of f_max/5 ≈ 25, not
+//! f_max — is reproduced, along with an ASCII rendering of the curve.
+
+use tta_analysis::tables::Table;
+use tta_analysis::{clock_ratio_limit, figure3_series};
+use tta_bench::heading;
+use tta_types::constants::{LINE_ENCODING_BITS, N_FRAME_MIN_BITS, X_FRAME_MAX_BITS};
+
+fn main() {
+    let le = LINE_ENCODING_BITS;
+
+    heading("F3 — clock-ratio limit vs. frame-size range (eq. 10, le = 4)");
+
+    let mut table = Table::new(["f_max (bits)", "f_min (bits)", "range f_max−f_min", "ρmax/ρmin limit"]);
+    for point in figure3_series(&[128, 512, X_FRAME_MAX_BITS], N_FRAME_MIN_BITS, 8, le) {
+        table.row([
+            point.max_frame_bits.to_string(),
+            point.min_frame_bits.to_string(),
+            (point.max_frame_bits - point.min_frame_bits).to_string(),
+            format!("{:.2}", point.ratio_limit),
+        ]);
+    }
+    println!("{table}");
+
+    heading("paper spot check");
+    let ratio_128 = clock_ratio_limit(128, 128, le).expect("feasible");
+    println!(
+        "f_max = f_min = 128 bits → ratio = 128 / (1 + le) = {:.1} (paper: \"f_max / 5 = 25\")",
+        ratio_128
+    );
+    println!(
+        "The 1 + le term caps the ratio even with zero frame-size range — \"a significant\n\
+         limit at high clock ratios\"."
+    );
+
+    heading("ASCII rendering (f_max = 2076 bits)");
+    ascii_curve(X_FRAME_MAX_BITS, le);
+    println!("valid systems lie below the curve: wide frame-size ranges and wide clock-rate");
+    println!("ranges are mutually exclusive (Section 6).");
+}
+
+/// Plots ratio limit (log-ish vertical axis) against f_min.
+fn ascii_curve(f_max: u32, le: u32) {
+    const COLS: usize = 64;
+    const ROWS: usize = 16;
+    let points: Vec<(u32, f64)> = (0..=COLS)
+        .map(|i| {
+            let f_min =
+                N_FRAME_MIN_BITS + ((f_max - N_FRAME_MIN_BITS) as usize * i / COLS) as u32;
+            (f_min, clock_ratio_limit(f_max, f_min, le).expect("feasible"))
+        })
+        .collect();
+    let max_log = points.iter().map(|(_, r)| r.log10()).fold(f64::MIN, f64::max);
+    let min_log = points.iter().map(|(_, r)| r.log10()).fold(f64::MAX, f64::min);
+    let mut grid = vec![vec![' '; COLS + 1]; ROWS + 1];
+    for (i, (_, ratio)) in points.iter().enumerate() {
+        let y = ((ratio.log10() - min_log) / (max_log - min_log) * ROWS as f64).round() as usize;
+        grid[ROWS - y][i] = '*';
+    }
+    println!("ρmax/ρmin (log scale, {:.2} … {:.1})", 10f64.powf(min_log), 10f64.powf(max_log));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        println!("|{line}");
+    }
+    println!("+{}", "-".repeat(COLS + 1));
+    println!(" f_min = {}  …  f_min = f_max = {}", N_FRAME_MIN_BITS, f_max);
+}

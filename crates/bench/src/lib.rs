@@ -1,0 +1,67 @@
+//! # tta-bench
+//!
+//! Experiment harness for the DSN 2004 reproduction: one `exp_*` binary
+//! per table/figure of the paper (see EXPERIMENTS.md for the index) plus
+//! Criterion micro-benchmarks.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `exp_verification` | Section 5.2 verification results (E1, E2) |
+//! | `exp_trace_coldstart` | Section 5.2 trace 1 (E3) |
+//! | `exp_trace_cstate` | Section 5.2 trace 2 (E4) |
+//! | `exp_buffer_limits` | Section 6 equations 5–9 (E6–E8, A1) |
+//! | `exp_figure3` | Figure 3 (F3) |
+//! | `exp_fault_injection` | Bus-vs-star containment (E9) |
+//! | `exp_scaling` | State-space scaling, replay-budget sweep (S1) |
+//! | `exp_extensions` | Enhanced guardian functions, async masquerade, clock drift (S2) |
+//!
+//! Run any of them with `cargo run --release -p tta-bench --bin <name>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Prints a section heading in the style the experiment binaries share.
+pub fn heading(title: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!();
+}
+
+/// Formats a duration compactly for experiment output.
+#[must_use]
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals (the paper's style:
+/// "30.26%").
+#[must_use]
+pub fn fmt_percent(ratio: f64) -> String {
+    format!("{:.2}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_pick_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.0 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(250)), "250 µs");
+    }
+
+    #[test]
+    fn percent_matches_paper_style() {
+        assert_eq!(fmt_percent(23.0 / 76.0), "30.26%");
+        assert_eq!(fmt_percent(23.0 / 2076.0), "1.11%");
+    }
+}

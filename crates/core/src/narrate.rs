@@ -1,0 +1,221 @@
+//! Renders counterexample traces as the paper's numbered step narratives.
+//!
+//! The paper presents its counterexamples as short natural-language
+//! stories ("A faulty star coupler replays the previous cold start frame.
+//! Node B integrates on it…"). This module reconstructs, for each
+//! transition of a [`Trace`], which coupler fault produced it and what
+//! every node did, and renders one narrated step per slot.
+
+use crate::model::{ClusterModel, StepInfo};
+use crate::state::ClusterState;
+use tta_guardian::CouplerFaultMode;
+use tta_modelcheck::Trace;
+use tta_protocol::{ProtocolEvent, ProtocolState};
+use tta_types::NodeId;
+
+/// One narrated transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NarratedStep {
+    /// 1-based step number (matching the paper's numbering style).
+    pub index: usize,
+    /// Human-readable event lines; empty for quiet slots (timeout
+    /// countdowns and the like).
+    pub lines: Vec<String>,
+}
+
+impl NarratedStep {
+    /// Whether nothing noteworthy happened this slot.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Narrates every transition of `trace` under `model`.
+///
+/// # Panics
+///
+/// Panics if the trace is not a path of `model` (every consecutive pair
+/// must be connected by the transition relation).
+#[must_use]
+pub fn narrate_trace(model: &ClusterModel, trace: &Trace<ClusterState>) -> Vec<NarratedStep> {
+    let mut steps = Vec::with_capacity(trace.transition_count());
+    for (index, (prev, next)) in trace.transitions().enumerate() {
+        let info = find_step_info(model, prev, next);
+        steps.push(NarratedStep {
+            index: index + 1,
+            lines: narrate_transition(prev, next, &info),
+        });
+    }
+    steps
+}
+
+/// Narrates and compresses: consecutive quiet slots are merged into a
+/// single "n uneventful slots" line, mirroring the paper's condensed
+/// storytelling.
+#[must_use]
+pub fn narrate_compressed(model: &ClusterModel, trace: &Trace<ClusterState>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut quiet_run = 0usize;
+    for step in narrate_trace(model, trace) {
+        if step.is_quiet() {
+            quiet_run += 1;
+            continue;
+        }
+        if quiet_run > 0 {
+            out.push(format!("({quiet_run} quiet slot(s): timeout countdown / empty slots)"));
+            quiet_run = 0;
+        }
+        let mut line = format!("{})", out.len() + 1);
+        for l in &step.lines {
+            line.push(' ');
+            line.push_str(l);
+        }
+        out.push(line);
+    }
+    if quiet_run > 0 {
+        out.push(format!("({quiet_run} quiet slot(s))"));
+    }
+    out
+}
+
+fn find_step_info(model: &ClusterModel, prev: &ClusterState, next: &ClusterState) -> StepInfo {
+    model
+        .expand(prev)
+        .into_iter()
+        .find(|(s, _)| s == next)
+        .map(|(_, info)| info)
+        .expect("trace states must be connected by the transition relation")
+}
+
+fn narrate_transition(prev: &ClusterState, next: &ClusterState, info: &StepInfo) -> Vec<String> {
+    let mut lines = Vec::new();
+
+    for (i, fault) in info.faults.iter().enumerate() {
+        match fault {
+            CouplerFaultMode::None => {}
+            CouplerFaultMode::Silence => {
+                lines.push(format!("The faulty star coupler on channel {i} drops the slot's traffic."));
+            }
+            CouplerFaultMode::BadFrame => {
+                lines.push(format!("The faulty star coupler on channel {i} puts noise on the bus."));
+            }
+            CouplerFaultMode::OutOfSlot => {
+                let buffered = prev.coupler_buffers()[i];
+                lines.push(format!(
+                    "A faulty star coupler replays the previous {} frame (id {}) on channel {i}.",
+                    buffered.kind, buffered.id
+                ));
+            }
+        }
+    }
+
+    for (i, (before, after)) in prev.nodes().iter().zip(next.nodes()).enumerate() {
+        let node = NodeId::new(i as u8);
+        for event in before.events(&info.view, after) {
+            lines.push(describe_event(node, event));
+        }
+        // State changes not covered by protocol events (host decisions).
+        match (before.protocol_state(), after.protocol_state()) {
+            (ProtocolState::Freeze, ProtocolState::Init) => {
+                lines.push(format!("Node {node} transitions into the init state."));
+            }
+            (ProtocolState::Active, ProtocolState::Freeze)
+                if !before
+                    .events(&info.view, after)
+                    .contains(&ProtocolEvent::FrozeOnCliqueError) =>
+            {
+                lines.push(format!("The host shuts node {node} down."));
+            }
+            _ => {}
+        }
+    }
+
+    if let (None, Some(victim)) = (prev.frozen_victim(), next.frozen_victim()) {
+        lines.push(format!(
+            "PROPERTY VIOLATED: node {victim} was integrated and has been forced to freeze."
+        ));
+    }
+    lines
+}
+
+fn describe_event(node: NodeId, event: ProtocolEvent) -> String {
+    match event {
+        ProtocolEvent::StartedListening => {
+            format!("Node {node} finishes its initialization and transitions into the listen state.")
+        }
+        ProtocolEvent::ListenTimeoutExpired => {
+            format!("The listen timeout of node {node} expires; it enters cold start.")
+        }
+        ProtocolEvent::ArmedBigBang => format!(
+            "Node {node} sees a first cold-start frame and ignores it (big-bang requirement)."
+        ),
+        ProtocolEvent::IntegratedOnColdStart { id } => format!(
+            "Node {node} integrates on the cold-start frame (id {id}) and transitions into the passive state."
+        ),
+        ProtocolEvent::IntegratedOnCState { id } => format!(
+            "Node {node} integrates on the C-state frame (id {id}) and transitions into the passive state."
+        ),
+        ProtocolEvent::SentColdStart => format!("Node {node} sends a cold-start frame."),
+        ProtocolEvent::SentCState => format!("Node {node} sends a C-state frame."),
+        ProtocolEvent::CliqueTestPassed => {
+            format!("Node {node} passes the clique test and becomes active.")
+        }
+        ProtocolEvent::FrozeOnCliqueError => {
+            format!("Node {node} freezes due to a clique avoidance error.")
+        }
+        ProtocolEvent::ColdStartAbandoned => {
+            format!("Node {node} abandons its cold start and returns to listen.")
+        }
+        ProtocolEvent::HostIntervention => format!("The host demotes node {node}."),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use crate::verify::verify_cluster;
+    use tta_guardian::CouplerAuthority;
+    use tta_modelcheck::Verdict;
+
+    fn counterexample() -> (ClusterModel, Trace<ClusterState>) {
+        let config = ClusterConfig {
+            nodes: 3,
+            ..ClusterConfig::paper(CouplerAuthority::FullShifting)
+        };
+        let report = verify_cluster(&config);
+        assert_eq!(report.verdict, Verdict::Violated);
+        (ClusterModel::new(config), report.counterexample.unwrap())
+    }
+
+    #[test]
+    fn narration_covers_every_transition() {
+        let (model, trace) = counterexample();
+        let steps = narrate_trace(&model, &trace);
+        assert_eq!(steps.len(), trace.transition_count());
+        assert_eq!(steps[0].index, 1);
+    }
+
+    #[test]
+    fn narration_mentions_the_replay_and_the_violation() {
+        let (model, trace) = counterexample();
+        let text: String = narrate_trace(&model, &trace)
+            .into_iter()
+            .flat_map(|s| s.lines)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("replays the previous"), "narration: {text}");
+        assert!(text.contains("PROPERTY VIOLATED"), "narration: {text}");
+        assert!(text.contains("freezes due to a clique avoidance error"), "narration: {text}");
+    }
+
+    #[test]
+    fn compressed_narration_is_shorter_and_numbered() {
+        let (model, trace) = counterexample();
+        let full = narrate_trace(&model, &trace);
+        let compressed = narrate_compressed(&model, &trace);
+        assert!(compressed.len() <= full.len() + 1);
+        assert!(compressed.iter().any(|l| l.contains("replays")));
+    }
+}

@@ -1,0 +1,162 @@
+//! One-call verification of the paper's property.
+
+use crate::config::ClusterConfig;
+use crate::model::ClusterModel;
+use crate::state::ClusterState;
+use tta_modelcheck::{
+    parallel::ParallelExplorer, BoundedChecker, BoundedVerdict, Explorer, ExploreStats, Trace,
+    Verdict,
+};
+
+/// Which exploration engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckStrategy {
+    /// Sequential breadth-first search (shortest counterexamples; the
+    /// default).
+    Bfs,
+    /// Frontier-parallel BFS with the given worker count (0 = auto).
+    ParallelBfs {
+        /// Worker threads (0 = available parallelism).
+        threads: usize,
+    },
+    /// Depth-bounded search: "holds" verdicts are valid only up to the
+    /// bound.
+    Bounded {
+        /// Maximum path length in transitions.
+        depth: u64,
+    },
+}
+
+/// Result of verifying a cluster configuration.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Configuration that was checked.
+    pub config: ClusterConfig,
+    /// Overall verdict for the paper's property.
+    pub verdict: Verdict,
+    /// Shortest (for BFS strategies) path to a violation, if one exists.
+    pub counterexample: Option<Trace<ClusterState>>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+impl VerificationReport {
+    /// Length of the counterexample in transitions, if any.
+    #[must_use]
+    pub fn counterexample_len(&self) -> Option<usize> {
+        self.counterexample.as_ref().map(Trace::transition_count)
+    }
+}
+
+/// Verifies the paper's property — *no single coupler fault freezes an
+/// integrated node* — over the full reachable state space with sequential
+/// BFS.
+#[must_use]
+pub fn verify_cluster(config: &ClusterConfig) -> VerificationReport {
+    verify_cluster_with(config, CheckStrategy::Bfs)
+}
+
+/// Verifies with an explicit strategy.
+#[must_use]
+pub fn verify_cluster_with(config: &ClusterConfig, strategy: CheckStrategy) -> VerificationReport {
+    let model = ClusterModel::new(*config);
+    let property = |s: &ClusterState| s.property_holds();
+    match strategy {
+        CheckStrategy::Bfs => {
+            let outcome = Explorer::new().check(&model, property);
+            VerificationReport {
+                config: *config,
+                verdict: outcome.verdict,
+                counterexample: outcome.counterexample,
+                stats: outcome.stats,
+            }
+        }
+        CheckStrategy::ParallelBfs { threads } => {
+            let explorer = if threads == 0 {
+                ParallelExplorer::new()
+            } else {
+                ParallelExplorer::new().threads(threads)
+            };
+            let outcome = explorer.check(&model, property);
+            VerificationReport {
+                config: *config,
+                verdict: outcome.verdict,
+                counterexample: outcome.counterexample,
+                stats: outcome.stats,
+            }
+        }
+        CheckStrategy::Bounded { depth } => {
+            let outcome = BoundedChecker::new(depth).check(&model, property);
+            VerificationReport {
+                config: *config,
+                verdict: match outcome.verdict {
+                    BoundedVerdict::Violated => Verdict::Violated,
+                    // A bounded "holds" is not a proof: report it as a
+                    // budget-limited result.
+                    BoundedVerdict::HoldsUpToBound => Verdict::BudgetExhausted,
+                },
+                counterexample: outcome.counterexample,
+                stats: outcome.stats,
+            }
+        }
+    }
+}
+
+/// Finds a shortest execution that brings **every** node to the `active`
+/// state — a liveness *witness* complementing the safety property.
+///
+/// The paper's property is pure safety ("no integrated node freezes"); a
+/// model in which the cluster never came up would satisfy it vacuously.
+/// This query proves non-vacuity: under every coupler authority the
+/// cluster can fully start. Returns the witness trace, or `None` if no
+/// reachable state has all nodes active (which would indicate a modeling
+/// bug).
+#[must_use]
+pub fn find_startup_witness(config: &ClusterConfig) -> Option<tta_modelcheck::Trace<ClusterState>> {
+    let model = ClusterModel::new(*config);
+    Explorer::new().find(&model, |s: &ClusterState| {
+        s.nodes()
+            .iter()
+            .all(|n| n.protocol_state() == tta_protocol::ProtocolState::Active)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_guardian::CouplerAuthority;
+
+    // The headline verification results (paper Section 5.2) are exercised
+    // in the crate's integration tests; here we test the harness itself on
+    // the smallest cluster to stay fast.
+    fn small(authority: CouplerAuthority) -> ClusterConfig {
+        ClusterConfig {
+            nodes: 2,
+            ..ClusterConfig::paper(authority)
+        }
+    }
+
+    #[test]
+    fn small_passive_cluster_holds() {
+        let report = verify_cluster(&small(CouplerAuthority::Passive));
+        assert_eq!(report.verdict, Verdict::Holds);
+        assert!(report.counterexample.is_none());
+        assert!(report.stats.states_explored > 0);
+    }
+
+    #[test]
+    fn strategies_agree_on_small_models() {
+        let config = small(CouplerAuthority::Passive);
+        let bfs = verify_cluster_with(&config, CheckStrategy::Bfs);
+        let par = verify_cluster_with(&config, CheckStrategy::ParallelBfs { threads: 2 });
+        assert_eq!(bfs.verdict, par.verdict);
+        assert_eq!(bfs.stats.states_explored, par.stats.states_explored);
+    }
+
+    #[test]
+    fn bounded_strategy_reports_budget_semantics() {
+        let config = small(CouplerAuthority::Passive);
+        let bounded = verify_cluster_with(&config, CheckStrategy::Bounded { depth: 3 });
+        assert_eq!(bounded.verdict, Verdict::BudgetExhausted);
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests on the cluster transition system: structural
+//! invariants that must hold along *every* path, checked on random walks.
+
+use proptest::prelude::*;
+use tta_core::{ClusterConfig, ClusterModel, ClusterState, FaultBudget};
+use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_protocol::HostChoices;
+
+fn arb_authority() -> impl Strategy<Value = CouplerAuthority> {
+    prop::sample::select(CouplerAuthority::all().to_vec())
+}
+
+fn arb_config() -> impl Strategy<Value = ClusterConfig> {
+    (
+        2usize..=4,
+        arb_authority(),
+        prop_oneof![
+            Just(FaultBudget::Unlimited),
+            (0u8..3).prop_map(FaultBudget::AtMost)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(nodes, authority, budget, forbid, symmetric, shutdown)| ClusterConfig {
+            nodes,
+            authority,
+            host_choices: HostChoices {
+                staggered_startup: true,
+                allow_shutdown: shutdown,
+                allow_await_test: false,
+            },
+            out_of_slot_budget: budget,
+            forbid_cold_start_replay: forbid,
+            symmetric_fault_reduction: symmetric,
+        })
+}
+
+/// Walks `picks.len()` random transitions; returns every visited state.
+fn walk(model: &ClusterModel, picks: &[usize]) -> Vec<ClusterState> {
+    let mut state = model.initial_state();
+    let mut visited = vec![state.clone()];
+    for pick in picks {
+        let successors = model.expand(&state);
+        if successors.is_empty() {
+            break; // absorbing violation state
+        }
+        state = successors[pick % successors.len()].0.clone();
+        visited.push(state.clone());
+    }
+    visited
+}
+
+proptest! {
+    /// The single-fault hypothesis holds on every enumerated transition:
+    /// at most one coupler is faulty per slot.
+    #[test]
+    fn at_most_one_faulty_coupler_per_slot(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            for (_, info) in model.expand(&state) {
+                let faulty = info.faults.iter().filter(|f| f.is_faulty()).count();
+                prop_assert!(faulty <= 1, "faults {:?}", info.faults);
+            }
+        }
+    }
+
+    /// Out-of-slot faults appear only for full-shifting couplers, only
+    /// within budget, and never replay a cold-start frame when that is
+    /// forbidden.
+    #[test]
+    fn replay_constraints_are_enforced_everywhere(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            for (next, info) in model.expand(&state) {
+                for (i, fault) in info.faults.iter().enumerate() {
+                    if *fault != CouplerFaultMode::OutOfSlot {
+                        continue;
+                    }
+                    prop_assert!(config.authority.can_buffer_full_frames());
+                    prop_assert!(config.out_of_slot_budget.allows(state.out_of_slot_used()));
+                    prop_assert!(state.coupler_buffers()[i].is_replayable());
+                    if config.forbid_cold_start_replay {
+                        prop_assert_ne!(
+                            state.coupler_buffers()[i].kind,
+                            tta_types::FrameKind::ColdStart
+                        );
+                    }
+                    // The counter saturates (at 7) under an unlimited
+                    // budget to keep the state space finite.
+                    prop_assert_eq!(
+                        next.out_of_slot_used(),
+                        (state.out_of_slot_used() + 1).min(7)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The replay counter never decreases and only moves by the number of
+    /// replays taken.
+    #[test]
+    fn replay_counter_is_monotone(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let model = ClusterModel::new(config);
+        let states = walk(&model, &picks);
+        for pair in states.windows(2) {
+            prop_assert!(pair[1].out_of_slot_used() >= pair[0].out_of_slot_used());
+            prop_assert!(pair[1].out_of_slot_used() - pair[0].out_of_slot_used() <= 1);
+        }
+    }
+
+    /// The violation monitor latches: once set it never clears, and
+    /// violating states are absorbing.
+    #[test]
+    fn violation_monitor_latches(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..60),
+    ) {
+        let model = ClusterModel::new(config);
+        let states = walk(&model, &picks);
+        let mut seen_violation = false;
+        for state in &states {
+            if seen_violation {
+                prop_assert!(state.frozen_victim().is_some());
+            }
+            seen_violation |= state.frozen_victim().is_some();
+        }
+        if let Some(last) = states.last() {
+            if last.frozen_victim().is_some() {
+                prop_assert!(model.expand(last).is_empty());
+            }
+        }
+    }
+
+    /// Below full shifting, coupler buffers stay empty along every path —
+    /// there is nothing a faulty coupler could replay (eq. 3 rationale).
+    #[test]
+    fn restricted_couplers_never_hold_frames(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        prop_assume!(!config.authority.can_buffer_full_frames());
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            for buffer in state.coupler_buffers() {
+                prop_assert_eq!(buffer, tta_guardian::BufferedFrame::empty());
+            }
+        }
+    }
+
+    /// With the symmetric-fault reduction, coupler 1 never faults.
+    #[test]
+    fn symmetric_reduction_pins_coupler_one(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..30),
+    ) {
+        prop_assume!(config.symmetric_fault_reduction);
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            for (_, info) in model.expand(&state) {
+                prop_assert_eq!(info.faults[1], CouplerFaultMode::None);
+            }
+        }
+    }
+
+    /// Without host shutdowns and without replayable faults, the property
+    /// monitor stays clear on every random walk (the E1 result, sampled).
+    #[test]
+    fn no_violation_without_replays(
+        nodes in 2usize..=4,
+        authority in prop::sample::select(vec![
+            CouplerAuthority::Passive,
+            CouplerAuthority::TimeWindows,
+            CouplerAuthority::SmallShifting,
+        ]),
+        picks in prop::collection::vec(any::<usize>(), 1..80),
+    ) {
+        let config = ClusterConfig {
+            nodes,
+            ..ClusterConfig::paper(authority)
+        };
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            prop_assert!(state.property_holds(), "violated at {state}");
+        }
+    }
+
+    /// The transition relation is total on non-violating states, and every
+    /// successor is well-formed (node count preserved, victims only ever
+    /// appear with a cause).
+    #[test]
+    fn successors_are_well_formed(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let model = ClusterModel::new(config);
+        for state in walk(&model, &picks) {
+            let successors = model.expand(&state);
+            if state.frozen_victim().is_none() {
+                prop_assert!(!successors.is_empty(), "deadlock at {state}");
+            }
+            for (next, _) in successors {
+                prop_assert_eq!(next.nodes().len(), config.nodes);
+                if let Some(victim) = next.frozen_victim() {
+                    // The victim really is frozen in the successor unless
+                    // it was already latched earlier.
+                    if state.frozen_victim().is_none() {
+                        prop_assert_eq!(
+                            next.node(victim).protocol_state(),
+                            tta_protocol::ProtocolState::Freeze
+                        );
+                        prop_assert!(state.node(victim).is_integrated());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # tta-guardian
+//!
+//! Bus-guardian models for the TTA: decentralized (per-node) guardians for
+//! the bus topology and centralized star couplers for the star topology,
+//! with the four authority levels the paper compares (Section 4.1):
+//!
+//! * **Passive** — cannot stop frames, cannot shift frames in time;
+//! * **Time windows** — can open/close bus write access per slot;
+//! * **Small shifting** — can additionally nudge frame timing slightly;
+//! * **Full shifting** — can additionally *buffer whole frames* and send
+//!   them later.
+//!
+//! The paper's central result is that the last capability converts a
+//! coupler fault into an active masquerading failure: a faulty
+//! full-shifting coupler can replay the last buffered frame in a later
+//! slot (the `out_of_slot` fault mode), which no less-authorized coupler
+//! can exhibit. [`StarCoupler`] implements exactly the Section 4.4
+//! equations; [`CouplerAuthority::fault_modes`] ties fault modes to
+//! authority.
+//!
+//! For the simulator the crate additionally models slightly-off-
+//! specification defects ([`sos`]), central signal reshaping and semantic
+//! analysis ([`reshape`]), local per-node guardians ([`local`]) and the
+//! leaky-bucket bit buffer behind the Section 6 analysis ([`buffer`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod authority;
+pub mod buffer;
+mod coupler;
+pub mod enhanced;
+mod fault;
+pub mod local;
+pub mod reshape;
+pub mod sos;
+pub mod window;
+
+pub use authority::CouplerAuthority;
+pub use coupler::{BufferedFrame, StarCoupler};
+pub use fault::CouplerFaultMode;

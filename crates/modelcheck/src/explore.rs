@@ -1,0 +1,327 @@
+//! Breadth-first explicit-state exploration with invariant checking.
+
+use crate::counterexample::Trace;
+use crate::hashing::FxHashMap;
+use crate::stats::ExploreStats;
+use crate::system::{Invariant, TransitionSystem};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Outcome of a check: `AG p` over all reachable states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The invariant holds on every reachable state.
+    Holds,
+    /// A reachable state violates the invariant (see the counterexample).
+    Violated,
+    /// Exploration hit a configured budget before finishing; the invariant
+    /// held on every state actually visited.
+    BudgetExhausted,
+}
+
+/// Result of [`Explorer::check`].
+#[derive(Debug, Clone)]
+pub struct CheckOutcome<S> {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Shortest path to a violating state, if one was found.
+    pub counterexample: Option<Trace<S>>,
+    /// Exploration statistics.
+    pub stats: ExploreStats,
+}
+
+/// A breadth-first explicit-state model checker.
+///
+/// BFS guarantees that the first violation found lies at minimal depth, so
+/// the produced counterexample is the shortest possible — matching the SMV
+/// behavior the paper depends on.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    max_states: u64,
+    max_depth: u64,
+}
+
+impl Explorer {
+    /// An explorer with a generous default budget (2^26 states, unbounded
+    /// depth).
+    #[must_use]
+    pub fn new() -> Self {
+        Explorer {
+            max_states: 1 << 26,
+            max_depth: u64::MAX,
+        }
+    }
+
+    /// Caps the number of distinct states visited.
+    #[must_use]
+    pub fn max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Caps the BFS depth (number of transitions from an initial state).
+    #[must_use]
+    pub fn max_depth(mut self, max_depth: u64) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Checks `AG p`: explores every reachable state of `system` and tests
+    /// `invariant` on each. Stops at the first violation and reconstructs
+    /// the shortest trace to it.
+    pub fn check<T, I>(&self, system: &T, invariant: I) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem,
+        I: Invariant<T::State>,
+    {
+        let start = Instant::now();
+        let mut stats = ExploreStats::default();
+
+        // Arena of (state, parent index); `seen` maps state → arena index.
+        let mut arena: Vec<(T::State, Option<usize>)> = Vec::new();
+        let mut seen: FxHashMap<T::State, usize> = FxHashMap::default();
+        let mut frontier: VecDeque<(usize, u64)> = VecDeque::new();
+
+        let mut violation: Option<usize> = None;
+
+        for init in system.initial_states() {
+            if seen.contains_key(&init) {
+                continue;
+            }
+            let idx = arena.len();
+            arena.push((init.clone(), None));
+            seen.insert(init.clone(), idx);
+            stats.states_explored += 1;
+            if !invariant.holds(&init) {
+                violation = Some(idx);
+                break;
+            }
+            frontier.push_back((idx, 0));
+        }
+
+        let mut succ_buf: Vec<T::State> = Vec::new();
+        while violation.is_none() {
+            let Some((current, depth)) = frontier.pop_front() else {
+                break;
+            };
+            stats.depth_reached = stats.depth_reached.max(depth);
+            if depth >= self.max_depth {
+                continue;
+            }
+            succ_buf.clear();
+            let state = arena[current].0.clone();
+            system.successors(&state, &mut succ_buf);
+            stats.transitions += succ_buf.len() as u64;
+            for next in succ_buf.drain(..) {
+                if seen.contains_key(&next) {
+                    continue;
+                }
+                if stats.states_explored >= self.max_states {
+                    stats.duration = start.elapsed();
+                    return CheckOutcome {
+                        verdict: Verdict::BudgetExhausted,
+                        counterexample: None,
+                        stats,
+                    };
+                }
+                let idx = arena.len();
+                arena.push((next.clone(), Some(current)));
+                seen.insert(next, idx);
+                stats.states_explored += 1;
+                if !invariant.holds(&arena[idx].0) {
+                    stats.depth_reached = stats.depth_reached.max(depth + 1);
+                    violation = Some(idx);
+                    break;
+                }
+                frontier.push_back((idx, depth + 1));
+            }
+            stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
+        }
+
+        stats.duration = start.elapsed();
+        match violation {
+            Some(idx) => {
+                let mut path = Vec::new();
+                let mut cursor = Some(idx);
+                while let Some(i) = cursor {
+                    path.push(arena[i].0.clone());
+                    cursor = arena[i].1;
+                }
+                path.reverse();
+                CheckOutcome {
+                    verdict: Verdict::Violated,
+                    counterexample: Some(Trace::new(path)),
+                    stats,
+                }
+            }
+            None => CheckOutcome {
+                verdict: if stats.depth_reached >= self.max_depth && self.max_depth != u64::MAX {
+                    Verdict::BudgetExhausted
+                } else {
+                    Verdict::Holds
+                },
+                counterexample: None,
+                stats,
+            },
+        }
+    }
+
+    /// Counts the reachable state space without checking a property.
+    pub fn count_reachable<T: TransitionSystem>(&self, system: &T) -> ExploreStats {
+        self.check(system, |_: &T::State| true).stats
+    }
+
+    /// Reachability query (`EF p`): finds a reachable state satisfying
+    /// `predicate` and returns the shortest witness path to it, or `None`
+    /// if no reachable state satisfies it within the budget.
+    ///
+    /// ```
+    /// use tta_modelcheck::{Explorer, TransitionSystem};
+    ///
+    /// struct Count;
+    /// impl TransitionSystem for Count {
+    ///     type State = u32;
+    ///     fn initial_states(&self) -> Vec<u32> { vec![0] }
+    ///     fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+    ///         if *s < 9 { out.push(s + 1); }
+    ///     }
+    /// }
+    ///
+    /// let witness = Explorer::new().find(&Count, |s: &u32| *s == 5).unwrap();
+    /// assert_eq!(witness.states(), [0, 1, 2, 3, 4, 5]);
+    /// assert!(Explorer::new().find(&Count, |s: &u32| *s == 100).is_none());
+    /// ```
+    pub fn find<T, P>(&self, system: &T, predicate: P) -> Option<Trace<T::State>>
+    where
+        T: TransitionSystem,
+        P: Fn(&T::State) -> bool,
+    {
+        self.check(system, |s: &T::State| !predicate(s)).counterexample
+    }
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Grid walker: from (x, y) may increment either coordinate up to a
+    /// bound — a diamond-shaped state space with known size.
+    struct Grid {
+        bound: u32,
+    }
+
+    impl TransitionSystem for Grid {
+        type State = (u32, u32);
+
+        fn initial_states(&self) -> Vec<(u32, u32)> {
+            vec![(0, 0)]
+        }
+
+        fn successors(&self, s: &(u32, u32), out: &mut Vec<(u32, u32)>) {
+            if s.0 < self.bound {
+                out.push((s.0 + 1, s.1));
+            }
+            if s.1 < self.bound {
+                out.push((s.0, s.1 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn explores_the_whole_space() {
+        let outcome = Explorer::new().check(&Grid { bound: 9 }, |_: &(u32, u32)| true);
+        assert_eq!(outcome.verdict, Verdict::Holds);
+        assert_eq!(outcome.stats.states_explored, 100);
+        assert!(outcome.counterexample.is_none());
+    }
+
+    #[test]
+    fn finds_shortest_counterexample() {
+        let outcome =
+            Explorer::new().check(&Grid { bound: 9 }, |s: &(u32, u32)| s.0 + s.1 != 4);
+        assert_eq!(outcome.verdict, Verdict::Violated);
+        let trace = outcome.counterexample.unwrap();
+        // Any violating state is at Manhattan distance 4; BFS must reach
+        // it in exactly 4 transitions.
+        assert_eq!(trace.transition_count(), 4);
+        let last = trace.violating_state();
+        assert_eq!(last.0 + last.1, 4);
+        // The trace is a real path: consecutive states differ by one step.
+        for (a, b) in trace.transitions() {
+            assert_eq!((b.0 - a.0) + (b.1 - a.1), 1);
+        }
+    }
+
+    #[test]
+    fn violated_initial_state_gives_single_state_trace() {
+        let outcome = Explorer::new().check(&Grid { bound: 3 }, |s: &(u32, u32)| *s != (0, 0));
+        assert_eq!(outcome.verdict, Verdict::Violated);
+        assert_eq!(outcome.counterexample.unwrap().transition_count(), 0);
+    }
+
+    #[test]
+    fn state_budget_is_respected() {
+        let outcome = Explorer::new()
+            .max_states(10)
+            .check(&Grid { bound: 100 }, |_: &(u32, u32)| true);
+        assert_eq!(outcome.verdict, Verdict::BudgetExhausted);
+        assert!(outcome.stats.states_explored <= 10);
+    }
+
+    #[test]
+    fn depth_budget_is_respected() {
+        let outcome = Explorer::new()
+            .max_depth(3)
+            .check(&Grid { bound: 100 }, |_: &(u32, u32)| true);
+        assert_eq!(outcome.verdict, Verdict::BudgetExhausted);
+        // Depth-3 diamond: 1 + 2 + 3 + 4 = 10 states.
+        assert_eq!(outcome.stats.states_explored, 10);
+    }
+
+    #[test]
+    fn deadlocks_are_ordinary_leaves() {
+        struct Dead;
+        impl TransitionSystem for Dead {
+            type State = u8;
+            fn initial_states(&self) -> Vec<u8> {
+                vec![0]
+            }
+            fn successors(&self, s: &u8, out: &mut Vec<u8>) {
+                if *s < 3 {
+                    out.push(s + 1);
+                }
+            }
+        }
+        let outcome = Explorer::new().check(&Dead, |_: &u8| true);
+        assert_eq!(outcome.verdict, Verdict::Holds);
+        assert_eq!(outcome.stats.states_explored, 4);
+    }
+
+    #[test]
+    fn duplicate_initial_states_are_merged() {
+        struct Dup;
+        impl TransitionSystem for Dup {
+            type State = u8;
+            fn initial_states(&self) -> Vec<u8> {
+                vec![1, 1, 1]
+            }
+            fn successors(&self, _: &u8, _: &mut Vec<u8>) {}
+        }
+        let outcome = Explorer::new().check(&Dup, |_: &u8| true);
+        assert_eq!(outcome.stats.states_explored, 1);
+    }
+
+    #[test]
+    fn count_reachable_reports_stats() {
+        let stats = Explorer::new().count_reachable(&Grid { bound: 4 });
+        assert_eq!(stats.states_explored, 25);
+        assert!(stats.transitions >= 24);
+    }
+}

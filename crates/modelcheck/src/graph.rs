@@ -1,0 +1,216 @@
+//! Reachable-state-graph extraction and Graphviz export.
+//!
+//! For small models (or small fragments of big ones) it is often more
+//! illuminating to *look at* the state graph than to read traces. This
+//! module explores a [`TransitionSystem`] up to a budget and renders the
+//! result as Graphviz DOT, with user-supplied labels and an optional
+//! highlight predicate (e.g. the paper's violating states).
+
+use crate::hashing::FxHashMap;
+use crate::system::TransitionSystem;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+/// An extracted finite state graph.
+#[derive(Debug, Clone)]
+pub struct StateGraph<S> {
+    states: Vec<S>,
+    edges: Vec<(usize, usize)>,
+    truncated: bool,
+}
+
+impl<S: Clone + Eq + Hash> StateGraph<S> {
+    /// Explores `system` breadth-first, keeping at most `max_states`
+    /// states. Edges into states beyond the budget are dropped and the
+    /// graph is marked truncated.
+    #[must_use]
+    pub fn explore<T>(system: &T, max_states: usize) -> Self
+    where
+        T: TransitionSystem<State = S>,
+    {
+        let mut states: Vec<S> = Vec::new();
+        let mut index: FxHashMap<S, usize> = FxHashMap::default();
+        let mut edges = Vec::new();
+        let mut truncated = false;
+        let mut frontier = VecDeque::new();
+
+        for init in system.initial_states() {
+            if index.contains_key(&init) {
+                continue;
+            }
+            if states.len() >= max_states {
+                truncated = true;
+                break;
+            }
+            index.insert(init.clone(), states.len());
+            frontier.push_back(states.len());
+            states.push(init);
+        }
+
+        let mut succ = Vec::new();
+        while let Some(current) = frontier.pop_front() {
+            succ.clear();
+            let state = states[current].clone();
+            system.successors(&state, &mut succ);
+            for next in succ.drain(..) {
+                let target = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if states.len() >= max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let i = states.len();
+                        index.insert(next.clone(), i);
+                        frontier.push_back(i);
+                        states.push(next);
+                        i
+                    }
+                };
+                edges.push((current, target));
+            }
+        }
+        StateGraph {
+            states,
+            edges,
+            truncated,
+        }
+    }
+
+    /// The extracted states, in BFS discovery order.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// The extracted edges as `(from, to)` indices into [`states`].
+    ///
+    /// [`states`]: StateGraph::states
+    #[must_use]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether the budget cut off part of the graph.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Renders the graph as Graphviz DOT. `label` produces node labels;
+    /// `highlight` marks nodes to draw filled red (violations, targets).
+    pub fn to_dot<L, H>(&self, name: &str, label: L, highlight: H) -> String
+    where
+        L: Fn(&S) -> String,
+        H: Fn(&S) -> bool,
+    {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", sanitize(name));
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        for (i, state) in self.states.iter().enumerate() {
+            let attrs = if highlight(state) {
+                ", style=filled, fillcolor=\"#ffcccc\", color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  s{i} [label=\"{}\"{attrs}];", escape(&label(state)));
+        }
+        for (from, to) in &self.edges {
+            let _ = writeln!(out, "  s{from} -> s{to};");
+        }
+        if self.truncated {
+            let _ = writeln!(out, "  trunc [label=\"… (truncated)\", shape=plaintext];");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "graph_".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ring(u32);
+
+    impl TransitionSystem for Ring {
+        type State = u32;
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+            out.push((s + 1) % self.0);
+            if s % 2 == 0 {
+                out.push((s + 2) % self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn explores_the_whole_ring() {
+        let graph = StateGraph::explore(&Ring(6), 100);
+        assert_eq!(graph.states().len(), 6);
+        assert!(!graph.is_truncated());
+        // Every even state has two successors, every odd one has one.
+        assert_eq!(graph.edges().len(), 3 * 2 + 3);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let graph = StateGraph::explore(&Ring(50), 5);
+        assert_eq!(graph.states().len(), 5);
+        assert!(graph.is_truncated());
+        // All recorded edges stay within the kept states.
+        for (a, b) in graph.edges() {
+            assert!(*a < 5 && *b < 5);
+        }
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let graph = StateGraph::explore(&Ring(4), 100);
+        let dot = graph.to_dot("ring 4", |s| format!("state {s}"), |s| *s == 3);
+        assert!(dot.starts_with("digraph ring_4 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("s0 [label=\"state 0\"]"));
+        assert!(dot.contains("fillcolor=\"#ffcccc\""), "highlight rendered");
+        assert!(dot.contains("s0 -> s1;"));
+        assert!(!dot.contains("truncated"));
+    }
+
+    #[test]
+    fn dot_escapes_labels_and_names() {
+        let graph = StateGraph::explore(&Ring(2), 100);
+        let dot = graph.to_dot("2bad\"name", |s| format!("a\"b\n{s}"), |_| false);
+        assert!(dot.contains("digraph g2bad_name"));
+        assert!(dot.contains("a\\\"b\\n0"));
+    }
+
+    #[test]
+    fn truncation_is_visible_in_dot() {
+        let graph = StateGraph::explore(&Ring(50), 3);
+        let dot = graph.to_dot("big", |s| s.to_string(), |_| false);
+        assert!(dot.contains("truncated"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Frontier-parallel breadth-first exploration.
+//!
+//! Layer-synchronous BFS: each depth layer is split across worker threads
+//! (crossbeam scoped threads), and the visited set is sharded across
+//! mutex-protected hash maps keyed by state hash. Because layers complete
+//! before the next begins, the first layer containing a violation yields a
+//! minimal-depth counterexample — the same shortest-trace guarantee as the
+//! sequential [`crate::Explorer`].
+
+use crate::counterexample::Trace;
+use crate::explore::{CheckOutcome, Verdict};
+use crate::hashing::{FxHashMap, FxHasher};
+use crate::stats::ExploreStats;
+use crate::system::{Invariant, TransitionSystem};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const SHARD_COUNT: usize = 64;
+
+/// A parallel explicit-state model checker.
+///
+/// Requires the system and its states to be shareable across threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExplorer {
+    threads: usize,
+    max_states: u64,
+}
+
+struct Shards<S> {
+    shards: Vec<Mutex<FxHashMap<S, Option<S>>>>,
+}
+
+impl<S: Eq + Hash + Clone> Shards<S> {
+    fn new() -> Self {
+        Shards {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    fn shard_of(&self, state: &S) -> usize {
+        let mut h = FxHasher::default();
+        state.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    /// Inserts `state` with `parent` if unseen; returns whether it was new.
+    fn try_insert(&self, state: &S, parent: Option<&S>) -> bool {
+        let mut shard = self.shards[self.shard_of(state)].lock();
+        if shard.contains_key(state) {
+            false
+        } else {
+            shard.insert(state.clone(), parent.cloned());
+            true
+        }
+    }
+
+    fn parent_of(&self, state: &S) -> Option<S> {
+        self.shards[self.shard_of(state)]
+            .lock()
+            .get(state)
+            .cloned()
+            .flatten()
+    }
+}
+
+impl ParallelExplorer {
+    /// Creates an explorer using the machine's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(4, usize::from);
+        ParallelExplorer {
+            threads: threads.max(1),
+            max_states: 1 << 26,
+        }
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Caps the number of distinct states visited.
+    #[must_use]
+    pub fn max_states(mut self, max_states: u64) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Checks `AG p` in parallel; returns the same outcome shape as
+    /// [`crate::Explorer::check`], including a minimal-depth
+    /// counterexample on violation.
+    pub fn check<T, I>(&self, system: &T, invariant: I) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem + Sync,
+        T::State: Send + Sync,
+        I: Invariant<T::State> + Sync,
+    {
+        let start = Instant::now();
+        let shards = Shards::new();
+        let explored = AtomicU64::new(0);
+        let transitions = AtomicU64::new(0);
+
+        let mut layer: Vec<T::State> = Vec::new();
+        let mut first_violation: Option<T::State> = None;
+
+        for init in system.initial_states() {
+            if shards.try_insert(&init, None) {
+                explored.fetch_add(1, Ordering::Relaxed);
+                if !invariant.holds(&init) {
+                    first_violation = Some(init);
+                    break;
+                }
+                layer.push(init);
+            }
+        }
+
+        let mut depth: u64 = 0;
+        let mut frontier_peak = layer.len() as u64;
+        let mut budget_hit = false;
+
+        while first_violation.is_none() && !layer.is_empty() && !budget_hit {
+            let chunk = layer.len().div_ceil(self.threads);
+            let results: Vec<(Vec<T::State>, Option<T::State>, bool)> =
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for slice in layer.chunks(chunk.max(1)) {
+                        let shards = &shards;
+                        let explored = &explored;
+                        let transitions = &transitions;
+                        let invariant = &invariant;
+                        let max_states = self.max_states;
+                        handles.push(scope.spawn(move |_| {
+                            let mut next = Vec::new();
+                            let mut violation = None;
+                            let mut hit_budget = false;
+                            let mut buf = Vec::new();
+                            'outer: for state in slice {
+                                buf.clear();
+                                system.successors(state, &mut buf);
+                                transitions.fetch_add(buf.len() as u64, Ordering::Relaxed);
+                                for succ in buf.drain(..) {
+                                    if !shards.try_insert(&succ, Some(state)) {
+                                        continue;
+                                    }
+                                    if explored.fetch_add(1, Ordering::Relaxed) + 1 > max_states {
+                                        hit_budget = true;
+                                        break 'outer;
+                                    }
+                                    if !invariant.holds(&succ) {
+                                        violation = Some(succ);
+                                        break 'outer;
+                                    }
+                                    next.push(succ);
+                                }
+                            }
+                            (next, violation, hit_budget)
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                })
+                .expect("exploration scope panicked");
+
+            depth += 1;
+            let mut next_layer = Vec::new();
+            for (next, violation, hit) in results {
+                next_layer.extend(next);
+                budget_hit |= hit;
+                if first_violation.is_none() {
+                    first_violation = violation;
+                }
+            }
+            frontier_peak = frontier_peak.max(next_layer.len() as u64);
+            layer = next_layer;
+        }
+
+        let stats = ExploreStats {
+            states_explored: explored.load(Ordering::Relaxed),
+            transitions: transitions.load(Ordering::Relaxed),
+            frontier_peak,
+            depth_reached: depth,
+            duration: start.elapsed(),
+        };
+
+        match first_violation {
+            Some(bad) => {
+                let mut path = vec![bad.clone()];
+                let mut cursor = shards.parent_of(&bad);
+                while let Some(state) = cursor {
+                    cursor = shards.parent_of(&state);
+                    path.push(state);
+                }
+                path.reverse();
+                CheckOutcome {
+                    verdict: Verdict::Violated,
+                    counterexample: Some(Trace::new(path)),
+                    stats,
+                }
+            }
+            None => CheckOutcome {
+                verdict: if budget_hit { Verdict::BudgetExhausted } else { Verdict::Holds },
+                counterexample: None,
+                stats,
+            },
+        }
+    }
+}
+
+impl Default for ParallelExplorer {
+    fn default() -> Self {
+        ParallelExplorer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Grid {
+        bound: u32,
+    }
+
+    impl TransitionSystem for Grid {
+        type State = (u32, u32);
+
+        fn initial_states(&self) -> Vec<(u32, u32)> {
+            vec![(0, 0)]
+        }
+
+        fn successors(&self, s: &(u32, u32), out: &mut Vec<(u32, u32)>) {
+            if s.0 < self.bound {
+                out.push((s.0 + 1, s.1));
+            }
+            if s.1 < self.bound {
+                out.push((s.0, s.1 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn explores_whole_space_in_parallel() {
+        let outcome = ParallelExplorer::new()
+            .threads(4)
+            .check(&Grid { bound: 30 }, |_: &(u32, u32)| true);
+        assert_eq!(outcome.verdict, Verdict::Holds);
+        assert_eq!(outcome.stats.states_explored, 31 * 31);
+    }
+
+    #[test]
+    fn finds_minimal_depth_counterexample() {
+        let outcome = ParallelExplorer::new()
+            .threads(4)
+            .check(&Grid { bound: 30 }, |s: &(u32, u32)| s.0 + s.1 != 6);
+        assert_eq!(outcome.verdict, Verdict::Violated);
+        let trace = outcome.counterexample.unwrap();
+        assert_eq!(trace.transition_count(), 6);
+        for (a, b) in trace.transitions() {
+            assert_eq!((b.0 - a.0) + (b.1 - a.1), 1, "trace is a real path");
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_sequential_results() {
+        let parallel = ParallelExplorer::new()
+            .threads(1)
+            .check(&Grid { bound: 12 }, |_: &(u32, u32)| true);
+        let sequential = crate::Explorer::new().check(&Grid { bound: 12 }, |_: &(u32, u32)| true);
+        assert_eq!(parallel.stats.states_explored, sequential.stats.states_explored);
+        assert_eq!(parallel.verdict, sequential.verdict);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let outcome = ParallelExplorer::new()
+            .threads(2)
+            .max_states(50)
+            .check(&Grid { bound: 1000 }, |_: &(u32, u32)| true);
+        assert_eq!(outcome.verdict, Verdict::BudgetExhausted);
+    }
+
+    #[test]
+    fn violated_initial_state_short_circuits() {
+        let outcome = ParallelExplorer::new().check(&Grid { bound: 5 }, |s: &(u32, u32)| *s != (0, 0));
+        assert_eq!(outcome.verdict, Verdict::Violated);
+        assert_eq!(outcome.counterexample.unwrap().transition_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let _ = ParallelExplorer::new().threads(0);
+    }
+}

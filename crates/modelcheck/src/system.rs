@@ -1,0 +1,82 @@
+//! The transition-system and property interfaces.
+
+use std::hash::Hash;
+
+/// A finite transition system `(S, I, R)` in the sense of the paper's
+/// Section 4.2: a set of states, a set of initial states, and a
+/// transition relation given as a successor function.
+///
+/// States must be cheap to clone and hash — the explorer stores millions.
+pub trait TransitionSystem {
+    /// The state vector type.
+    type State: Clone + Eq + Hash;
+
+    /// The set of initial states `I`.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Appends every `R`-successor of `state` to `out` (which arrives
+    /// empty). Appending nothing makes `state` a deadlock; the explorer
+    /// treats deadlocks as ordinary leaves.
+    fn successors(&self, state: &Self::State, out: &mut Vec<Self::State>);
+}
+
+/// A state invariant (the `p` of `AG p`).
+///
+/// Implemented for any `Fn(&S) -> bool`, so plain closures work:
+///
+/// ```
+/// use tta_modelcheck::Invariant;
+/// let inv = |s: &u32| *s < 10;
+/// assert!(Invariant::holds(&inv, &3));
+/// assert!(!Invariant::holds(&inv, &12));
+/// ```
+pub trait Invariant<S> {
+    /// Whether the invariant holds in `state`.
+    fn holds(&self, state: &S) -> bool;
+}
+
+impl<S, F> Invariant<S> for F
+where
+    F: Fn(&S) -> bool,
+{
+    fn holds(&self, state: &S) -> bool {
+        self(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ring(u32);
+
+    impl TransitionSystem for Ring {
+        type State = u32;
+
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+            out.push((s + 1) % self.0);
+        }
+    }
+
+    #[test]
+    fn ring_successor_wraps() {
+        let ring = Ring(4);
+        let mut out = Vec::new();
+        ring.successors(&3, &mut out);
+        assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn closures_are_invariants() {
+        fn check<I: Invariant<u32>>(inv: &I, s: u32) -> bool {
+            inv.holds(&s)
+        }
+        let inv = |s: &u32| s % 2 == 0;
+        assert!(check(&inv, 4));
+        assert!(!check(&inv, 5));
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests on the controller transition relation.
+
+use proptest::prelude::*;
+use tta_protocol::{
+    ChannelObservation, ChannelView, Controller, HostChoices, ProtocolState, TransitionCause,
+};
+use tta_types::{FrameKind, NodeId};
+
+const SLOTS: u16 = 4;
+
+fn arb_observation() -> impl Strategy<Value = ChannelObservation> {
+    prop_oneof![
+        Just(ChannelObservation::silence()),
+        Just(ChannelObservation::bad()),
+        (1u16..=SLOTS).prop_map(|id| ChannelObservation::frame(FrameKind::ColdStart, id)),
+        (1u16..=SLOTS).prop_map(|id| ChannelObservation::frame(FrameKind::CState, id)),
+        (1u16..=SLOTS).prop_map(|id| ChannelObservation::frame(FrameKind::Other, id)),
+    ]
+}
+
+fn arb_view() -> impl Strategy<Value = ChannelView> {
+    (arb_observation(), arb_observation()).prop_map(|(a, b)| ChannelView::new(a, b))
+}
+
+fn arb_choices() -> impl Strategy<Value = HostChoices> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(s, h, a)| HostChoices {
+        staggered_startup: s,
+        allow_shutdown: h,
+        allow_await_test: a,
+    })
+}
+
+/// Walks a random path through the transition relation and returns every
+/// state visited.
+fn random_walk(node: u8, views: &[ChannelView], picks: &[usize], choices: &HostChoices) -> Vec<Controller> {
+    let mut c = Controller::new(NodeId::new(node), SLOTS);
+    let mut visited = vec![c];
+    for (view, pick) in views.iter().zip(picks) {
+        let succ = c.successors(view, choices);
+        c = succ[pick % succ.len()].next;
+        visited.push(c);
+    }
+    visited
+}
+
+proptest! {
+    /// The transition relation is total: every reachable state has at
+    /// least one successor for every channel view.
+    #[test]
+    fn relation_is_total(
+        node in 0u8..4,
+        views in prop::collection::vec(arb_view(), 1..40),
+        picks in prop::collection::vec(any::<usize>(), 40),
+        choices in arb_choices(),
+    ) {
+        for state in random_walk(node, &views, &picks, &choices) {
+            for view in &views {
+                prop_assert!(!state.successors(view, &choices).is_empty());
+            }
+        }
+    }
+
+    /// Successor lists never contain duplicate states.
+    #[test]
+    fn successors_are_deduplicated(
+        node in 0u8..4,
+        views in prop::collection::vec(arb_view(), 1..30),
+        picks in prop::collection::vec(any::<usize>(), 30),
+        choices in arb_choices(),
+    ) {
+        for state in random_walk(node, &views, &picks, &choices) {
+            for view in &views {
+                let succ = state.successors(view, &choices);
+                for i in 0..succ.len() {
+                    for j in (i + 1)..succ.len() {
+                        prop_assert_ne!(&succ[i].next, &succ[j].next);
+                    }
+                }
+            }
+        }
+    }
+
+    /// State-vector canonicalization: auxiliary variables are at their
+    /// canonical values whenever the protocol state does not use them, so
+    /// semantically identical states hash identically in the checker.
+    #[test]
+    fn reachable_states_are_canonical(
+        node in 0u8..4,
+        views in prop::collection::vec(arb_view(), 1..60),
+        picks in prop::collection::vec(any::<usize>(), 60),
+        choices in arb_choices(),
+    ) {
+        for state in random_walk(node, &views, &picks, &choices) {
+            let ps = state.protocol_state();
+            if !ps.keeps_slot_counter() {
+                prop_assert_eq!(state.slot(), None);
+                prop_assert_eq!(state.counters().agreed(), 0);
+                prop_assert_eq!(state.counters().failed(), 0);
+            }
+            if ps != ProtocolState::Listen {
+                prop_assert!(!state.big_bang_armed());
+                prop_assert_eq!(state.listen_timeout(), 0);
+            }
+            if let Some(slot) = state.slot() {
+                prop_assert!(slot.get() >= 1 && slot.get() <= SLOTS);
+            }
+        }
+    }
+
+    /// With host failures disabled, an integrated node only ever freezes
+    /// through the protocol (clique error) — the precondition for the
+    /// paper's property monitor.
+    #[test]
+    fn freezes_without_shutdown_are_protocol_caused(
+        node in 0u8..4,
+        views in prop::collection::vec(arb_view(), 1..60),
+        picks in prop::collection::vec(any::<usize>(), 60),
+    ) {
+        let choices = HostChoices::checking();
+        for state in random_walk(node, &views, &picks, &choices) {
+            if !state.is_integrated() {
+                continue;
+            }
+            for view in &views {
+                for t in state.successors(view, &choices) {
+                    if t.next.protocol_state() == ProtocolState::Freeze {
+                        prop_assert_eq!(t.cause, TransitionCause::Protocol);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A node never transmits outside its own slot (fail-silence in the
+    /// time domain — the property TTP/C assumes of non-faulty nodes).
+    #[test]
+    fn nodes_send_only_in_their_own_slot(
+        node in 0u8..4,
+        views in prop::collection::vec(arb_view(), 1..80),
+        picks in prop::collection::vec(any::<usize>(), 80),
+        choices in arb_choices(),
+    ) {
+        for state in random_walk(node, &views, &picks, &choices) {
+            match state.send_intent() {
+                tta_protocol::SendIntent::Silent => {}
+                tta_protocol::SendIntent::ColdStart { id }
+                | tta_protocol::SendIntent::CStateFrame { id } => {
+                    prop_assert_eq!(id, state.own_slot());
+                    prop_assert_eq!(state.slot().map(|s| s.get()), Some(id));
+                    prop_assert!(state.protocol_state().may_transmit());
+                }
+            }
+        }
+    }
+
+    /// Without host intervention, passive and cold-start nodes never jump
+    /// straight to active without a passing clique test; equivalently, a
+    /// node entering active from cold start has seen a majority.
+    #[test]
+    fn big_bang_requires_two_cold_start_frames(
+        node in 0u8..4,
+        id in 1u16..=SLOTS,
+    ) {
+        // Fresh listener: a single cold-start frame must never integrate.
+        let choices = HostChoices::eager();
+        let mut c = Controller::new(NodeId::new(node), SLOTS);
+        c = c.successors(&ChannelView::silent(), &choices)[0].next; // init
+        c = c.successors(&ChannelView::silent(), &choices)[0].next; // listen
+        let view = ChannelView::both(ChannelObservation::frame(FrameKind::ColdStart, id));
+        let after_first = c.successors(&view, &choices);
+        for t in &after_first {
+            prop_assert_eq!(t.next.protocol_state(), ProtocolState::Listen);
+            prop_assert!(t.next.big_bang_armed());
+        }
+        // The second one integrates, adopting id+1.
+        let armed = after_first[0].next;
+        let after_second = armed.successors(&view, &choices);
+        for t in &after_second {
+            prop_assert_eq!(t.next.protocol_state(), ProtocolState::Passive);
+            let expected = if id == SLOTS { 1 } else { id + 1 };
+            prop_assert_eq!(t.next.slot().map(|s| s.get()), Some(expected));
+        }
+    }
+
+    /// The listen timeout is monotone under silence and always bounded by
+    /// its initialization value.
+    #[test]
+    fn listen_timeout_counts_down_under_silence(node in 0u8..4) {
+        let choices = HostChoices::eager();
+        let mut c = Controller::new(NodeId::new(node), SLOTS);
+        c = c.successors(&ChannelView::silent(), &choices)[0].next;
+        c = c.successors(&ChannelView::silent(), &choices)[0].next;
+        let mut last = c.listen_timeout();
+        prop_assert_eq!(last, c.listen_timeout_init());
+        while c.protocol_state() == ProtocolState::Listen {
+            c = c.successors(&ChannelView::silent(), &choices)[0].next;
+            if c.protocol_state() == ProtocolState::Listen {
+                prop_assert!(c.listen_timeout() < last || last == 0);
+                last = c.listen_timeout();
+            }
+        }
+        prop_assert_eq!(c.protocol_state(), ProtocolState::ColdStart);
+    }
+}

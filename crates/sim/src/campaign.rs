@@ -1,0 +1,401 @@
+//! Monte-Carlo fault-injection campaigns.
+//!
+//! The software-implemented fault injection (SWIFI) substitute for the
+//! heavy-ion experiments behind the paper's motivation: run many
+//! randomized trials of one fault scenario against one topology/authority
+//! combination and classify the outcomes. `tta-bench`'s
+//! `exp_fault_injection` uses this to regenerate the bus-vs-star
+//! containment comparison (experiment E9).
+
+use crate::inject::{CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind};
+use crate::report::SimReport;
+use crate::sim::SimBuilder;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tta_guardian::sos::SosDomain;
+use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_types::NodeId;
+
+/// The fault scenario a campaign injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// No fault at all (golden runs; calibrates the harness).
+    FaultFree,
+    /// One node transmits slightly-off-specification frames.
+    SosSender,
+    /// One node masquerades in cold-start frames during startup.
+    MasqueradeColdStart,
+    /// One node transmits frames with an invalid C-state.
+    InvalidCState,
+    /// One node babbles noise continuously.
+    Babbling,
+    /// One channel's coupler replays buffered frames out of slot
+    /// (possible only for a full-shifting star coupler).
+    CouplerReplay,
+    /// One channel's coupler drops all traffic.
+    CouplerSilence,
+    /// One channel's coupler emits noise.
+    CouplerNoise,
+}
+
+impl Scenario {
+    /// Every scenario, in report order.
+    #[must_use]
+    pub fn all() -> [Scenario; 8] {
+        [
+            Scenario::FaultFree,
+            Scenario::SosSender,
+            Scenario::MasqueradeColdStart,
+            Scenario::InvalidCState,
+            Scenario::Babbling,
+            Scenario::CouplerReplay,
+            Scenario::CouplerSilence,
+            Scenario::CouplerNoise,
+        ]
+    }
+
+    /// Whether the scenario is physically possible for the given
+    /// topology/authority (a coupler without full-frame buffering cannot
+    /// replay).
+    #[must_use]
+    pub fn applicable(self, topology: Topology, authority: CouplerAuthority) -> bool {
+        match self {
+            Scenario::CouplerReplay => {
+                topology.is_central() && authority.can_buffer_full_frames()
+            }
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scenario::FaultFree => "fault-free",
+            Scenario::SosSender => "SOS sender",
+            Scenario::MasqueradeColdStart => "masquerading cold start",
+            Scenario::InvalidCState => "invalid C-state",
+            Scenario::Babbling => "babbling idiot",
+            Scenario::CouplerReplay => "coupler replay (out-of-slot)",
+            Scenario::CouplerSilence => "coupler silence",
+            Scenario::CouplerNoise => "coupler noise",
+        })
+    }
+}
+
+/// Classification of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The fault did not affect any healthy node: the cluster started and
+    /// nobody healthy froze.
+    Contained,
+    /// At least one healthy node froze — the fault propagated.
+    HealthyNodeFrozen,
+    /// No healthy node froze, but the cluster never fully started.
+    StartupFailed,
+}
+
+impl Outcome {
+    fn classify(report: &SimReport) -> Outcome {
+        if !report.healthy_frozen().is_empty() {
+            Outcome::HealthyNodeFrozen
+        } else if !report.cluster_started() {
+            Outcome::StartupFailed
+        } else {
+            Outcome::Contained
+        }
+    }
+}
+
+/// Aggregated results of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Scenario injected.
+    pub scenario: Scenario,
+    /// Topology under test.
+    pub topology: Topology,
+    /// Central-guardian authority (star) / irrelevant for bus.
+    pub authority: CouplerAuthority,
+    /// Trials actually run (0 if the scenario is inapplicable).
+    pub trials: u32,
+    /// Trials classified [`Outcome::Contained`].
+    pub contained: u32,
+    /// Trials classified [`Outcome::HealthyNodeFrozen`].
+    pub healthy_frozen: u32,
+    /// Trials classified [`Outcome::StartupFailed`].
+    pub startup_failed: u32,
+}
+
+impl CampaignReport {
+    /// Fraction of trials in which the fault propagated to a healthy node
+    /// or prevented startup.
+    #[must_use]
+    pub fn propagation_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        f64::from(self.healthy_frozen + self.startup_failed) / f64::from(self.trials)
+    }
+
+    /// Whether the scenario could be injected at all.
+    #[must_use]
+    pub fn applicable(&self) -> bool {
+        self.trials > 0
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.applicable() {
+            return write!(f, "{} on {}: not applicable", self.scenario, self.topology);
+        }
+        write!(
+            f,
+            "{} on {} ({}): {}/{} contained, {} froze healthy nodes, {} failed startup",
+            self.scenario,
+            self.topology,
+            self.authority,
+            self.contained,
+            self.trials,
+            self.healthy_frozen,
+            self.startup_failed
+        )
+    }
+}
+
+/// A randomized fault-injection campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    nodes: usize,
+    topology: Topology,
+    authority: CouplerAuthority,
+    trials: u32,
+    slots: u64,
+    seed: u64,
+}
+
+impl Campaign {
+    /// Creates a campaign over `nodes` nodes with the given topology and
+    /// (for star) guardian authority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is outside `2..=16`.
+    #[must_use]
+    pub fn new(nodes: usize, topology: Topology, authority: CouplerAuthority) -> Self {
+        assert!((2..=16).contains(&nodes), "campaigns support 2..=16 nodes");
+        Campaign {
+            nodes,
+            topology,
+            authority,
+            trials: 50,
+            slots: 400,
+            seed: 0xDB5_2004,
+        }
+    }
+
+    /// Sets the trial count.
+    #[must_use]
+    pub fn trials(mut self, trials: u32) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the per-trial horizon in slots.
+    #[must_use]
+    pub fn slots(mut self, slots: u64) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Sets the RNG seed (campaigns are reproducible).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs one scenario.
+    #[must_use]
+    pub fn run(&self, scenario: Scenario) -> CampaignReport {
+        let mut report = CampaignReport {
+            scenario,
+            topology: self.topology,
+            authority: self.authority,
+            trials: 0,
+            contained: 0,
+            healthy_frozen: 0,
+            startup_failed: 0,
+        };
+        if !scenario.applicable(self.topology, self.authority) {
+            return report;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ scenario as u64);
+        for _ in 0..self.trials {
+            let sim_report = self.trial(scenario, &mut rng);
+            report.trials += 1;
+            match Outcome::classify(&sim_report) {
+                Outcome::Contained => report.contained += 1,
+                Outcome::HealthyNodeFrozen => report.healthy_frozen += 1,
+                Outcome::StartupFailed => report.startup_failed += 1,
+            }
+        }
+        report
+    }
+
+    /// Runs every applicable scenario.
+    #[must_use]
+    pub fn run_all(&self) -> Vec<CampaignReport> {
+        Scenario::all().into_iter().map(|s| self.run(s)).collect()
+    }
+
+    fn trial(&self, scenario: Scenario, rng: &mut StdRng) -> SimReport {
+        let node = NodeId::new(rng.gen_range(0..self.nodes) as u8);
+        let onset = rng.gen_range(0..(3 * self.nodes as u64));
+        let wrong_slot = {
+            let own = u16::from(node.index()) + 1;
+            let mut claimed = rng.gen_range(1..=self.nodes as u16);
+            if claimed == own {
+                claimed = claimed % self.nodes as u16 + 1;
+            }
+            claimed
+        };
+        let plan = match scenario {
+            Scenario::FaultFree => FaultPlan::none(),
+            Scenario::SosSender => FaultPlan::none().with_node_fault(NodeFault {
+                node,
+                kind: NodeFaultKind::Sos {
+                    domain: if rng.gen_bool(0.5) {
+                        SosDomain::Time
+                    } else {
+                        SosDomain::Value
+                    },
+                    magnitude: rng.gen_range(0.42..0.58),
+                },
+                // SOS senders misbehave after startup, as in the
+                // motivating experiments.
+                from_slot: 10 * self.nodes as u64 + onset,
+                to_slot: self.slots,
+            }),
+            Scenario::MasqueradeColdStart => FaultPlan::none().with_node_fault(NodeFault {
+                node,
+                kind: NodeFaultKind::MasqueradeColdStart {
+                    claimed_slot: wrong_slot,
+                },
+                from_slot: onset,
+                to_slot: self.slots,
+            }),
+            Scenario::InvalidCState => FaultPlan::none().with_node_fault(NodeFault {
+                node,
+                kind: NodeFaultKind::InvalidCState {
+                    claimed_slot: wrong_slot,
+                },
+                from_slot: onset,
+                to_slot: self.slots,
+            }),
+            Scenario::Babbling => FaultPlan::none().with_node_fault(NodeFault {
+                node,
+                kind: NodeFaultKind::Babbling,
+                from_slot: onset,
+                to_slot: self.slots,
+            }),
+            Scenario::CouplerReplay => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+                channel: rng.gen_range(0..2),
+                mode: CouplerFaultMode::OutOfSlot,
+                from_slot: onset + 2,
+                to_slot: self.slots,
+            }),
+            Scenario::CouplerSilence => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+                channel: rng.gen_range(0..2),
+                mode: CouplerFaultMode::Silence,
+                from_slot: onset,
+                to_slot: self.slots,
+            }),
+            Scenario::CouplerNoise => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+                channel: rng.gen_range(0..2),
+                mode: CouplerFaultMode::BadFrame,
+                from_slot: onset,
+                to_slot: self.slots,
+            }),
+        };
+        let delays = (0..self.nodes).map(|_| rng.gen_range(0..4 * self.nodes as u32)).collect();
+        SimBuilder::new(self.nodes)
+            .topology(self.topology)
+            .authority(self.authority)
+            .slots(self.slots)
+            .start_delays(delays)
+            .plan(plan)
+            .build()
+            .run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign(topology: Topology, authority: CouplerAuthority) -> Campaign {
+        Campaign::new(4, topology, authority).trials(12).slots(300)
+    }
+
+    #[test]
+    fn fault_free_runs_are_always_contained() {
+        for topology in [Topology::Bus, Topology::Star] {
+            let report = campaign(topology, CouplerAuthority::SmallShifting).run(Scenario::FaultFree);
+            assert_eq!(report.contained, report.trials, "{report}");
+        }
+    }
+
+    #[test]
+    fn replay_is_inapplicable_without_buffering() {
+        let bus = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::CouplerReplay);
+        assert!(!bus.applicable());
+        let small =
+            campaign(Topology::Star, CouplerAuthority::SmallShifting).run(Scenario::CouplerReplay);
+        assert!(!small.applicable());
+        let full =
+            campaign(Topology::Star, CouplerAuthority::FullShifting).run(Scenario::CouplerReplay);
+        assert!(full.applicable());
+    }
+
+    #[test]
+    fn sos_propagates_on_bus_but_not_reshaping_star() {
+        let bus = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::SosSender);
+        let star =
+            campaign(Topology::Star, CouplerAuthority::SmallShifting).run(Scenario::SosSender);
+        assert!(
+            bus.propagation_rate() > star.propagation_rate(),
+            "bus {bus} vs star {star}"
+        );
+        assert_eq!(star.propagation_rate(), 0.0, "{star}");
+    }
+
+    #[test]
+    fn masquerade_is_contained_by_central_blocking() {
+        let star =
+            campaign(Topology::Star, CouplerAuthority::TimeWindows).run(Scenario::MasqueradeColdStart);
+        assert_eq!(star.propagation_rate(), 0.0, "{star}");
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let a = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::SosSender);
+        let b = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::SosSender);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_all_covers_every_scenario() {
+        let reports = campaign(Topology::Star, CouplerAuthority::FullShifting).run_all();
+        assert_eq!(reports.len(), Scenario::all().len());
+    }
+
+    #[test]
+    fn report_display_summarizes() {
+        let report = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::FaultFree);
+        assert!(report.to_string().contains("contained"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Fault plans: what to inject, where, and when.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tta_guardian::local::LocalGuardianFault;
+use tta_guardian::sos::SosDomain;
+use tta_guardian::CouplerFaultMode;
+use tta_types::NodeId;
+
+/// The misbehavior classes of a faulty *node* (transmitter-side faults;
+/// the protocol controller itself keeps running).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeFaultKind {
+    /// Transmissions carry a slightly-off-specification defect of the
+    /// given magnitude in the given domain (Ademaj's SOS fault).
+    Sos {
+        /// Affected domain.
+        domain: SosDomain,
+        /// Normalized magnitude in `[0, 1]`.
+        magnitude: f64,
+    },
+    /// Cold-start frames claim the wrong sender round slot (masquerading
+    /// during startup).
+    MasqueradeColdStart {
+        /// The (incorrect) slot id the frames claim.
+        claimed_slot: u16,
+    },
+    /// Frames carry an invalid C-state (claimed position is wrong),
+    /// poisoning nodes that integrate on them.
+    InvalidCState {
+        /// The (incorrect) slot id the frames claim.
+        claimed_slot: u16,
+    },
+    /// The node transmits noise in every slot (babbling idiot). Healthy
+    /// guardians clip this to the node's own window.
+    Babbling,
+    /// The node transmits nothing (crash of the transmitter).
+    Mute,
+}
+
+impl fmt::Display for NodeFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeFaultKind::Sos { domain, magnitude } => {
+                write!(f, "SOS({domain}, {magnitude:.2})")
+            }
+            NodeFaultKind::MasqueradeColdStart { claimed_slot } => {
+                write!(f, "masquerade cold-start (claims slot {claimed_slot})")
+            }
+            NodeFaultKind::InvalidCState { claimed_slot } => {
+                write!(f, "invalid C-state (claims slot {claimed_slot})")
+            }
+            NodeFaultKind::Babbling => write!(f, "babbling idiot"),
+            NodeFaultKind::Mute => write!(f, "mute"),
+        }
+    }
+}
+
+/// A node fault active during `[from_slot, to_slot)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// The faulty node.
+    pub node: NodeId,
+    /// Kind of misbehavior.
+    pub kind: NodeFaultKind,
+    /// First absolute slot at which the fault is active.
+    pub from_slot: u64,
+    /// First absolute slot at which it is no longer active.
+    pub to_slot: u64,
+}
+
+impl NodeFault {
+    /// Whether the fault is active at absolute slot `t`.
+    #[must_use]
+    pub fn active_at(&self, t: u64) -> bool {
+        (self.from_slot..self.to_slot).contains(&t)
+    }
+}
+
+/// A coupler fault active during `[from_slot, to_slot)` on one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplerFaultEvent {
+    /// Affected channel (0 or 1).
+    pub channel: usize,
+    /// Fault mode during the window.
+    pub mode: CouplerFaultMode,
+    /// First absolute slot at which the fault is active.
+    pub from_slot: u64,
+    /// First absolute slot at which it is no longer active.
+    pub to_slot: u64,
+}
+
+impl CouplerFaultEvent {
+    /// Whether the fault is active at absolute slot `t`.
+    #[must_use]
+    pub fn active_at(&self, t: u64) -> bool {
+        (self.from_slot..self.to_slot).contains(&t)
+    }
+}
+
+/// A local-guardian fault (bus topology only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardianFaultEvent {
+    /// Node whose guardian fails.
+    pub node: NodeId,
+    /// Failure mode.
+    pub mode: LocalGuardianFault,
+    /// First absolute slot at which the fault is active.
+    pub from_slot: u64,
+    /// First absolute slot at which it is no longer active.
+    pub to_slot: u64,
+}
+
+impl GuardianFaultEvent {
+    /// Whether the fault is active at absolute slot `t`.
+    #[must_use]
+    pub fn active_at(&self, t: u64) -> bool {
+        (self.from_slot..self.to_slot).contains(&t)
+    }
+}
+
+/// Everything the simulator injects during one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    node_faults: Vec<NodeFault>,
+    coupler_faults: Vec<CouplerFaultEvent>,
+    guardian_faults: Vec<GuardianFaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (golden run).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node fault.
+    #[must_use]
+    pub fn with_node_fault(mut self, fault: NodeFault) -> Self {
+        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        self.node_faults.push(fault);
+        self
+    }
+
+    /// Adds a coupler fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel index is not 0 or 1 or the window is empty.
+    #[must_use]
+    pub fn with_coupler_fault(mut self, fault: CouplerFaultEvent) -> Self {
+        assert!(fault.channel < 2, "channels are 0 and 1");
+        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        self.coupler_faults.push(fault);
+        self
+    }
+
+    /// Adds a local-guardian fault.
+    #[must_use]
+    pub fn with_guardian_fault(mut self, fault: GuardianFaultEvent) -> Self {
+        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        self.guardian_faults.push(fault);
+        self
+    }
+
+    /// The node fault (if any) active for `node` at slot `t`. The first
+    /// matching entry wins.
+    #[must_use]
+    pub fn node_fault_at(&self, node: NodeId, t: u64) -> Option<&NodeFault> {
+        self.node_faults.iter().find(|f| f.node == node && f.active_at(t))
+    }
+
+    /// The coupler fault mode for `channel` at slot `t`.
+    #[must_use]
+    pub fn coupler_fault_at(&self, channel: usize, t: u64) -> CouplerFaultMode {
+        self.coupler_faults
+            .iter()
+            .find(|f| f.channel == channel && f.active_at(t))
+            .map_or(CouplerFaultMode::None, |f| f.mode)
+    }
+
+    /// The local-guardian fault mode for `node` at slot `t`.
+    #[must_use]
+    pub fn guardian_fault_at(&self, node: NodeId, t: u64) -> LocalGuardianFault {
+        self.guardian_faults
+            .iter()
+            .find(|f| f.node == node && f.active_at(t))
+            .map_or(LocalGuardianFault::None, |f| f.mode)
+    }
+
+    /// Nodes with any fault in the plan (used to classify outcomes:
+    /// freezes of *these* nodes are expected, freezes of others are
+    /// propagation).
+    #[must_use]
+    pub fn faulty_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.node_faults.iter().map(|f| f.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.node_faults.is_empty()
+            && self.coupler_faults.is_empty()
+            && self.guardian_faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open() {
+        let f = NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Mute,
+            from_slot: 10,
+            to_slot: 20,
+        };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(19));
+        assert!(!f.active_at(20));
+    }
+
+    #[test]
+    fn plan_lookup_matches_node_and_time() {
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(2),
+            kind: NodeFaultKind::Babbling,
+            from_slot: 5,
+            to_slot: 8,
+        });
+        assert!(plan.node_fault_at(NodeId::new(2), 6).is_some());
+        assert!(plan.node_fault_at(NodeId::new(2), 8).is_none());
+        assert!(plan.node_fault_at(NodeId::new(1), 6).is_none());
+    }
+
+    #[test]
+    fn coupler_lookup_defaults_to_none() {
+        let plan = FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+            channel: 0,
+            mode: CouplerFaultMode::Silence,
+            from_slot: 0,
+            to_slot: 4,
+        });
+        assert_eq!(plan.coupler_fault_at(0, 2), CouplerFaultMode::Silence);
+        assert_eq!(plan.coupler_fault_at(1, 2), CouplerFaultMode::None);
+        assert_eq!(plan.coupler_fault_at(0, 4), CouplerFaultMode::None);
+    }
+
+    #[test]
+    fn guardian_lookup_defaults_to_none() {
+        let plan = FaultPlan::none().with_guardian_fault(GuardianFaultEvent {
+            node: NodeId::new(1),
+            mode: LocalGuardianFault::StuckOpen,
+            from_slot: 0,
+            to_slot: 100,
+        });
+        assert_eq!(plan.guardian_fault_at(NodeId::new(1), 50), LocalGuardianFault::StuckOpen);
+        assert_eq!(plan.guardian_fault_at(NodeId::new(0), 50), LocalGuardianFault::None);
+    }
+
+    #[test]
+    fn faulty_nodes_deduplicates() {
+        let plan = FaultPlan::none()
+            .with_node_fault(NodeFault {
+                node: NodeId::new(3),
+                kind: NodeFaultKind::Mute,
+                from_slot: 0,
+                to_slot: 1,
+            })
+            .with_node_fault(NodeFault {
+                node: NodeId::new(3),
+                kind: NodeFaultKind::Babbling,
+                from_slot: 5,
+                to_slot: 6,
+            });
+        assert_eq!(plan.faulty_nodes(), [NodeId::new(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels are 0 and 1")]
+    fn invalid_channel_is_rejected() {
+        let _ = FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+            channel: 2,
+            mode: CouplerFaultMode::Silence,
+            from_slot: 0,
+            to_slot: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fault window")]
+    fn empty_window_is_rejected() {
+        let _ = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Mute,
+            from_slot: 5,
+            to_slot: 5,
+        });
+    }
+
+    #[test]
+    fn kind_display_is_informative() {
+        let k = NodeFaultKind::Sos {
+            domain: SosDomain::Time,
+            magnitude: 0.5,
+        };
+        assert!(k.to_string().contains("SOS"));
+        assert!(NodeFaultKind::Babbling.to_string().contains("babbling"));
+    }
+}

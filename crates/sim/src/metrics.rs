@@ -1,0 +1,205 @@
+//! Time-series metrics derived from a run's event log.
+//!
+//! The raw [`crate::SlotLog`] records *events*; analyses and plots want
+//! *series* — how many nodes were integrated at slot t, when freezes
+//! clustered, how guardian interventions distributed over time. This
+//! module reconstructs those series from the log plus the initial
+//! conditions, without requiring the simulator to snapshot every slot.
+
+use crate::log::{SlotEvent, SlotLog};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tta_protocol::ProtocolState;
+
+/// Per-slot series reconstructed from a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    integrated: Vec<u32>,
+    frozen_events: Vec<u64>,
+    guardian_interventions: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Reconstructs the series for a run of `slots` slots over `nodes`
+    /// nodes, all of which started in `freeze`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log references slots at or beyond `slots`.
+    #[must_use]
+    pub fn from_log(log: &SlotLog, nodes: usize, slots: u64) -> Self {
+        let mut states = vec![ProtocolState::Freeze; nodes];
+        let mut integrated = Vec::with_capacity(slots as usize);
+        let mut frozen_events = Vec::new();
+        let mut guardian_interventions = Vec::new();
+
+        let mut cursor = 0usize;
+        let entries = log.entries();
+        for t in 0..slots {
+            while cursor < entries.len() && entries[cursor].0 == t {
+                match &entries[cursor].1 {
+                    SlotEvent::StateChange { node, to, .. } => {
+                        assert!(t < slots, "log references slot {t} beyond horizon {slots}");
+                        states[node.as_usize()] = *to;
+                        if *to == ProtocolState::Freeze {
+                            frozen_events.push(t);
+                        }
+                    }
+                    SlotEvent::GuardianBlocked { .. } | SlotEvent::GuardianReshaped { .. } => {
+                        guardian_interventions.push(t);
+                    }
+                    _ => {}
+                }
+                cursor += 1;
+            }
+            integrated.push(states.iter().filter(|s| s.is_integrated()).count() as u32);
+        }
+        TimeSeries {
+            integrated,
+            frozen_events,
+            guardian_interventions,
+        }
+    }
+
+    /// Number of integrated nodes at the end of each slot.
+    #[must_use]
+    pub fn integrated(&self) -> &[u32] {
+        &self.integrated
+    }
+
+    /// Slots at which some node entered `freeze`.
+    #[must_use]
+    pub fn freeze_slots(&self) -> &[u64] {
+        &self.frozen_events
+    }
+
+    /// Slots at which a central guardian blocked or reshaped a frame.
+    #[must_use]
+    pub fn guardian_intervention_slots(&self) -> &[u64] {
+        &self.guardian_interventions
+    }
+
+    /// First slot at which at least `n` nodes were integrated.
+    #[must_use]
+    pub fn first_slot_with_integrated(&self, n: u32) -> Option<u64> {
+        self.integrated.iter().position(|c| *c >= n).map(|i| i as u64)
+    }
+
+    /// Largest number of simultaneously integrated nodes.
+    #[must_use]
+    pub fn peak_integrated(&self) -> u32 {
+        self.integrated.iter().copied().max().unwrap_or(0)
+    }
+
+    /// A coarse ASCII sparkline of the integrated-node count (one char
+    /// per `stride` slots).
+    #[must_use]
+    pub fn sparkline(&self, stride: usize) -> String {
+        const LEVELS: &[char] = &['_', '.', ':', '|', '#'];
+        let stride = stride.max(1);
+        let peak = self.peak_integrated().max(1);
+        self.integrated
+            .chunks(stride)
+            .map(|chunk| {
+                let avg = chunk.iter().sum::<u32>() as f64 / chunk.len() as f64;
+                let level = (avg / f64::from(peak) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[level.min(LEVELS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "integration over time: [{}] (peak {}, {} freeze event(s))",
+            self.sparkline(self.integrated.len().div_ceil(64)),
+            self.peak_integrated(),
+            self.frozen_events.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{CouplerFaultEvent, FaultPlan};
+    use crate::sim::SimBuilder;
+    use crate::topology::Topology;
+    use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+
+    fn golden_series() -> TimeSeries {
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .slots(200)
+            .plan(FaultPlan::none())
+            .build()
+            .run();
+        TimeSeries::from_log(report.log(), 4, report.slots_run())
+    }
+
+    #[test]
+    fn integration_count_rises_to_full_cluster() {
+        let series = golden_series();
+        assert_eq!(series.integrated().len(), 200);
+        assert_eq!(series.integrated()[0], 0);
+        assert_eq!(*series.integrated().last().unwrap(), 4);
+        assert_eq!(series.peak_integrated(), 4);
+        // Monotone within a fault-free startup.
+        for w in series.integrated().windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn startup_threshold_matches_report() {
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .slots(200)
+            .plan(FaultPlan::none())
+            .build()
+            .run();
+        let series = TimeSeries::from_log(report.log(), 4, report.slots_run());
+        assert_eq!(series.first_slot_with_integrated(4), report.startup_slot());
+        assert!(series.freeze_slots().is_empty());
+    }
+
+    #[test]
+    fn replay_run_shows_freezes_in_the_series() {
+        let plan = FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+            channel: 0,
+            mode: CouplerFaultMode::OutOfSlot,
+            from_slot: 12,
+            to_slot: 300,
+        });
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::FullShifting)
+            .slots(300)
+            .plan(plan)
+            .build()
+            .run();
+        let series = TimeSeries::from_log(report.log(), 4, report.slots_run());
+        if !report.healthy_frozen().is_empty() {
+            assert!(!series.freeze_slots().is_empty());
+        }
+    }
+
+    #[test]
+    fn sparkline_has_expected_length_and_levels() {
+        let series = golden_series();
+        let spark = series.sparkline(10);
+        assert_eq!(spark.chars().count(), 20);
+        assert!(spark.starts_with('_'), "starts all-frozen: {spark}");
+        assert!(spark.ends_with('#'), "ends fully integrated: {spark}");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let series = golden_series();
+        let s = series.to_string();
+        assert!(s.contains("peak 4"));
+        assert!(s.contains("0 freeze event(s)"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Run reports.
+
+use crate::log::SlotLog;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tta_protocol::ProtocolState;
+use tta_types::NodeId;
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    slots_run: u64,
+    final_states: Vec<ProtocolState>,
+    healthy_frozen: Vec<NodeId>,
+    faulty_nodes: Vec<NodeId>,
+    startup_slot: Option<u64>,
+    log: SlotLog,
+}
+
+impl SimReport {
+    pub(crate) fn new(
+        slots_run: u64,
+        final_states: Vec<ProtocolState>,
+        healthy_frozen: Vec<NodeId>,
+        faulty_nodes: Vec<NodeId>,
+        startup_slot: Option<u64>,
+        log: SlotLog,
+    ) -> Self {
+        SimReport {
+            slots_run,
+            final_states,
+            healthy_frozen,
+            faulty_nodes,
+            startup_slot,
+            log,
+        }
+    }
+
+    /// Number of slots executed.
+    #[must_use]
+    pub fn slots_run(&self) -> u64 {
+        self.slots_run
+    }
+
+    /// Final protocol state of every node.
+    #[must_use]
+    pub fn final_states(&self) -> &[ProtocolState] {
+        &self.final_states
+    }
+
+    /// Healthy (non-fault-injected) nodes that ever froze — the paper's
+    /// propagation criterion.
+    #[must_use]
+    pub fn healthy_frozen(&self) -> &[NodeId] {
+        &self.healthy_frozen
+    }
+
+    /// Nodes the fault plan targeted.
+    #[must_use]
+    pub fn faulty_nodes(&self) -> &[NodeId] {
+        &self.faulty_nodes
+    }
+
+    /// First absolute slot at which every healthy node was integrated
+    /// (active or passive), if that ever happened.
+    #[must_use]
+    pub fn startup_slot(&self) -> Option<u64> {
+        self.startup_slot
+    }
+
+    /// Whether the cluster ever fully started (all healthy nodes
+    /// integrated).
+    #[must_use]
+    pub fn cluster_started(&self) -> bool {
+        self.startup_slot.is_some()
+    }
+
+    /// Healthy nodes that ended the run integrated.
+    #[must_use]
+    pub fn integrated_at_end(&self) -> usize {
+        self.final_states
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                s.is_integrated() && !self.faulty_nodes.contains(&NodeId::new(*i as u8))
+            })
+            .count()
+    }
+
+    /// The run's event log.
+    #[must_use]
+    pub fn log(&self) -> &SlotLog {
+        &self.log
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "simulation of {} slots:", self.slots_run)?;
+        for (i, state) in self.final_states.iter().enumerate() {
+            let node = NodeId::new(i as u8);
+            let tag = if self.faulty_nodes.contains(&node) {
+                " (fault-injected)"
+            } else {
+                ""
+            };
+            writeln!(f, "  {node}: {state}{tag}")?;
+        }
+        match self.startup_slot {
+            Some(slot) => writeln!(f, "  cluster up at slot {slot}")?,
+            None => writeln!(f, "  cluster never fully started")?,
+        }
+        if !self.healthy_frozen.is_empty() {
+            write!(f, "  healthy nodes frozen:")?;
+            for n in &self.healthy_frozen {
+                write!(f, " {n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport::new(
+            100,
+            vec![
+                ProtocolState::Active,
+                ProtocolState::Freeze,
+                ProtocolState::Active,
+                ProtocolState::Freeze,
+            ],
+            vec![NodeId::new(1)],
+            vec![NodeId::new(3)],
+            Some(17),
+            SlotLog::new(),
+        )
+    }
+
+    #[test]
+    fn accessors_expose_outcome() {
+        let r = report();
+        assert_eq!(r.slots_run(), 100);
+        assert!(r.cluster_started());
+        assert_eq!(r.startup_slot(), Some(17));
+        assert_eq!(r.healthy_frozen(), [NodeId::new(1)]);
+    }
+
+    #[test]
+    fn integrated_at_end_excludes_faulty_nodes() {
+        // Nodes 0 and 2 are active; node 3 is faulty and frozen.
+        assert_eq!(report().integrated_at_end(), 2);
+    }
+
+    #[test]
+    fn display_flags_fault_injected_nodes() {
+        let s = report().to_string();
+        assert!(s.contains("D: freeze (fault-injected)"));
+        assert!(s.contains("healthy nodes frozen: B"));
+        assert!(s.contains("cluster up at slot 17"));
+    }
+}

@@ -1,0 +1,895 @@
+//! The slot-synchronous simulation engine.
+//!
+//! ## How faults propagate here (and why)
+//!
+//! The simulator enriches the formal model with the two mechanisms the
+//! motivating fault-injection study (Ademaj et al., DSN'03) depends on:
+//!
+//! * **Per-receiver SOS judgment.** A transmission may carry a
+//!   slightly-off-specification defect; every receiver accepts or rejects
+//!   it according to its own hardware tolerance, so marginal frames split
+//!   the receivers.
+//! * **Membership agreement.** Explicit-C-state frames carry the sender's
+//!   membership vector. A receiver judges such a frame *correct* only if
+//!   its claimed position matches **and** the attached membership equals
+//!   the receiver's own view extended with the sender (TTP/C's implicit
+//!   acknowledgment). A frame that fails the membership comparison is
+//!   delivered to that receiver as a frame claiming a wrong position —
+//!   which is exactly the abstraction the formal model uses for C-state
+//!   disagreement.
+//!
+//! Together these reproduce the bus topology's failure chain: an SOS
+//! frame splits the receivers → their membership vectors diverge → each
+//! side judges the other side's subsequent frames incorrect → the
+//! minority clique freezes healthy nodes. A central guardian with
+//! reshaping authority repairs the defect before receivers see it and the
+//! chain never starts.
+
+use crate::inject::{FaultPlan, NodeFaultKind};
+use crate::log::{SlotEvent, SlotLog};
+use crate::report::SimReport;
+use crate::topology::Topology;
+use tta_guardian::local::LocalGuardianFault;
+use tta_guardian::sos::{ReceiverTolerance, SosDefect};
+use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_protocol::membership::MembershipService;
+use tta_protocol::{
+    ChannelObservation, ChannelView, Controller, DelayedStartPolicy, HostChoices, Judgment,
+    ProtocolState, SendIntent,
+};
+use tta_types::{FrameKind, MembershipVector, NodeId};
+
+/// A transmission travelling through guardians and couplers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Transmission {
+    sender: NodeId,
+    kind: FrameKind,
+    id: u16,
+    defect: Option<SosDefect>,
+    membership: Option<MembershipVector>,
+}
+
+/// What one channel carries after merging and coupler faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ChannelContent {
+    Silence,
+    Noise,
+    Frame(Transmission),
+}
+
+/// Builder for [`Simulation`].
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    nodes: usize,
+    topology: Topology,
+    authority: CouplerAuthority,
+    slots: u64,
+    start_delays: Vec<u32>,
+    tolerances: Vec<ReceiverTolerance>,
+    plan: FaultPlan,
+}
+
+impl SimBuilder {
+    /// Starts a builder for a cluster of `nodes` nodes.
+    ///
+    /// Defaults: star topology, small-shifting authority, 400 slots,
+    /// staggered start delays `0, 3, 6, …`, and heterogeneous receiver
+    /// tolerances spread around the nominal 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is not in `2..=16`.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!((2..=16).contains(&nodes), "simulator supports 2..=16 nodes");
+        let start_delays = (0..nodes).map(|i| 3 * i as u32).collect();
+        let tolerances = (0..nodes)
+            .map(|i| {
+                let spread = if nodes > 1 {
+                    0.2 * (i as f64 / (nodes - 1) as f64) - 0.1
+                } else {
+                    0.0
+                };
+                ReceiverTolerance::new(0.5 + spread, 0.5 + spread)
+            })
+            .collect();
+        SimBuilder {
+            nodes,
+            topology: Topology::Star,
+            authority: CouplerAuthority::SmallShifting,
+            slots: 400,
+            start_delays,
+            tolerances,
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// Selects the interconnect topology.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Sets the central guardians' authority (ignored for the bus
+    /// topology, whose local guardians have fixed capabilities).
+    #[must_use]
+    pub fn authority(mut self, authority: CouplerAuthority) -> Self {
+        self.authority = authority;
+        self
+    }
+
+    /// Number of slots to run.
+    #[must_use]
+    pub fn slots(mut self, slots: u64) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Per-node startup delays in slots.
+    #[must_use]
+    pub fn start_delays(mut self, delays: Vec<u32>) -> Self {
+        self.start_delays = delays;
+        self
+    }
+
+    /// Per-node receiver tolerances.
+    #[must_use]
+    pub fn tolerances(mut self, tolerances: Vec<ReceiverTolerance>) -> Self {
+        self.tolerances = tolerances;
+        self
+    }
+
+    /// The fault plan to inject.
+    #[must_use]
+    pub fn plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tolerances/delays were supplied with the wrong arity.
+    #[must_use]
+    pub fn build(self) -> Simulation {
+        assert_eq!(self.tolerances.len(), self.nodes, "one tolerance per node");
+        assert_eq!(self.start_delays.len(), self.nodes, "one delay per node");
+        let slots_per_round = self.nodes as u16;
+        Simulation {
+            controllers: NodeId::first(self.nodes)
+                .map(|id| Controller::new(id, slots_per_round))
+                .collect(),
+            memberships: vec![MembershipService::new(self.nodes, 1); self.nodes],
+            policy: DelayedStartPolicy::new(self.start_delays),
+            choices: HostChoices::checking(),
+            topology: self.topology,
+            authority: self.authority,
+            slots: self.slots,
+            tolerances: self.tolerances,
+            plan: self.plan,
+            buffers: [None, None],
+            last_admitted: vec![None; self.nodes],
+            t: 0,
+            log: SlotLog::new(),
+            healthy_frozen: Vec::new(),
+            startup_slot: None,
+        }
+    }
+}
+
+/// A running simulation.
+#[derive(Debug)]
+pub struct Simulation {
+    controllers: Vec<Controller>,
+    memberships: Vec<MembershipService>,
+    policy: DelayedStartPolicy,
+    choices: HostChoices,
+    topology: Topology,
+    authority: CouplerAuthority,
+    slots: u64,
+    tolerances: Vec<ReceiverTolerance>,
+    plan: FaultPlan,
+    buffers: [Option<Transmission>; 2],
+    last_admitted: Vec<Option<u64>>,
+    t: u64,
+    log: SlotLog,
+    healthy_frozen: Vec<NodeId>,
+    startup_slot: Option<u64>,
+}
+
+impl Simulation {
+    fn slots_per_round(&self) -> u64 {
+        self.controllers.len() as u64
+    }
+
+    /// Current absolute slot.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    /// Current controller states.
+    #[must_use]
+    pub fn controllers(&self) -> &[Controller] {
+        &self.controllers
+    }
+
+    /// Runs to the configured horizon and reports.
+    #[must_use]
+    pub fn run(mut self) -> SimReport {
+        while self.t < self.slots {
+            self.step();
+        }
+        let final_states = self.controllers.iter().map(Controller::protocol_state).collect();
+        SimReport::new(
+            self.slots,
+            final_states,
+            self.healthy_frozen,
+            self.plan.faulty_nodes(),
+            self.startup_slot,
+            self.log,
+        )
+    }
+
+    /// Executes one TDMA slot.
+    pub fn step(&mut self) {
+        let t = self.t;
+
+        // 1. Transmission intents, with node faults applied.
+        let transmissions: Vec<Transmission> = (0..self.controllers.len())
+            .filter_map(|i| self.transmission_of(NodeId::new(i as u8), t))
+            .collect();
+
+        // 2. Guardian filtering (rate limiting, content checks, reshaping).
+        let mut admitted = Vec::new();
+        for tx in transmissions {
+            if let Some(passed) = self.guard(tx, t) {
+                self.last_admitted[passed.sender.as_usize()] = Some(t);
+                admitted.push(passed);
+            }
+        }
+
+        // 3. Merge onto the two channels and apply coupler faults.
+        let merged = match admitted.len() {
+            0 => ChannelContent::Silence,
+            1 => ChannelContent::Frame(admitted[0]),
+            _ => ChannelContent::Noise,
+        };
+        let channels = [self.couple(merged, 0, t), self.couple(merged, 1, t)];
+
+        // 4. SOS disagreement accounting (per defective frame, once).
+        self.log_sos_disagreement(&channels, t);
+
+        // 5. Per-receiver observation and controller stepping.
+        let before: Vec<Controller> = self.controllers.clone();
+        for i in 0..self.controllers.len() {
+            let receiver = NodeId::new(i as u8);
+            let view = ChannelView::new(
+                self.observe(receiver, channels[0]),
+                self.observe(receiver, channels[1]),
+            );
+            self.update_membership(receiver, &channels, &view);
+            let next = self.controllers[i].step(&view, &self.choices, &mut self.policy);
+            if std::env::var_os("TTASIM_DEBUG").is_some() {
+                eprintln!(
+                    "t={t} {} view={view} members={} -> {next}",
+                    self.controllers[i],
+                    self.memberships[i].members()
+                );
+            }
+            self.controllers[i] = next;
+        }
+
+        // 6. Post-step bookkeeping: integration adoption, logging, monitors.
+        for i in 0..self.controllers.len() {
+            let node = NodeId::new(i as u8);
+            let (prev, next) = (before[i], self.controllers[i]);
+            if prev.protocol_state() != next.protocol_state() {
+                self.log.record(
+                    t,
+                    SlotEvent::StateChange {
+                        node,
+                        from: prev.protocol_state(),
+                        to: next.protocol_state(),
+                    },
+                );
+                // A listener that integrated adopts the membership carried
+                // by the frame it integrated on.
+                if prev.protocol_state() == ProtocolState::Listen
+                    && next.protocol_state() == ProtocolState::Passive
+                {
+                    if let Some(adopted) = adopted_membership(&channels) {
+                        let mut svc = MembershipService::new(self.controllers.len(), 1);
+                        for member in adopted.iter() {
+                            svc.record(member, Judgment::Correct);
+                        }
+                        self.memberships[i] = svc;
+                    }
+                }
+                if prev.is_integrated()
+                    && next.protocol_state() == ProtocolState::Freeze
+                    && !self.plan.faulty_nodes().contains(&node)
+                {
+                    self.healthy_frozen.push(node);
+                    self.log.record(t, SlotEvent::HealthyNodeFroze { node });
+                }
+            }
+        }
+
+        // 7. Startup detection.
+        if self.startup_slot.is_none() {
+            let faulty = self.plan.faulty_nodes();
+            let all_up = self
+                .controllers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !faulty.contains(&NodeId::new(*i as u8)))
+                .all(|(_, c)| c.is_integrated());
+            if all_up {
+                self.startup_slot = Some(t);
+            }
+        }
+
+        self.t += 1;
+    }
+
+    /// The transmission a node attempts this slot, after node faults.
+    fn transmission_of(&mut self, node: NodeId, t: u64) -> Option<Transmission> {
+        let controller = &self.controllers[node.as_usize()];
+        let honest = match controller.send_intent() {
+            SendIntent::Silent => None,
+            SendIntent::ColdStart { id } => Some(Transmission {
+                sender: node,
+                kind: FrameKind::ColdStart,
+                id,
+                defect: None,
+                membership: None,
+            }),
+            SendIntent::CStateFrame { id } => Some(Transmission {
+                sender: node,
+                kind: FrameKind::CState,
+                id,
+                defect: None,
+                membership: Some(self.own_view_with_self(node)),
+            }),
+        };
+        let fault = self.plan.node_fault_at(node, t).copied();
+        let tx = match fault.map(|f| f.kind) {
+            None => honest,
+            Some(NodeFaultKind::Mute) => None,
+            Some(NodeFaultKind::Sos { domain, magnitude }) => honest.map(|mut tx| {
+                tx.defect = Some(SosDefect::new(domain, magnitude));
+                tx
+            }),
+            // Content faults transmit at cold-start cadence (once per
+            // round) — a masquerader mimics protocol timing; only its
+            // claimed identity/state is wrong. Continuous transmission
+            // would be babbling and be starved by the guardians' silence
+            // gap instead.
+            Some(NodeFaultKind::MasqueradeColdStart { claimed_slot }) => {
+                let fault = fault.expect("fault is active");
+                ((t - fault.from_slot) % self.slots_per_round() == 0).then_some(Transmission {
+                    sender: node,
+                    kind: FrameKind::ColdStart,
+                    id: claimed_slot,
+                    defect: None,
+                    membership: None,
+                })
+            }
+            Some(NodeFaultKind::InvalidCState { claimed_slot }) => {
+                let fault = fault.expect("fault is active");
+                ((t - fault.from_slot) % self.slots_per_round() == 0).then_some(Transmission {
+                    sender: node,
+                    kind: FrameKind::CState,
+                    id: claimed_slot,
+                    defect: None,
+                    membership: Some(self.own_view_with_self(node)),
+                })
+            }
+            Some(NodeFaultKind::Babbling) => Some(Transmission {
+                sender: node,
+                kind: FrameKind::Bad,
+                id: 0,
+                defect: None,
+                membership: None,
+            }),
+        };
+        if tx.is_some() {
+            // A transmitting node acknowledges itself.
+            self.memberships[node.as_usize()].record(node, Judgment::Correct);
+        }
+        tx
+    }
+
+    fn own_view_with_self(&self, node: NodeId) -> MembershipVector {
+        let mut members = self.memberships[node.as_usize()].members();
+        members.insert(node);
+        members
+    }
+
+    /// Guardian filtering: rate limiting (all healthy guardians), content
+    /// checks and signal reshaping (central guardians only).
+    fn guard(&mut self, tx: Transmission, t: u64) -> Option<Transmission> {
+        let local_fault = match self.topology {
+            Topology::Bus => self.plan.guardian_fault_at(tx.sender, t),
+            Topology::Star => LocalGuardianFault::None,
+        };
+        if local_fault == LocalGuardianFault::StuckClosed {
+            return None;
+        }
+        let guardian_enforces = local_fault != LocalGuardianFault::StuckOpen;
+
+        // Minimum-silence-gap enforcement: a port earns bus access only
+        // after a full round of silence since its last *activity* —
+        // attempts made while blocked reset the gap. Both local and
+        // central guardians can enforce this without a global time base,
+        // and it starves a babbling idiot completely after its first
+        // grant (continuous activity never satisfies the gap).
+        if guardian_enforces {
+            if let Some(last) = self.last_admitted[tx.sender.as_usize()] {
+                if t.saturating_sub(last) < self.slots_per_round() {
+                    self.last_admitted[tx.sender.as_usize()] = Some(t);
+                    return None;
+                }
+            }
+        }
+
+        if self.topology.is_central() {
+            // Semantic analysis: a frame claiming a slot position must
+            // arrive on the port of that slot's owner. This works even
+            // before synchronization because the guardian knows which
+            // physical port the transmission entered.
+            if self.authority.can_block()
+                && matches!(tx.kind, FrameKind::ColdStart | FrameKind::CState)
+                && tx.id != u16::from(tx.sender.index()) + 1
+            {
+                self.log.record(
+                    t,
+                    SlotEvent::GuardianBlocked {
+                        node: tx.sender,
+                        reason: format!(
+                            "{} frame claims slot {} on {}'s port",
+                            tx.kind, tx.id, tx.sender
+                        ),
+                    },
+                );
+                return None;
+            }
+            // Active signal reshaping of SOS defects.
+            if let Some(defect) = tx.defect {
+                let can_fix = match defect.domain() {
+                    tta_guardian::sos::SosDomain::Value => self.authority.can_block(),
+                    tta_guardian::sos::SosDomain::Time => self.authority.can_shift_small(),
+                };
+                if can_fix {
+                    self.log.record(t, SlotEvent::GuardianReshaped { node: tx.sender });
+                    return Some(Transmission { defect: None, ..tx });
+                }
+            }
+        }
+        Some(tx)
+    }
+
+    /// Applies the coupler fault for `channel` and maintains its replay
+    /// buffer.
+    fn couple(&mut self, content: ChannelContent, channel: usize, t: u64) -> ChannelContent {
+        let mode = self.plan.coupler_fault_at(channel, t);
+        let out = match mode {
+            CouplerFaultMode::None => content,
+            CouplerFaultMode::Silence => ChannelContent::Silence,
+            CouplerFaultMode::BadFrame => ChannelContent::Noise,
+            CouplerFaultMode::OutOfSlot => {
+                assert!(
+                    self.topology.is_central() && self.authority.can_buffer_full_frames(),
+                    "out_of_slot coupler faults require a full-shifting star coupler"
+                );
+                self.log.record(t, SlotEvent::CouplerReplay { channel });
+                self.buffers[channel].map_or(ChannelContent::Silence, ChannelContent::Frame)
+            }
+        };
+        if self.topology.is_central() && self.authority.can_buffer_full_frames() {
+            if let ChannelContent::Frame(tx) = out {
+                if tx.kind != FrameKind::Bad {
+                    self.buffers[channel] = Some(tx);
+                }
+            }
+        }
+        out
+    }
+
+    fn log_sos_disagreement(&mut self, channels: &[ChannelContent; 2], t: u64) {
+        // One defective frame can appear on both channels; report once.
+        let defective = channels.iter().find_map(|c| match c {
+            ChannelContent::Frame(tx) if tx.defect.is_some() => Some(*tx),
+            _ => None,
+        });
+        if let Some(tx) = defective {
+            let defect = tx.defect.expect("filtered for defects");
+            let (mut accepted, mut rejected) = (0, 0);
+            for (i, tol) in self.tolerances.iter().enumerate() {
+                if NodeId::new(i as u8) == tx.sender {
+                    continue;
+                }
+                if tol.accepts(Some(&defect)) {
+                    accepted += 1;
+                } else {
+                    rejected += 1;
+                }
+            }
+            if accepted > 0 && rejected > 0 {
+                self.log.record(
+                    t,
+                    SlotEvent::SosDisagreement {
+                        sender: tx.sender,
+                        accepted,
+                        rejected,
+                    },
+                );
+            }
+        }
+    }
+
+    /// What `receiver` sees on a channel carrying `content`.
+    fn observe(&self, receiver: NodeId, content: ChannelContent) -> ChannelObservation {
+        match content {
+            ChannelContent::Silence => ChannelObservation::silence(),
+            ChannelContent::Noise => ChannelObservation::bad(),
+            ChannelContent::Frame(tx) => {
+                if tx.kind == FrameKind::Bad {
+                    // Babbled garbage is noise to every receiver.
+                    return ChannelObservation::bad();
+                }
+                if tx.sender == receiver {
+                    // The sender drives the bus; its controller ignores
+                    // the view in its own slot.
+                    return ChannelObservation::frame(tx.kind, tx.id);
+                }
+                // SOS: the receiver's tolerance decides validity.
+                if !self.tolerances[receiver.as_usize()].accepts(tx.defect.as_ref()) {
+                    return ChannelObservation::bad();
+                }
+                // Membership agreement (explicit C-state frames): a
+                // mismatch makes the frame *incorrect* for this receiver,
+                // which the position abstraction expresses as a wrong
+                // claimed slot. Only receivers with a synchronized state
+                // of their own can perform this check — integrating nodes
+                // cannot recognize a bad C-state (the paper's Section 2.2
+                // integration hazard) and must take the frame at face
+                // value.
+                if tx.kind == FrameKind::CState
+                    && self.controllers[receiver.as_usize()]
+                        .protocol_state()
+                        .keeps_slot_counter()
+                {
+                    if let Some(attached) = tx.membership {
+                        let mut expected = self.memberships[receiver.as_usize()].members();
+                        expected.insert(tx.sender);
+                        expected.insert(receiver);
+                        let mut attached_cmp = attached;
+                        attached_cmp.insert(receiver);
+                        if attached_cmp != expected {
+                            let believed = self.controllers[receiver.as_usize()]
+                                .slot()
+                                .map_or(tx.id, |s| s.get());
+                            let wrong = (believed % self.controllers.len() as u16) + 1;
+                            let wrong = if wrong == tx.id && wrong == believed {
+                                (wrong % self.controllers.len() as u16) + 1
+                            } else {
+                                wrong
+                            };
+                            // Deliver an id that the receiver judges
+                            // incorrect: anything differing from its own
+                            // believed slot.
+                            let delivered = if tx.id != believed { tx.id } else { wrong };
+                            return ChannelObservation::frame(FrameKind::CState, delivered.max(1));
+                        }
+                    }
+                }
+                ChannelObservation::frame(tx.kind, tx.id)
+            }
+        }
+    }
+
+    /// Membership bookkeeping for one receiver after observing the slot.
+    fn update_membership(
+        &mut self,
+        receiver: NodeId,
+        channels: &[ChannelContent; 2],
+        view: &ChannelView,
+    ) {
+        let Some(believed) = self.controllers[receiver.as_usize()].slot() else {
+            return; // listeners adopt membership at integration instead
+        };
+        // Identify the claimed sender, if any valid frame is present.
+        let claimed: Option<NodeId> = channels.iter().find_map(|c| match c {
+            ChannelContent::Frame(tx) if tx.sender != receiver => {
+                Some(NodeId::new((tx.id.max(1) - 1) as u8 % self.controllers.len() as u8))
+            }
+            _ => None,
+        });
+        match view.joint_judgment(believed.get()) {
+            Judgment::Correct => {
+                if let Some(sender) = claimed {
+                    self.memberships[receiver.as_usize()].record(sender, Judgment::Correct);
+                }
+            }
+            Judgment::Incorrect => {
+                if let Some(sender) = claimed {
+                    self.memberships[receiver.as_usize()].record(sender, Judgment::Incorrect);
+                }
+            }
+            Judgment::Invalid => {
+                // Noise: the expected sender of this slot takes the blame.
+                let expected = NodeId::new((believed.get() - 1) as u8);
+                if expected != receiver {
+                    self.memberships[receiver.as_usize()].record(expected, Judgment::Invalid);
+                }
+            }
+            Judgment::Null => {
+                let expected = NodeId::new((believed.get() - 1) as u8);
+                if expected != receiver {
+                    self.memberships[receiver.as_usize()].record(expected, Judgment::Null);
+                }
+            }
+        }
+    }
+}
+
+/// Membership a fresh integrator adopts from the frame on the channel.
+fn adopted_membership(channels: &[ChannelContent; 2]) -> Option<MembershipVector> {
+    channels.iter().find_map(|c| match c {
+        ChannelContent::Frame(tx) => {
+            let mut members = tx.membership.unwrap_or_default();
+            members.insert(tx.sender);
+            Some(members)
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{CouplerFaultEvent, NodeFault};
+
+    fn golden(topology: Topology, authority: CouplerAuthority) -> SimReport {
+        SimBuilder::new(4)
+            .topology(topology)
+            .authority(authority)
+            .slots(300)
+            .plan(FaultPlan::none())
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn fault_free_star_cluster_starts_up() {
+        let report = golden(Topology::Star, CouplerAuthority::SmallShifting);
+        assert!(report.cluster_started(), "cluster must start: {report}");
+        assert!(report.healthy_frozen().is_empty());
+        assert_eq!(report.integrated_at_end(), 4);
+    }
+
+    #[test]
+    fn fault_free_bus_cluster_starts_up() {
+        let report = golden(Topology::Bus, CouplerAuthority::Passive);
+        assert!(report.cluster_started(), "cluster must start: {report}");
+        assert!(report.healthy_frozen().is_empty());
+    }
+
+    #[test]
+    fn all_authorities_support_fault_free_startup() {
+        for authority in CouplerAuthority::all() {
+            let report = golden(Topology::Star, authority);
+            assert!(report.cluster_started(), "{authority}: {report}");
+        }
+    }
+
+    #[test]
+    fn sos_fault_splits_bus_receivers() {
+        // A value-domain SOS sender on the bus: tolerances straddle the
+        // defect magnitude, receivers disagree, membership diverges.
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Sos {
+                domain: tta_guardian::sos::SosDomain::Value,
+                magnitude: 0.5,
+            },
+            from_slot: 60,
+            to_slot: 300,
+        });
+        let report = SimBuilder::new(4)
+            .topology(Topology::Bus)
+            .slots(300)
+            .plan(plan)
+            .build()
+            .run();
+        let disagreements = report
+            .log()
+            .count(|e| matches!(e, SlotEvent::SosDisagreement { .. }));
+        assert!(disagreements > 0, "receivers must disagree: {report}");
+        assert!(
+            !report.healthy_frozen().is_empty(),
+            "SOS on the bus must freeze a healthy node: {report}"
+        );
+    }
+
+    #[test]
+    fn central_guardian_reshapes_sos_away() {
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Sos {
+                domain: tta_guardian::sos::SosDomain::Value,
+                magnitude: 0.5,
+            },
+            from_slot: 60,
+            to_slot: 300,
+        });
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::SmallShifting)
+            .slots(300)
+            .plan(plan)
+            .build()
+            .run();
+        assert!(report.healthy_frozen().is_empty(), "{report}");
+        assert!(report.log().count(|e| matches!(e, SlotEvent::GuardianReshaped { .. })) > 0);
+        assert!(report.log().count(|e| matches!(e, SlotEvent::SosDisagreement { .. })) == 0);
+    }
+
+    #[test]
+    fn masquerading_cold_start_disturbs_bus_startup() {
+        // The faulty node claims someone else's round slot during startup.
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(3),
+            kind: NodeFaultKind::MasqueradeColdStart { claimed_slot: 2 },
+            from_slot: 0,
+            to_slot: 300,
+        });
+        let bus = SimBuilder::new(4)
+            .topology(Topology::Bus)
+            .slots(300)
+            .plan(plan.clone())
+            .build()
+            .run();
+        let star = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::TimeWindows)
+            .slots(300)
+            .plan(plan)
+            .build()
+            .run();
+        // The star guardian blocks every masqueraded frame at the port;
+        // the bus has no component that can (local guardians cannot read
+        // content). Whether the delivered bogus frames end up freezing a
+        // node on the bus depends on startup timing — the statistical
+        // comparison lives in the campaign tests; here we pin the
+        // deterministic mechanism.
+        assert!(star.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })) > 0);
+        assert!(star.cluster_started(), "star contains the masquerade: {star}");
+        assert!(star.healthy_frozen().is_empty());
+        assert_eq!(
+            bus.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })),
+            0,
+            "local guardians cannot block content faults: {bus}"
+        );
+    }
+
+    #[test]
+    fn invalid_cstate_is_blocked_centrally() {
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(2),
+            kind: NodeFaultKind::InvalidCState { claimed_slot: 1 },
+            from_slot: 0,
+            to_slot: 400,
+        });
+        let star = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::TimeWindows)
+            .slots(400)
+            .plan(plan)
+            .build()
+            .run();
+        assert!(star.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })) > 0);
+        assert!(star.healthy_frozen().is_empty(), "{star}");
+        assert!(star.cluster_started(), "{star}");
+    }
+
+    #[test]
+    fn coupler_replay_freezes_healthy_node_in_full_shifting_star() {
+        // The paper's headline fault, executed: while nodes are still
+        // integrating, replay buffered frames out of slot on channel 0.
+        let plan = FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+            channel: 0,
+            mode: CouplerFaultMode::OutOfSlot,
+            from_slot: 12,
+            to_slot: 340,
+        });
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::FullShifting)
+            .slots(400)
+            .plan(plan)
+            .build()
+            .run();
+        assert!(report.log().count(|e| matches!(e, SlotEvent::CouplerReplay { .. })) > 0);
+        // A replayed frame is valid but stale: receivers in the listen
+        // state integrate on it / integrated ones count failures.
+        assert!(
+            !report.healthy_frozen().is_empty() || !report.cluster_started(),
+            "replay must disturb the cluster: {report}"
+        );
+    }
+
+    #[test]
+    fn silence_and_noise_coupler_faults_are_tolerated() {
+        // Passive channel faults on one channel: the redundant channel
+        // carries the traffic; nobody freezes (the formal model's E1, run
+        // as a simulation).
+        for mode in [CouplerFaultMode::Silence, CouplerFaultMode::BadFrame] {
+            let plan = FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
+                channel: 0,
+                mode,
+                from_slot: 0,
+                to_slot: 400,
+            });
+            let report = SimBuilder::new(4)
+                .topology(Topology::Star)
+                .authority(CouplerAuthority::SmallShifting)
+                .slots(400)
+                .plan(plan)
+                .build()
+                .run();
+            assert!(report.cluster_started(), "{mode:?}: {report}");
+            assert!(report.healthy_frozen().is_empty(), "{mode:?}: {report}");
+        }
+    }
+
+    #[test]
+    fn babbling_is_rate_limited_by_guardians() {
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(1),
+            kind: NodeFaultKind::Babbling,
+            from_slot: 0,
+            to_slot: 400,
+        });
+        for topology in [Topology::Bus, Topology::Star] {
+            let report = SimBuilder::new(4)
+                .topology(topology)
+                .authority(CouplerAuthority::TimeWindows)
+                .slots(400)
+                .plan(plan.clone())
+                .build()
+                .run();
+            assert!(report.cluster_started(), "{topology}: {report}");
+            assert!(report.healthy_frozen().is_empty(), "{topology}: {report}");
+        }
+    }
+
+    #[test]
+    fn mute_node_does_not_disturb_the_others() {
+        let plan = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(2),
+            kind: NodeFaultKind::Mute,
+            from_slot: 0,
+            to_slot: 400,
+        });
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::SmallShifting)
+            .slots(400)
+            .plan(plan)
+            .build()
+            .run();
+        assert!(report.healthy_frozen().is_empty(), "{report}");
+        assert!(report.cluster_started(), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2..=16")]
+    fn tiny_clusters_are_rejected() {
+        let _ = SimBuilder::new(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Frame-size and line-encoding constants from the TTP/C specifications as
+//! cited in Section 6 of the paper.
+//!
+//! The buffer-size analysis plugs these published constants — not sizes
+//! derived from this crate's own codec — into equations (1)–(10), so they
+//! are kept verbatim here with their provenance.
+
+/// Bits of line-encoding overhead `le` the paper assumes (start-of-frame
+/// detection before payload bits can be forwarded).
+pub const LINE_ENCODING_BITS: u32 = 4;
+
+/// Shortest TTP/C frame: an N-frame with no application data and implicit
+/// CRC — 4 bits mode change request + frame type, 24 bits CRC.
+/// (TTP/C Bus-Compatibility Specification, cited as f_min = 28 in eq. (6).)
+pub const N_FRAME_MIN_BITS: u32 = 28;
+
+/// Minimum cold-start frame as stated by the paper: "40 bits (1 bit for
+/// the frame type, 16 bits for the global time, 9 bits for the round-slot
+/// position, and 24 bits for the CRC)".
+///
+/// Note: the paper's own field list sums to 50 bits; we preserve the
+/// *stated* constant because the analysis uses it, and expose the field
+/// sum separately as [`COLD_START_FIELD_SUM_BITS`].
+pub const COLD_START_MIN_BITS: u32 = 40;
+
+/// Sum of the cold-start field widths the paper lists (1 + 16 + 9 + 24).
+/// Documented discrepancy with [`COLD_START_MIN_BITS`]; see DESIGN.md.
+pub const COLD_START_FIELD_SUM_BITS: u32 = 1 + 16 + 9 + 24;
+
+/// Minimum frame with explicit C-state: an I-frame with 48 bits (4 bits
+/// mode change request + frame type, 16 bits global time, 16 bits MEDL
+/// position, 16 bits membership... as stated the paper's fields sum to 76;
+/// the paper's stated minimum explicit-C-state frame is 48 bits).
+///
+/// The paper gives two I-frame numbers: 48 bits as "the minimum frame with
+/// explicit C-state" and 76 bits as "the largest frame required for
+/// protocol operation". Both are preserved.
+pub const I_FRAME_MIN_BITS: u32 = 48;
+
+/// I-frame size used as the smallest possible f_max in eq. (8): 76 bits
+/// (4 MCR+type, 16 global time, 16 MEDL position, 16 membership, 24 CRC).
+pub const I_FRAME_PROTOCOL_BITS: u32 = 76;
+
+/// Longest allowable TTP/C frame: an X-frame with 2076 bits (4 bits mode
+/// change request + frame type, 96 bits C-state, 1920 data bits, 48 bits
+/// for two CRCs, 8 bits CRC padding). Used in eq. (9).
+pub const X_FRAME_MAX_BITS: u32 = 2076;
+
+/// Maximum application data bits in an X-frame (1920 = 240 bytes).
+pub const X_FRAME_DATA_BITS: u32 = 1920;
+
+/// Width of the explicit C-state in an X-frame (96 bits).
+pub const C_STATE_BITS: u32 = 96;
+
+/// Width of the TTP/C frame CRC.
+pub const CRC_BITS: u32 = 24;
+
+/// Typical commodity crystal oscillator tolerance the paper assumes
+/// (±100 ppm), used to derive ρ = 0.0002 in eq. (5).
+pub const CRYSTAL_TOLERANCE_PPM: f64 = 100.0;
+
+/// Number of member nodes required to tolerate Byzantine faults with fully
+/// independent bus guardians (Section 2.1).
+pub const BYZANTINE_MIN_NODES: usize = 4;
+
+/// Number of independent channels the TTA requires.
+pub const REQUIRED_CHANNELS: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_are_pinned() {
+        // Guard against accidental edits: these exact values appear in the
+        // paper's equations (5)–(9).
+        assert_eq!(N_FRAME_MIN_BITS, 28);
+        assert_eq!(LINE_ENCODING_BITS, 4);
+        assert_eq!(I_FRAME_PROTOCOL_BITS, 76);
+        assert_eq!(X_FRAME_MAX_BITS, 2076);
+        assert_eq!(COLD_START_MIN_BITS, 40);
+        assert_eq!(I_FRAME_MIN_BITS, 48);
+    }
+
+    #[test]
+    fn documented_discrepancy_is_real() {
+        // The paper's stated 40-bit cold-start minimum disagrees with its
+        // own field list; both values are preserved deliberately.
+        assert_eq!(COLD_START_FIELD_SUM_BITS, 50);
+        assert_ne!(COLD_START_MIN_BITS, COLD_START_FIELD_SUM_BITS);
+    }
+
+    #[test]
+    fn x_frame_composition_matches_paper() {
+        assert_eq!(4 + C_STATE_BITS + X_FRAME_DATA_BITS + 2 * CRC_BITS + 8, X_FRAME_MAX_BITS);
+    }
+
+    #[test]
+    fn byzantine_and_channel_requirements() {
+        assert_eq!(BYZANTINE_MIN_NODES, 4);
+        assert_eq!(REQUIRED_CHANNELS, 2);
+    }
+}

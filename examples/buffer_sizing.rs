@@ -1,0 +1,68 @@
+//! Design-space exploration with the Section 6 analysis: given a crystal
+//! tolerance and a frame mix, is a central guardian feasible — and what
+//! frame sizes / clock rates does it permit?
+//!
+//! ```sh
+//! cargo run --release --example buffer_sizing
+//! ```
+
+use tta::analysis::{
+    clock_ratio_limit, max_buffer_bits, max_frame_bits, max_rho, min_buffer_bits,
+    rho_from_crystal_ppm,
+};
+use tta::guardian::buffer::simulate_forwarding;
+use tta::types::constants::{LINE_ENCODING_BITS, N_FRAME_MIN_BITS, X_FRAME_MAX_BITS};
+
+fn main() {
+    let le = LINE_ENCODING_BITS;
+    let f_min = N_FRAME_MIN_BITS;
+
+    println!("## Sizing a central bus guardian's bit buffer\n");
+
+    // 1. A concrete design point: ±100 ppm crystals, full TTP/C frame mix.
+    let rho = rho_from_crystal_ppm(100.0);
+    let b_min = min_buffer_bits(le, rho, X_FRAME_MAX_BITS);
+    let b_max = max_buffer_bits(f_min);
+    println!("design point: ±100 ppm crystals (ρ = {rho:.4}), frames {f_min}..{X_FRAME_MAX_BITS} bits");
+    println!("  required buffer  B_min = le + ρ·f_max = {b_min:.2} bits");
+    println!("  permitted buffer B_max = f_min − 1    = {b_max} bits");
+    println!(
+        "  → feasible: {} (margin {:.1} bits)\n",
+        b_min < f64::from(b_max),
+        f64::from(b_max) - b_min
+    );
+
+    // 2. How far can the frame size grow before the bound binds? (eq. 6)
+    let headline = max_frame_bits(f_min, le, rho).expect("feasible ρ");
+    println!("largest safe frame at this ρ (eq. 6): {headline:.0} bits");
+    let sim = simulate_forwarding(headline.round() as u32, 1.0, 1.0 - rho, le);
+    println!(
+        "  executable check: forwarding such a frame peaks at {} buffered bits (B_max = {b_max})\n",
+        sim.peak_occupancy_bits
+    );
+
+    // 3. Sweep crystal quality: how much clock mismatch can each frame mix take?
+    println!("clock-rate budget per frame mix (eq. 7):");
+    println!("  {:<28} {:>10}", "frame mix", "ρ limit");
+    for (label, f_max) in [
+        ("protocol minimum (76 b)", 76u32),
+        ("CAN-sized payloads (512 b)", 512),
+        ("full X-frames (2076 b)", X_FRAME_MAX_BITS),
+        ("jumbo (10 kb)", 10_000),
+    ] {
+        let limit = max_rho(f_min, f_max, le).expect("feasible");
+        println!("  {label:<28} {:>9.2}%", limit * 100.0);
+    }
+
+    // 4. Mixed-speed links: the Figure 3 ratio limit.
+    println!("\nmixed-speed links (eq. 10): admissible fast:slow clock ratio");
+    println!("  {:<28} {:>10}", "f_min..f_max (bits)", "max ratio");
+    for (f_lo, f_hi) in [(28u32, 76u32), (28, 2076), (128, 128), (512, 2076)] {
+        let ratio = clock_ratio_limit(f_hi, f_lo, le).expect("feasible");
+        println!("  {:<28} {ratio:>9.1}:1", format!("{f_lo}..{f_hi}"));
+    }
+    println!(
+        "\nConclusion (paper Section 6): slow cheap links and fast capable links on one\n\
+         guarded hub are mutually exclusive unless the frame-size range stays narrow."
+    );
+}

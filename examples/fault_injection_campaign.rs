@@ -1,0 +1,81 @@
+//! A compact bus-vs-star fault-injection campaign: which topology
+//! contains which fault class?
+//!
+//! This is the interactive version of `exp_fault_injection`; it runs
+//! fewer trials and prints one concrete failing log so the propagation
+//! mechanism is visible, not just counted.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection_campaign
+//! ```
+
+use tta::guardian::sos::SosDomain;
+use tta::guardian::CouplerAuthority;
+use tta::sim::{
+    Campaign, FaultPlan, NodeFault, NodeFaultKind, Scenario, SimBuilder, SlotEvent, Topology,
+};
+use tta::types::NodeId;
+
+fn main() {
+    // --- 1. Aggregate: propagation rates per topology.
+    println!("## 1. Campaign: SOS sender, 20 trials per topology\n");
+    for (label, topology, authority) in [
+        ("bus / local guardians ", Topology::Bus, CouplerAuthority::Passive),
+        ("star / small shifting ", Topology::Star, CouplerAuthority::SmallShifting),
+    ] {
+        let report = Campaign::new(4, topology, authority)
+            .trials(20)
+            .run(Scenario::SosSender);
+        println!(
+            "  {label}: {:>3.0}% of trials froze a healthy node or broke startup",
+            report.propagation_rate() * 100.0
+        );
+    }
+
+    // --- 2. One concrete bus trial, step by step.
+    println!("\n## 2. Anatomy of one SOS propagation on the bus\n");
+    let plan = FaultPlan::none().with_node_fault(NodeFault {
+        node: NodeId::new(0),
+        kind: NodeFaultKind::Sos {
+            domain: SosDomain::Value,
+            magnitude: 0.5,
+        },
+        from_slot: 60,
+        to_slot: 300,
+    });
+    let report = SimBuilder::new(4)
+        .topology(Topology::Bus)
+        .slots(300)
+        .plan(plan.clone())
+        .build()
+        .run();
+    for (slot, event) in report.log().entries().iter().filter(|(_, e)| {
+        matches!(
+            e,
+            SlotEvent::SosDisagreement { .. } | SlotEvent::HealthyNodeFroze { .. }
+        )
+    }) {
+        println!("  [{slot:>4}] {event}");
+    }
+    println!("\n{report}");
+
+    // --- 3. The same fault against the reshaping star.
+    println!("## 3. The same fault against a small-shifting star coupler\n");
+    let star = SimBuilder::new(4)
+        .topology(Topology::Star)
+        .authority(CouplerAuthority::SmallShifting)
+        .slots(300)
+        .plan(plan)
+        .build()
+        .run();
+    let reshaped = star
+        .log()
+        .count(|e| matches!(e, SlotEvent::GuardianReshaped { .. }));
+    println!("  frames reshaped by the central guardian: {reshaped}");
+    println!("  healthy nodes frozen: {}", star.healthy_frozen().len());
+    assert!(star.healthy_frozen().is_empty());
+    println!(
+        "\nThe guardian repairs the marginal signal before any receiver can disagree\n\
+         about it — the benefit that motivated centralization (paper Section 2.2)."
+    );
+}
