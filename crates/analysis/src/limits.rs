@@ -116,8 +116,7 @@ mod tests {
     #[test]
     fn paper_eq_six_115000_bits() {
         // f_max = (28 − 1 − 4) / 0.0002 = 115,000 bits.
-        let f_max =
-            max_frame_bits(N_FRAME_MIN_BITS, LINE_ENCODING_BITS, 0.0002).unwrap();
+        let f_max = max_frame_bits(N_FRAME_MIN_BITS, LINE_ENCODING_BITS, 0.0002).unwrap();
         assert!((f_max - 115_000.0).abs() < 1e-6);
     }
 
@@ -164,7 +163,10 @@ mod tests {
     fn invalid_rho_is_reported() {
         for bad in [0.0, 1.0, -0.5, f64::NAN] {
             let err = max_frame_bits(28, 4, bad).unwrap_err();
-            assert!(matches!(err, AnalysisError::InvalidParameter { name: "rho", .. }));
+            assert!(matches!(
+                err,
+                AnalysisError::InvalidParameter { name: "rho", .. }
+            ));
         }
     }
 

@@ -30,9 +30,8 @@ pub fn clock_ratio_limit(
             value: f64::from(min_frame_bits),
         });
     }
-    let denominator = f64::from(max_frame_bits) - f64::from(min_frame_bits)
-        + 1.0
-        + f64::from(line_encoding_bits);
+    let denominator =
+        f64::from(max_frame_bits) - f64::from(min_frame_bits) + 1.0 + f64::from(line_encoding_bits);
     Ok(f64::from(max_frame_bits) / denominator)
 }
 

@@ -47,7 +47,9 @@ fn bench_encode_decode(c: &mut Criterion) {
         .data_bits(&data)
         .build()
         .expect("valid frame");
-    group.bench_function("encode_xframe_max", |b| b.iter(|| black_box(xframe.encode())));
+    group.bench_function("encode_xframe_max", |b| {
+        b.iter(|| black_box(xframe.encode()))
+    });
     let bits = xframe.encode();
     group.bench_function("decode_xframe_max", |b| {
         b.iter(|| black_box(decode_frame(&bits).expect("valid bits")));
@@ -68,5 +70,10 @@ fn bench_guardian_forwarding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crc, bench_encode_decode, bench_guardian_forwarding);
+criterion_group!(
+    benches,
+    bench_crc,
+    bench_encode_decode,
+    bench_guardian_forwarding
+);
 criterion_main!(benches);

@@ -6,9 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tta_protocol::{
-    ChannelObservation, ChannelView, Controller, EagerStartPolicy, HostChoices,
-};
+use tta_protocol::{ChannelObservation, ChannelView, Controller, EagerStartPolicy, HostChoices};
 use tta_types::{FrameKind, NodeId};
 
 const SLOTS: u16 = 4;

@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tta_core::{verify_cluster_with, CheckStrategy, ClusterConfig};
+use tta_bench::seed_style_bfs;
+use tta_core::{verify_cluster_with, CheckStrategy, ClusterConfig, ClusterModel};
 use tta_guardian::CouplerAuthority;
 
 fn bench_verification(c: &mut Criterion) {
@@ -58,10 +59,52 @@ fn bench_strategies(c: &mut Criterion) {
         });
     });
     group.bench_function("bounded_dfs_depth20", |b| {
-        b.iter(|| black_box(verify_cluster_with(&config, CheckStrategy::Bounded { depth: 20 })));
+        b.iter(|| {
+            black_box(verify_cluster_with(
+                &config,
+                CheckStrategy::Bounded { depth: 20 },
+            ))
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_verification, bench_trace_generation, bench_strategies);
+fn bench_visited_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visited_set_head_to_head");
+    group.sample_size(10);
+    let config = ClusterConfig::paper(CouplerAuthority::SmallShifting);
+    group.bench_function("seed_mutex_sharded_clone_map", |b| {
+        b.iter(|| black_box(seed_style_bfs(&ClusterModel::new(config))));
+    });
+    group.bench_function("arena_compact_codec", |b| {
+        b.iter(|| black_box(verify_cluster_with(&config, CheckStrategy::Bfs)));
+    });
+    group.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_thread_sweep_small_shifting");
+    group.sample_size(10);
+    let config = ClusterConfig::paper(CouplerAuthority::SmallShifting);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(verify_cluster_with(
+                    &config,
+                    CheckStrategy::ParallelBfs { threads: t },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_verification,
+    bench_trace_generation,
+    bench_strategies,
+    bench_visited_set,
+    bench_parallel_sweep
+);
 criterion_main!(benches);

@@ -13,8 +13,16 @@ fn bench_golden_runs(c: &mut Criterion) {
     group.throughput(Throughput::Elements(SLOTS));
     for (name, topology, authority) in [
         ("bus", Topology::Bus, CouplerAuthority::Passive),
-        ("star_small_shifting", Topology::Star, CouplerAuthority::SmallShifting),
-        ("star_full_shifting", Topology::Star, CouplerAuthority::FullShifting),
+        (
+            "star_small_shifting",
+            Topology::Star,
+            CouplerAuthority::SmallShifting,
+        ),
+        (
+            "star_full_shifting",
+            Topology::Star,
+            CouplerAuthority::FullShifting,
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| {
@@ -61,8 +69,30 @@ fn bench_campaign_trial(c: &mut Criterion) {
             black_box(report)
         });
     });
+    // Worker-count sweep: reports are bit-identical at every count (trial
+    // seeds are derived per index), so this isolates orchestration cost /
+    // scaling. On a single-core host counts above 1 only add overhead.
+    for threads in [1usize, 2, 4] {
+        group.bench_function(
+            format!("sos_campaign_40_trials_bus_threads_{threads}"),
+            |b| {
+                b.iter(|| {
+                    let report = Campaign::new(4, Topology::Bus, CouplerAuthority::Passive)
+                        .trials(40)
+                        .threads(threads)
+                        .run(Scenario::SosSender);
+                    black_box(report)
+                });
+            },
+        );
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_golden_runs, bench_cluster_sizes, bench_campaign_trial);
+criterion_group!(
+    benches,
+    bench_golden_runs,
+    bench_cluster_sizes,
+    bench_campaign_trial
+);
 criterion_main!(benches);

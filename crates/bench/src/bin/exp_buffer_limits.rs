@@ -30,9 +30,7 @@ fn main() {
     let rho = rho_from_crystal_ppm(100.0);
     println!("ρ = 2 × 100 ppm = {rho:.4}");
     let f_max = max_frame_bits(f_min, le, rho).expect("feasible configuration");
-    println!(
-        "f_max = (f_min − 1 − le) / ρ = ({f_min} − 1 − {le}) / {rho:.4} = {f_max:.0} bits"
-    );
+    println!("f_max = (f_min − 1 − le) / ρ = ({f_min} − 1 − {le}) / {rho:.4} = {f_max:.0} bits");
     println!(
         "paper: 115,000 bits — far above the longest allowable TTP/C frame ({X_FRAME_MAX_BITS} bits)."
     );
@@ -85,7 +83,12 @@ fn main() {
         "closed form le+ρ·f",
         "simulated peak occupancy",
     ]);
-    for (f, r) in [(2_076u32, 2e-4), (10_000, 2e-4), (115_000, 2e-4), (10_000, 1e-2)] {
+    for (f, r) in [
+        (2_076u32, 2e-4),
+        (10_000, 2e-4),
+        (115_000, 2e-4),
+        (10_000, 1e-2),
+    ] {
         let sim = simulate_forwarding(f, 1.0, 1.0 - r, le);
         check.row([
             f.to_string(),

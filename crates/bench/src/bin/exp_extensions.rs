@@ -22,7 +22,12 @@ fn main() {
     heading("S2a — enhanced guardian functions vs. the eq. (3) buffer bound");
     let frame = |sender: u8, payload: &[u8]| {
         FrameBuilder::new(FrameClass::XFrame, NodeId::new(sender))
-            .cstate(CState::new(10, u16::from(sender) + 1, 0, MembershipVector::full(4)))
+            .cstate(CState::new(
+                10,
+                u16::from(sender) + 1,
+                0,
+                MembershipVector::full(4),
+            ))
             .data_bits(payload)
             .build()
             .expect("valid frame")
@@ -37,10 +42,19 @@ fn main() {
     relay.enqueue(0x200, frame(1, &[2; 8]));
     relay.enqueue(0x080, frame(2, &[3; 8]));
 
-    let mut table = Table::new(["guardian function", "buffer needed", "permitted (eq. 3)", "verdict"]);
+    let mut table = Table::new([
+        "guardian function",
+        "buffer needed",
+        "permitted (eq. 3)",
+        "verdict",
+    ]);
     for report in [
         audit("stale-value mailboxes (§6)", &mailbox, N_FRAME_MIN_BITS),
-        audit("CAN-emulation priority relay (§6)", &relay, N_FRAME_MIN_BITS),
+        audit(
+            "CAN-emulation priority relay (§6)",
+            &relay,
+            N_FRAME_MIN_BITS,
+        ),
     ] {
         table.row([
             report.function.clone(),
@@ -77,7 +91,11 @@ fn main() {
     println!("\"the underlying issue is not timing, but rather identification.\"\n");
 
     heading("S2c — clock drift, FTA resynchronization, and ρ");
-    let mut table = Table::new(["configuration", "max healthy offset (µt)", "per-round ρ·round (µt)"]);
+    let mut table = Table::new([
+        "configuration",
+        "max healthy offset (µt)",
+        "per-round ρ·round (µt)",
+    ]);
     let base = DriftExperiment::paper_crystals();
     for (label, config) in [
         ("±100 ppm, FTA sync each round", base),

@@ -20,17 +20,58 @@ use tta_sim::{Campaign, Scenario, Topology};
 
 const TRIALS: u32 = 40;
 
+/// `--threads N` pins the campaign worker count; the default follows the
+/// machine's available parallelism. Reports are bit-identical either way
+/// (trial seeds are derived per index, not from a shared stream).
+fn parse_threads() -> Option<usize> {
+    let mut iter = std::env::args().skip(1);
+    let arg = iter.next()?;
+    if arg == "--threads" {
+        if let Some(value) = iter.next().and_then(|v| v.parse().ok()) {
+            if value > 0 && iter.next().is_none() {
+                return Some(value);
+            }
+        }
+        eprintln!("error: --threads needs a single positive integer");
+    } else {
+        eprintln!("error: unknown argument {arg}");
+    }
+    eprintln!("usage: exp_fault_injection [--threads N]");
+    std::process::exit(2);
+}
+
 fn main() {
+    let threads = parse_threads();
     heading("E9 — fault containment: bus (local guardians) vs. star (central guardians)");
     println!("{TRIALS} randomized trials per cell; 4-node cluster, 400 slots per trial.");
     println!("cell format: propagation rate (healthy node frozen or startup failed)\n");
 
     let configs = [
-        ("bus / local guardians", Topology::Bus, CouplerAuthority::Passive),
-        ("star / passive hub", Topology::Star, CouplerAuthority::Passive),
-        ("star / time windows", Topology::Star, CouplerAuthority::TimeWindows),
-        ("star / small shifting", Topology::Star, CouplerAuthority::SmallShifting),
-        ("star / full shifting", Topology::Star, CouplerAuthority::FullShifting),
+        (
+            "bus / local guardians",
+            Topology::Bus,
+            CouplerAuthority::Passive,
+        ),
+        (
+            "star / passive hub",
+            Topology::Star,
+            CouplerAuthority::Passive,
+        ),
+        (
+            "star / time windows",
+            Topology::Star,
+            CouplerAuthority::TimeWindows,
+        ),
+        (
+            "star / small shifting",
+            Topology::Star,
+            CouplerAuthority::SmallShifting,
+        ),
+        (
+            "star / full shifting",
+            Topology::Star,
+            CouplerAuthority::FullShifting,
+        ),
     ];
 
     let mut table = Table::new([
@@ -45,7 +86,10 @@ fn main() {
     for scenario in Scenario::all() {
         let mut row = vec![scenario.to_string()];
         for (_, topology, authority) in configs {
-            let campaign = Campaign::new(4, topology, authority).trials(TRIALS);
+            let mut campaign = Campaign::new(4, topology, authority).trials(TRIALS);
+            if let Some(threads) = threads {
+                campaign = campaign.threads(threads);
+            }
             let report = campaign.run(scenario);
             row.push(if report.applicable() {
                 format!("{:.0}%", report.propagation_rate() * 100.0)

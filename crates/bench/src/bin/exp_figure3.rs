@@ -16,7 +16,12 @@ fn main() {
 
     heading("F3 — clock-ratio limit vs. frame-size range (eq. 10, le = 4)");
 
-    let mut table = Table::new(["f_max (bits)", "f_min (bits)", "range f_max−f_min", "ρmax/ρmin limit"]);
+    let mut table = Table::new([
+        "f_max (bits)",
+        "f_min (bits)",
+        "range f_max−f_min",
+        "ρmax/ρmin limit",
+    ]);
     for point in figure3_series(&[128, 512, X_FRAME_MAX_BITS], N_FRAME_MIN_BITS, 8, le) {
         table.row([
             point.max_frame_bits.to_string(),
@@ -50,23 +55,38 @@ fn ascii_curve(f_max: u32, le: u32) {
     const ROWS: usize = 16;
     let points: Vec<(u32, f64)> = (0..=COLS)
         .map(|i| {
-            let f_min =
-                N_FRAME_MIN_BITS + ((f_max - N_FRAME_MIN_BITS) as usize * i / COLS) as u32;
-            (f_min, clock_ratio_limit(f_max, f_min, le).expect("feasible"))
+            let f_min = N_FRAME_MIN_BITS + ((f_max - N_FRAME_MIN_BITS) as usize * i / COLS) as u32;
+            (
+                f_min,
+                clock_ratio_limit(f_max, f_min, le).expect("feasible"),
+            )
         })
         .collect();
-    let max_log = points.iter().map(|(_, r)| r.log10()).fold(f64::MIN, f64::max);
-    let min_log = points.iter().map(|(_, r)| r.log10()).fold(f64::MAX, f64::min);
+    let max_log = points
+        .iter()
+        .map(|(_, r)| r.log10())
+        .fold(f64::MIN, f64::max);
+    let min_log = points
+        .iter()
+        .map(|(_, r)| r.log10())
+        .fold(f64::MAX, f64::min);
     let mut grid = vec![vec![' '; COLS + 1]; ROWS + 1];
     for (i, (_, ratio)) in points.iter().enumerate() {
         let y = ((ratio.log10() - min_log) / (max_log - min_log) * ROWS as f64).round() as usize;
         grid[ROWS - y][i] = '*';
     }
-    println!("ρmax/ρmin (log scale, {:.2} … {:.1})", 10f64.powf(min_log), 10f64.powf(max_log));
+    println!(
+        "ρmax/ρmin (log scale, {:.2} … {:.1})",
+        10f64.powf(min_log),
+        10f64.powf(max_log)
+    );
     for row in grid {
         let line: String = row.into_iter().collect();
         println!("|{line}");
     }
     println!("+{}", "-".repeat(COLS + 1));
-    println!(" f_min = {}  …  f_min = f_max = {}", N_FRAME_MIN_BITS, f_max);
+    println!(
+        " f_min = {}  …  f_min = f_max = {}",
+        N_FRAME_MIN_BITS, f_max
+    );
 }

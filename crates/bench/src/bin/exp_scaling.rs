@@ -4,24 +4,95 @@
 //! model grow with cluster size and with the replay budget. Not a paper
 //! table (the paper fixes 4 nodes), but it substantiates the paper's
 //! claim that the model is tractable and maps where it stops being so.
+//!
+//! Flags:
+//!
+//! * `--threads N` — run the S1 sweeps with the parallel BFS backend at
+//!   `N` worker threads instead of sequential BFS.
+//! * `--bench-json [PATH]` — skip the tables and instead record a
+//!   machine-readable throughput snapshot (sequential vs. seed-style
+//!   visited set vs. parallel at 1/2/4/8 threads, plus visited-set byte
+//!   accounting) to `PATH` (default `BENCH_modelcheck.json`).
 
 use std::time::Instant;
 use tta_analysis::tables::Table;
-use tta_bench::{fmt_duration, heading};
-use tta_core::{verify_cluster, ClusterConfig, FaultBudget, Verdict};
+use tta_bench::{fmt_duration, heading, seed_style_bfs};
+use tta_core::{
+    verify_cluster_with, CheckStrategy, ClusterConfig, ClusterModel, FaultBudget, Verdict,
+};
 use tta_guardian::CouplerAuthority;
 
+struct Args {
+    threads: Option<usize>,
+    bench_json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        threads: None,
+        bench_json: None,
+    };
+    let mut iter = std::env::args().skip(1).peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                args.threads = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads needs an integer")),
+                );
+            }
+            "--bench-json" => {
+                // Optional path operand; defaults to the committed snapshot name.
+                let path = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "BENCH_modelcheck.json".to_string(),
+                };
+                args.bench_json = Some(path);
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    args
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("usage: exp_scaling [--threads N] [--bench-json [PATH]]");
+    std::process::exit(2);
+}
+
+fn strategy_for(args: &Args) -> CheckStrategy {
+    match args.threads {
+        Some(threads) => CheckStrategy::ParallelBfs { threads },
+        None => CheckStrategy::Bfs,
+    }
+}
+
 fn main() {
+    let args = parse_args();
+    if let Some(path) = &args.bench_json {
+        bench_snapshot(path);
+        return;
+    }
+    let strategy = strategy_for(&args);
+
     heading("S1a — state space vs. cluster size (per coupler authority)");
     let mut table = Table::new(["nodes", "authority", "verdict", "states", "depth", "time"]);
     for nodes in 2..=5 {
-        for authority in [CouplerAuthority::SmallShifting, CouplerAuthority::FullShifting] {
+        for authority in [
+            CouplerAuthority::SmallShifting,
+            CouplerAuthority::FullShifting,
+        ] {
             let config = ClusterConfig {
                 nodes,
                 ..ClusterConfig::paper(authority)
             };
             let started = Instant::now();
-            let report = verify_cluster(&config);
+            let report = verify_cluster_with(&config, strategy);
             table.row([
                 nodes.to_string(),
                 authority.to_string(),
@@ -47,7 +118,7 @@ fn main() {
             ..ClusterConfig::paper(CouplerAuthority::FullShifting)
         };
         let started = Instant::now();
-        let report = verify_cluster(&config);
+        let report = verify_cluster_with(&config, strategy);
         table.row([
             budget.to_string(),
             match report.verdict {
@@ -66,4 +137,97 @@ fn main() {
     println!("a zero budget restores safety even for full shifting: the *capability to");
     println!("replay*, not the authority label, is what breaks the property. Constraining");
     println!("the budget lengthens the shortest counterexample, as the paper observes.");
+}
+
+/// One timed run; the minimum of `runs` repetitions (throughput snapshots
+/// should not be inflated by a cold first run).
+fn time_min<F: FnMut() -> u64>(runs: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut states = 0;
+    for _ in 0..runs {
+        let started = Instant::now();
+        states = f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (best, states)
+}
+
+fn json_run(seconds: f64, states: u64) -> String {
+    format!(
+        "{{\"seconds\": {seconds:.6}, \"states_per_second\": {:.0}}}",
+        states as f64 / seconds
+    )
+}
+
+/// Records `BENCH_modelcheck.json`. The stub `serde_json` the offline
+/// build patches in cannot serialize maps, so the JSON is written by
+/// hand — it is five flat fields.
+fn bench_snapshot(path: &str) {
+    const RUNS: usize = 3;
+    let config = ClusterConfig::paper(CouplerAuthority::SmallShifting);
+    heading("model-checking throughput snapshot (paper config, small shifting)");
+
+    let (seed_secs, seed_states) = time_min(RUNS, || seed_style_bfs(&ClusterModel::new(config)));
+    println!(
+        "seed-style visited set: {seed_states} states in {}",
+        fmt_duration_secs(seed_secs)
+    );
+
+    let mut sequential = None;
+    let (seq_secs, seq_states) = time_min(RUNS, || {
+        let report = verify_cluster_with(&config, CheckStrategy::Bfs);
+        let states = report.stats.states_explored;
+        sequential = Some(report);
+        states
+    });
+    let sequential = sequential.expect("ran at least once");
+    assert_eq!(
+        seq_states, seed_states,
+        "both visited-set designs must agree"
+    );
+    println!(
+        "arena + compact codec:  {seq_states} states in {}",
+        fmt_duration_secs(seq_secs)
+    );
+
+    let mut parallel_entries = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (secs, states) = time_min(RUNS, || {
+            verify_cluster_with(&config, CheckStrategy::ParallelBfs { threads })
+                .stats
+                .states_explored
+        });
+        assert_eq!(
+            states, seq_states,
+            "parallel backend must agree at {threads} threads"
+        );
+        println!(
+            "parallel, {threads} thread(s): {states} states in {}",
+            fmt_duration_secs(secs)
+        );
+        parallel_entries.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \"states_per_second\": {:.0}}}",
+            states as f64 / secs
+        ));
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"snapshot\": \"model_checking_throughput\",\n  \"config\": \"paper/small-shifting\",\n  \"host_cpus\": {host_cpus},\n  \"note\": \"thread counts above host_cpus time-slice one core and cannot speed wall clock; compare parallel entries against host_cpus\",\n  \"states\": {},\n  \"visited_bytes\": {},\n  \"bytes_per_state\": {:.1},\n  \"seed_style_visited_set\": {},\n  \"sequential_arena\": {},\n  \"parallel_arena\": [\n{}\n  ]\n}}\n",
+        seq_states,
+        sequential.stats.visited_bytes,
+        sequential.stats.bytes_per_state(),
+        json_run(seed_secs, seed_states),
+        json_run(seq_secs, seq_states),
+        parallel_entries.join(",\n"),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {path}");
+}
+
+fn fmt_duration_secs(secs: f64) -> String {
+    fmt_duration(std::time::Duration::from_secs_f64(secs))
 }

@@ -18,7 +18,11 @@ fn main() {
     let started = Instant::now();
     let report = verify_cluster(&config);
     let elapsed = started.elapsed();
-    assert_eq!(report.verdict, Verdict::Violated, "the paper's violation must reproduce");
+    assert_eq!(
+        report.verdict,
+        Verdict::Violated,
+        "the paper's violation must reproduce"
+    );
     let trace = report.counterexample.expect("counterexample trace");
 
     println!(

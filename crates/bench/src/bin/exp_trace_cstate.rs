@@ -11,14 +11,20 @@ use tta_bench::{fmt_duration, heading};
 use tta_core::{narrate_compressed, verify_cluster, ClusterConfig, ClusterModel, Verdict};
 
 fn main() {
-    heading("E4 — counterexample trace 2: duplicated C-state frame (cold-start duplication forbidden)");
+    heading(
+        "E4 — counterexample trace 2: duplicated C-state frame (cold-start duplication forbidden)",
+    );
     let config = ClusterConfig::paper_trace_cstate();
     println!("configuration: {config}\n");
 
     let started = Instant::now();
     let report = verify_cluster(&config);
     let elapsed = started.elapsed();
-    assert_eq!(report.verdict, Verdict::Violated, "the paper's violation must reproduce");
+    assert_eq!(
+        report.verdict,
+        Verdict::Violated,
+        "the paper's violation must reproduce"
+    );
     let trace = report.counterexample.expect("counterexample trace");
 
     println!(

@@ -134,7 +134,10 @@ mod tests {
             1 << 22,
         );
         assert!(summary.violating_states > 0);
-        assert_eq!(summary.max_replays_observed, 1, "budget respected everywhere");
+        assert_eq!(
+            summary.max_replays_observed, 1,
+            "budget respected everywhere"
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod analyze;
+mod compact;
 mod config;
 mod model;
 mod narrate;
@@ -50,6 +51,7 @@ mod state;
 mod verify;
 
 pub use analyze::{analyze_reachable, ReachableSummary};
+pub use compact::{ClusterCodec, CompactState};
 pub use config::{ClusterConfig, FaultBudget};
 pub use model::{ClusterModel, StepInfo};
 pub use narrate::{narrate_compressed, narrate_trace, NarratedStep};

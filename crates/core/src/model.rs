@@ -4,7 +4,9 @@ use crate::config::ClusterConfig;
 use crate::state::ClusterState;
 use tta_guardian::{BufferedFrame, CouplerFaultMode, StarCoupler};
 use tta_modelcheck::TransitionSystem;
-use tta_protocol::{ChannelObservation, ChannelView, Controller, SendIntent, Transition, TransitionCause};
+use tta_protocol::{
+    ChannelObservation, ChannelView, Controller, SendIntent, Transition, TransitionCause,
+};
 use tta_types::{FrameKind, NodeId};
 
 /// Saturation cap for the out-of-slot counter under an unlimited budget;
@@ -93,9 +95,12 @@ impl ClusterModel {
         ];
         if self.config.authority.can_buffer_full_frames() {
             let buffer = state.coupler_buffers()[index];
-            let budget_ok = self.config.out_of_slot_budget.allows(state.out_of_slot_used());
-            let kind_ok = !(self.config.forbid_cold_start_replay
-                && buffer.kind == FrameKind::ColdStart);
+            let budget_ok = self
+                .config
+                .out_of_slot_budget
+                .allows(state.out_of_slot_used());
+            let kind_ok =
+                !(self.config.forbid_cold_start_replay && buffer.kind == FrameKind::ColdStart);
             if budget_ok && buffer.is_replayable() && kind_ok {
                 modes.push(CouplerFaultMode::OutOfSlot);
             }
@@ -108,8 +113,22 @@ impl ClusterModel {
     /// there anyway).
     #[must_use]
     pub fn expand(&self, state: &ClusterState) -> Vec<(ClusterState, StepInfo)> {
+        let mut out = Vec::new();
+        self.for_each_step(state, &mut |succ, info| out.push((succ, info)));
+        out
+    }
+
+    /// Drives `emit` over every `(successor, info)` pair of `state`.
+    ///
+    /// This is the allocation-lean core behind [`Self::expand`] and the
+    /// [`TransitionSystem`] impl: the per-node option lists and the
+    /// odometer are reused across all fault combinations of the state,
+    /// and callers that only need the successors (the explorers, via
+    /// `successors`) never materialize an intermediate
+    /// `Vec<(ClusterState, StepInfo)>`.
+    fn for_each_step(&self, state: &ClusterState, emit: &mut dyn FnMut(ClusterState, StepInfo)) {
         if state.frozen_victim().is_some() {
-            return Vec::new();
+            return;
         }
         let input = self.merged_input(state);
         let buffers = state.coupler_buffers();
@@ -121,7 +140,9 @@ impl ClusterModel {
             self.allowed_faults(state, 1)
         };
 
-        let mut out = Vec::new();
+        // Scratch reused across every fault combination.
+        let mut options: Vec<Vec<Transition>> = Vec::with_capacity(state.nodes().len());
+        let mut indices: Vec<usize> = Vec::with_capacity(state.nodes().len());
         for &f0 in &faults0 {
             for &f1 in &faults1 {
                 // Single-fault hypothesis: at most one coupler faulty.
@@ -147,12 +168,15 @@ impl ClusterModel {
                 };
 
                 // Cartesian product of per-node transition choices.
-                let options: Vec<Vec<Transition>> = state
-                    .nodes()
-                    .iter()
-                    .map(|n| n.successors(&view, &self.config.host_choices))
-                    .collect();
-                let mut indices = vec![0usize; options.len()];
+                options.clear();
+                options.extend(
+                    state
+                        .nodes()
+                        .iter()
+                        .map(|n| n.successors(&view, &self.config.host_choices)),
+                );
+                indices.clear();
+                indices.resize(options.len(), 0);
                 loop {
                     let mut nodes = Vec::with_capacity(options.len());
                     let mut victim = state.frozen_victim();
@@ -167,10 +191,10 @@ impl ClusterModel {
                         }
                         nodes.push(t.next);
                     }
-                    out.push((
+                    emit(
                         ClusterState::with_parts(nodes, [buf0, buf1], used, victim),
                         info,
-                    ));
+                    );
                     // Advance the odometer.
                     let mut i = 0;
                     loop {
@@ -190,7 +214,6 @@ impl ClusterModel {
                 }
             }
         }
-        out
     }
 }
 
@@ -213,7 +236,7 @@ impl TransitionSystem for ClusterModel {
     }
 
     fn successors(&self, state: &ClusterState, out: &mut Vec<ClusterState>) {
-        out.extend(self.expand(state).into_iter().map(|(s, _)| s));
+        self.for_each_step(state, &mut |succ, _| out.push(succ));
     }
 }
 
@@ -254,7 +277,10 @@ mod tests {
         let m = model(CouplerAuthority::Passive);
         let s = m.initial_state();
         for (_, info) in m.expand(&s) {
-            assert!(info.faults.iter().all(|f| *f != CouplerFaultMode::OutOfSlot));
+            assert!(info
+                .faults
+                .iter()
+                .all(|f| *f != CouplerFaultMode::OutOfSlot));
         }
     }
 
@@ -265,7 +291,10 @@ mod tests {
         let m = model(CouplerAuthority::FullShifting);
         let s = m.initial_state();
         for (_, info) in m.expand(&s) {
-            assert!(info.faults.iter().all(|f| *f != CouplerFaultMode::OutOfSlot));
+            assert!(info
+                .faults
+                .iter()
+                .all(|f| *f != CouplerFaultMode::OutOfSlot));
         }
     }
 
@@ -310,12 +339,8 @@ mod tests {
     fn violating_states_are_absorbing() {
         let m = model(CouplerAuthority::FullShifting);
         let nodes: Vec<_> = NodeId::first(4).map(|id| Controller::new(id, 4)).collect();
-        let bad = ClusterState::with_parts(
-            nodes,
-            [BufferedFrame::empty(); 2],
-            1,
-            Some(NodeId::new(1)),
-        );
+        let bad =
+            ClusterState::with_parts(nodes, [BufferedFrame::empty(); 2], 1, Some(NodeId::new(1)));
         assert!(m.expand(&bad).is_empty());
     }
 

@@ -63,7 +63,9 @@ pub fn narrate_compressed(model: &ClusterModel, trace: &Trace<ClusterState>) -> 
             continue;
         }
         if quiet_run > 0 {
-            out.push(format!("({quiet_run} quiet slot(s): timeout countdown / empty slots)"));
+            out.push(format!(
+                "({quiet_run} quiet slot(s): timeout countdown / empty slots)"
+            ));
             quiet_run = 0;
         }
         let mut line = format!("{})", out.len() + 1);
@@ -95,10 +97,14 @@ fn narrate_transition(prev: &ClusterState, next: &ClusterState, info: &StepInfo)
         match fault {
             CouplerFaultMode::None => {}
             CouplerFaultMode::Silence => {
-                lines.push(format!("The faulty star coupler on channel {i} drops the slot's traffic."));
+                lines.push(format!(
+                    "The faulty star coupler on channel {i} drops the slot's traffic."
+                ));
             }
             CouplerFaultMode::BadFrame => {
-                lines.push(format!("The faulty star coupler on channel {i} puts noise on the bus."));
+                lines.push(format!(
+                    "The faulty star coupler on channel {i} puts noise on the bus."
+                ));
             }
             CouplerFaultMode::OutOfSlot => {
                 let buffered = prev.coupler_buffers()[i];
@@ -207,7 +213,10 @@ mod tests {
             .join("\n");
         assert!(text.contains("replays the previous"), "narration: {text}");
         assert!(text.contains("PROPERTY VIOLATED"), "narration: {text}");
-        assert!(text.contains("freezes due to a clique avoidance error"), "narration: {text}");
+        assert!(
+            text.contains("freezes due to a clique avoidance error"),
+            "narration: {text}"
+        );
     }
 
     #[test]

@@ -114,11 +114,7 @@ mod tests {
     use super::*;
 
     fn fresh() -> ClusterState {
-        ClusterState::new(
-            NodeId::first(4)
-                .map(|id| Controller::new(id, 4))
-                .collect(),
-        )
+        ClusterState::new(NodeId::first(4).map(|id| Controller::new(id, 4)).collect())
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! One-call verification of the paper's property.
 
+use crate::compact::ClusterCodec;
 use crate::config::ClusterConfig;
 use crate::model::ClusterModel;
 use crate::state::ClusterState;
 use tta_modelcheck::{
-    parallel::ParallelExplorer, BoundedChecker, BoundedVerdict, Explorer, ExploreStats, Trace,
+    parallel::ParallelExplorer, BoundedChecker, BoundedVerdict, ExploreStats, Explorer, Trace,
     Verdict,
 };
 
@@ -60,10 +61,13 @@ pub fn verify_cluster(config: &ClusterConfig) -> VerificationReport {
 #[must_use]
 pub fn verify_cluster_with(config: &ClusterConfig, strategy: CheckStrategy) -> VerificationReport {
     let model = ClusterModel::new(*config);
+    // Both BFS engines intern visited states through the bit-packing
+    // codec: 72 flat bytes per state, no heap allocation per visit.
+    let codec = ClusterCodec::new(config);
     let property = |s: &ClusterState| s.property_holds();
     match strategy {
         CheckStrategy::Bfs => {
-            let outcome = Explorer::new().check(&model, property);
+            let outcome = Explorer::new().check_with_codec(&model, &codec, property);
             VerificationReport {
                 config: *config,
                 verdict: outcome.verdict,
@@ -77,7 +81,7 @@ pub fn verify_cluster_with(config: &ClusterConfig, strategy: CheckStrategy) -> V
             } else {
                 ParallelExplorer::new().threads(threads)
             };
-            let outcome = explorer.check(&model, property);
+            let outcome = explorer.check_with_codec(&model, &codec, property);
             VerificationReport {
                 config: *config,
                 verdict: outcome.verdict,

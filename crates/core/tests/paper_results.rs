@@ -2,8 +2,8 @@
 //! (experiments E1–E4 of DESIGN.md).
 
 use tta_core::{
-    narrate_trace, verify_cluster, verify_cluster_with, CheckStrategy, ClusterConfig,
-    ClusterModel, FaultBudget, Verdict,
+    narrate_trace, verify_cluster, verify_cluster_with, CheckStrategy, ClusterConfig, ClusterModel,
+    FaultBudget, Verdict,
 };
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
 use tta_types::FrameKind;
@@ -21,7 +21,10 @@ fn restricted_authorities_satisfy_the_property() {
         let report = verify_cluster(&ClusterConfig::paper(authority));
         assert_eq!(report.verdict, Verdict::Holds, "{authority} must verify");
         assert!(report.counterexample.is_none());
-        assert!(report.stats.states_explored > 1000, "nontrivial state space");
+        assert!(
+            report.stats.states_explored > 1000,
+            "nontrivial state space"
+        );
     }
 }
 
@@ -56,7 +59,11 @@ fn single_replay_duplicates_a_cold_start_frame() {
     // trace through the model and locate the out-of-slot step.
     let model = ClusterModel::new(config);
     let replayed = replayed_kinds(&model, &trace);
-    assert_eq!(replayed, vec![FrameKind::ColdStart], "trace 1 replays a cold-start frame");
+    assert_eq!(
+        replayed,
+        vec![FrameKind::ColdStart],
+        "trace 1 replays a cold-start frame"
+    );
 
     // The narrative mentions the clique-avoidance freeze, like the
     // paper's step 10.
@@ -76,7 +83,11 @@ fn forbidding_cold_start_duplication_forces_cstate_replay() {
 
     let model = ClusterModel::new(config);
     let replayed = replayed_kinds(&model, &trace);
-    assert_eq!(replayed, vec![FrameKind::CState], "trace 2 replays a C-state frame");
+    assert_eq!(
+        replayed,
+        vec![FrameKind::CState],
+        "trace 2 replays a C-state frame"
+    );
 
     let text = narration_text(&model, &trace);
     assert!(text.contains("replays the previous c_state frame"));
@@ -159,7 +170,10 @@ fn bounded_checking_finds_the_violation_at_depth() {
 /// (soundness of the reduction).
 #[test]
 fn symmetric_fault_reduction_is_sound() {
-    for authority in [CouplerAuthority::SmallShifting, CouplerAuthority::FullShifting] {
+    for authority in [
+        CouplerAuthority::SmallShifting,
+        CouplerAuthority::FullShifting,
+    ] {
         let reduced = verify_cluster(&ClusterConfig::paper(authority));
         let full = verify_cluster(&ClusterConfig {
             symmetric_fault_reduction: false,
@@ -221,6 +235,10 @@ fn startup_witness_exists_for_every_authority() {
             .all(|n| n.protocol_state() == tta_protocol::ProtocolState::Active));
         // A 4-node cluster needs at least: init, listen, timeout, cold
         // start, one round, integration, promotion — well over 10 slots.
-        assert!(witness.transition_count() >= 10, "{}", witness.transition_count());
+        assert!(
+            witness.transition_count() >= 10,
+            "{}",
+            witness.transition_count()
+        );
     }
 }

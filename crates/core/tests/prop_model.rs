@@ -2,8 +2,10 @@
 //! invariants that must hold along *every* path, checked on random walks.
 
 use proptest::prelude::*;
-use tta_core::{ClusterConfig, ClusterModel, ClusterState, FaultBudget};
+use tta_core::{ClusterCodec, ClusterConfig, ClusterModel, ClusterState, FaultBudget};
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_modelcheck::hashing::fx_hash;
+use tta_modelcheck::StateCodec;
 use tta_protocol::HostChoices;
 
 fn arb_authority() -> impl Strategy<Value = CouplerAuthority> {
@@ -22,18 +24,20 @@ fn arb_config() -> impl Strategy<Value = ClusterConfig> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|(nodes, authority, budget, forbid, symmetric, shutdown)| ClusterConfig {
-            nodes,
-            authority,
-            host_choices: HostChoices {
-                staggered_startup: true,
-                allow_shutdown: shutdown,
-                allow_await_test: false,
+        .prop_map(
+            |(nodes, authority, budget, forbid, symmetric, shutdown)| ClusterConfig {
+                nodes,
+                authority,
+                host_choices: HostChoices {
+                    staggered_startup: true,
+                    allow_shutdown: shutdown,
+                    allow_await_test: false,
+                },
+                out_of_slot_budget: budget,
+                forbid_cold_start_replay: forbid,
+                symmetric_fault_reduction: symmetric,
             },
-            out_of_slot_budget: budget,
-            forbid_cold_start_replay: forbid,
-            symmetric_fault_reduction: symmetric,
-        })
+        )
 }
 
 /// Walks `picks.len()` random transitions; returns every visited state.
@@ -100,6 +104,31 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// The compact codec is the identity composed with bit packing on
+    /// every state a random walk can reach: decode inverts encode, a
+    /// re-encode reproduces the exact words (fixed point), and equal
+    /// states hash equally through the encoding — the contract the
+    /// interned visited set relies on.
+    #[test]
+    fn compact_codec_round_trips_on_random_walks(
+        config in arb_config(),
+        picks in prop::collection::vec(any::<usize>(), 1..40),
+    ) {
+        let model = ClusterModel::new(config);
+        let codec = ClusterCodec::new(&config);
+        for state in walk(&model, &picks) {
+            let encoded = codec.encode(&state);
+            let decoded = codec.decode(&encoded);
+            prop_assert_eq!(&decoded, &state, "decode inverts encode");
+            prop_assert_eq!(codec.encode(&decoded), encoded, "re-encode fixed point");
+            prop_assert_eq!(
+                fx_hash(&codec.encode(&state)),
+                fx_hash(&encoded),
+                "equal states hash equally through the codec"
+            );
         }
     }
 

@@ -113,7 +113,10 @@ pub fn simulate_forwarding(
 /// `B_min = le + ρ · f_max`, rounded up to whole bits.
 #[must_use]
 pub fn closed_form_min_buffer(frame_bits: u32, rho: f64, line_encoding_bits: u32) -> u32 {
-    assert!(rho.is_finite() && (0.0..1.0).contains(&rho), "ρ must be in [0, 1), got {rho}");
+    assert!(
+        rho.is_finite() && (0.0..1.0).contains(&rho),
+        "ρ must be in [0, 1), got {rho}"
+    );
     line_encoding_bits + (rho * f64::from(frame_bits)).ceil() as u32
 }
 
@@ -124,7 +127,11 @@ mod tests {
     #[test]
     fn equal_clocks_need_only_line_encoding() {
         let r = simulate_forwarding(1000, 1.0, 1.0, 4);
-        assert!((4..=5).contains(&r.prebuffer_bits), "prebuffer {}", r.prebuffer_bits);
+        assert!(
+            (4..=5).contains(&r.prebuffer_bits),
+            "prebuffer {}",
+            r.prebuffer_bits
+        );
         assert!(r.peak_occupancy_bits <= 6);
     }
 
@@ -135,7 +142,11 @@ mod tests {
         let r = simulate_forwarding(frame, 1.0, 0.99, 4);
         let expected = closed_form_min_buffer(frame, 0.01, 4);
         let diff = (i64::from(r.peak_occupancy_bits) - i64::from(expected)).abs();
-        assert!(diff <= 2, "simulated {} vs closed form {expected}", r.peak_occupancy_bits);
+        assert!(
+            diff <= 2,
+            "simulated {} vs closed form {expected}",
+            r.peak_occupancy_bits
+        );
     }
 
     #[test]
@@ -146,7 +157,11 @@ mod tests {
         // ρ = (1.0 - 0.99) / 1.0 = 0.01
         let expected = closed_form_min_buffer(frame, 0.01, 4);
         let diff = (i64::from(r.prebuffer_bits) - i64::from(expected)).abs();
-        assert!(diff <= 2, "prebuffer {} vs closed form {expected}", r.prebuffer_bits);
+        assert!(
+            diff <= 2,
+            "prebuffer {} vs closed form {expected}",
+            r.prebuffer_bits
+        );
     }
 
     #[test]

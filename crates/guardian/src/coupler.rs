@@ -152,7 +152,11 @@ impl StarCoupler {
     /// whose authority cannot buffer frames — such a fault is not
     /// physically possible there, and asking for it indicates a harness
     /// bug rather than a modeled fault.
-    pub fn relay(&mut self, input: ChannelObservation, fault: CouplerFaultMode) -> ChannelObservation {
+    pub fn relay(
+        &mut self,
+        input: ChannelObservation,
+        fault: CouplerFaultMode,
+    ) -> ChannelObservation {
         assert!(
             fault != CouplerFaultMode::OutOfSlot || self.authority.can_buffer_full_frames(),
             "out_of_slot fault requires full-frame buffering authority ({} has none)",

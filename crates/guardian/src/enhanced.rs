@@ -163,7 +163,11 @@ impl fmt::Display for FunctionAudit {
             self.function,
             self.required_bits,
             self.permitted_bits,
-            if self.fault_tolerant { "OK" } else { "VIOLATES eq. (3)" }
+            if self.fault_tolerant {
+                "OK"
+            } else {
+                "VIOLATES eq. (3)"
+            }
         )
     }
 }
@@ -187,7 +191,12 @@ mod tests {
 
     fn frame(sender: u8, data: &[u8]) -> Frame {
         FrameBuilder::new(FrameClass::XFrame, NodeId::new(sender))
-            .cstate(CState::new(10, u16::from(sender) + 1, 0, MembershipVector::full(4)))
+            .cstate(CState::new(
+                10,
+                u16::from(sender) + 1,
+                0,
+                MembershipVector::full(4),
+            ))
             .data_bits(data)
             .build()
             .expect("valid frame")
@@ -230,7 +239,8 @@ mod tests {
         relay.enqueue(0x300, frame(2, &[3]));
         relay.enqueue(0x100, frame(0, &[1]));
         relay.enqueue(0x200, frame(1, &[2]));
-        let order: Vec<u32> = std::iter::from_fn(|| relay.transmit_next().map(|(id, _)| id)).collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| relay.transmit_next().map(|(id, _)| id)).collect();
         assert_eq!(order, [0x100, 0x200, 0x300]);
         assert_eq!(relay.backlog(), 0);
     }

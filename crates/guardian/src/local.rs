@@ -117,7 +117,11 @@ impl LocalBusGuardian {
 
 impl fmt::Display for LocalBusGuardian {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "guardian[{} @ {}, fault {}]", self.node, self.slot, self.fault)
+        write!(
+            f,
+            "guardian[{} @ {}, fault {}]",
+            self.node, self.slot, self.fault
+        )
     }
 }
 

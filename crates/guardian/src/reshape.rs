@@ -46,7 +46,10 @@ impl GuardianAction {
     /// Whether the frame reached the receivers.
     #[must_use]
     pub fn passed(self) -> bool {
-        matches!(self, GuardianAction::Forwarded | GuardianAction::Reshaped(_))
+        matches!(
+            self,
+            GuardianAction::Forwarded | GuardianAction::Reshaped(_)
+        )
     }
 }
 
@@ -218,10 +221,24 @@ mod tests {
         let f = filter(CouplerAuthority::SmallShifting);
         let frame = cold_start_frame(0, 1);
         // Guardian expects round-slot 1: passes.
-        let (ok, _) = f.filter(&frame, SlotIndex::new(1), NodeId::new(0), true, None, Some(1));
+        let (ok, _) = f.filter(
+            &frame,
+            SlotIndex::new(1),
+            NodeId::new(0),
+            true,
+            None,
+            Some(1),
+        );
         assert_eq!(ok, GuardianAction::Forwarded);
         // Guardian expects round-slot 3: blocked.
-        let (bad, _) = f.filter(&frame, SlotIndex::new(1), NodeId::new(0), true, None, Some(3));
+        let (bad, _) = f.filter(
+            &frame,
+            SlotIndex::new(1),
+            NodeId::new(0),
+            true,
+            None,
+            Some(3),
+        );
         assert_eq!(bad, GuardianAction::BlockedBadColdStart);
     }
 
@@ -238,8 +255,14 @@ mod tests {
         let f = filter(CouplerAuthority::TimeWindows);
         let frame = iframe(0);
         let defect = SosDefect::new(SosDomain::Value, 0.5);
-        let (action, residual) =
-            f.filter(&frame, SlotIndex::new(1), NodeId::new(0), true, Some(defect), None);
+        let (action, residual) = f.filter(
+            &frame,
+            SlotIndex::new(1),
+            NodeId::new(0),
+            true,
+            Some(defect),
+            None,
+        );
         assert_eq!(action, GuardianAction::Reshaped(SosDomain::Value));
         assert_eq!(residual, None);
     }
@@ -276,14 +299,8 @@ mod tests {
     fn clean_frames_pass_all_authorities() {
         for auth in CouplerAuthority::all() {
             let frame = iframe(0);
-            let (action, residual) = filter(auth).filter(
-                &frame,
-                SlotIndex::new(1),
-                NodeId::new(0),
-                true,
-                None,
-                None,
-            );
+            let (action, residual) =
+                filter(auth).filter(&frame, SlotIndex::new(1), NodeId::new(0), true, None, None);
             assert_eq!(action, GuardianAction::Forwarded, "{auth}");
             assert_eq!(residual, None);
         }

@@ -84,7 +84,11 @@ impl SosDefect {
 
 impl fmt::Display for SosDefect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SOS({} domain, magnitude {:.2})", self.domain, self.magnitude)
+        write!(
+            f,
+            "SOS({} domain, magnitude {:.2})",
+            self.domain, self.magnitude
+        )
     }
 }
 
@@ -143,7 +147,11 @@ impl ReceiverTolerance {
 
 impl fmt::Display for ReceiverTolerance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tolerance(time {:.2}, value {:.2})", self.time, self.value)
+        write!(
+            f,
+            "tolerance(time {:.2}, value {:.2})",
+            self.time, self.value
+        )
     }
 }
 
@@ -151,7 +159,10 @@ impl fmt::Display for ReceiverTolerance {
 /// definition of an SOS *failure* (some accept, some reject).
 #[must_use]
 pub fn receivers_disagree(tolerances: &[ReceiverTolerance], defect: &SosDefect) -> bool {
-    let accepted = tolerances.iter().filter(|t| t.accepts(Some(defect))).count();
+    let accepted = tolerances
+        .iter()
+        .filter(|t| t.accepts(Some(defect)))
+        .count();
     accepted != 0 && accepted != tolerances.len()
 }
 

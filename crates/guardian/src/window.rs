@@ -28,7 +28,11 @@ impl TimeWindow {
     pub fn new(open: f64, close: f64, margin: f64) -> Self {
         assert!(close > open, "window must have positive length");
         assert!(margin >= 0.0, "margin must be non-negative");
-        TimeWindow { open, close, margin }
+        TimeWindow {
+            open,
+            close,
+            margin,
+        }
     }
 
     /// Window opening time.

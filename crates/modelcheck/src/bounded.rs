@@ -69,8 +69,15 @@ impl BoundedChecker {
         let mut path: Vec<T::State> = Vec::new();
 
         for init in system.initial_states() {
-            if self.dfs(system, &invariant, init, self.bound, &mut best_budget, &mut path, &mut stats)
-            {
+            if self.dfs(
+                system,
+                &invariant,
+                init,
+                self.bound,
+                &mut best_budget,
+                &mut path,
+                &mut stats,
+            ) {
                 stats.duration = start.elapsed();
                 return BoundedOutcome {
                     verdict: BoundedVerdict::Violated,
@@ -120,7 +127,15 @@ impl BoundedChecker {
             system.successors(&state, &mut succ);
             stats.transitions += succ.len() as u64;
             for next in succ {
-                if self.dfs(system, invariant, next, budget - 1, best_budget, path, stats) {
+                if self.dfs(
+                    system,
+                    invariant,
+                    next,
+                    budget - 1,
+                    best_budget,
+                    path,
+                    stats,
+                ) {
                     return true;
                 }
             }

@@ -1,12 +1,33 @@
 //! Breadth-first explicit-state exploration with invariant checking.
+//!
+//! Exploration is **layer-synchronous**: the checker fully expands BFS
+//! layer `d` (every successor of every layer-`d` state is interned and
+//! invariant-checked) before looking at layer `d + 1`, and when a layer
+//! contains a violation the *whole layer* is still completed before the
+//! run stops. Two properties follow:
+//!
+//! * the first violating layer is the minimal violation depth, so the
+//!   counterexample is shortest — the SMV guarantee the paper relies on;
+//! * `states_explored` is a deterministic function of the model alone
+//!   (the set of states in layers `0..=d`), identical across the
+//!   sequential and parallel backends and across thread counts.
+//!
+//! Visited states live in a [`StateArena`]: one interned encoded state
+//! per distinct state, parents as `u32` indices (see [`crate::codec`]
+//! and [`crate::intern`]).
 
+use crate::codec::{IdentityCodec, StateCodec};
 use crate::counterexample::Trace;
-use crate::hashing::FxHashMap;
+use crate::intern::{Interned, StateArena, NO_PARENT};
 use crate::stats::ExploreStats;
 use crate::system::{Invariant, TransitionSystem};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Default cap on distinct states, shared by [`Explorer`] and
+/// [`crate::parallel::ParallelExplorer`] so both backends exhaust
+/// budgets identically.
+pub const DEFAULT_MAX_STATES: u64 = 1 << 26;
 
 /// Outcome of a check: `AG p` over all reachable states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,12 +64,12 @@ pub struct Explorer {
 }
 
 impl Explorer {
-    /// An explorer with a generous default budget (2^26 states, unbounded
-    /// depth).
+    /// An explorer with a generous default budget
+    /// ([`DEFAULT_MAX_STATES`], unbounded depth).
     #[must_use]
     pub fn new() -> Self {
         Explorer {
-            max_states: 1 << 26,
+            max_states: DEFAULT_MAX_STATES,
             max_depth: u64::MAX,
         }
     }
@@ -67,96 +88,109 @@ impl Explorer {
         self
     }
 
-    /// Checks `AG p`: explores every reachable state of `system` and tests
-    /// `invariant` on each. Stops at the first violation and reconstructs
-    /// the shortest trace to it.
+    /// Checks `AG p` with the identity codec (states interned as-is).
+    ///
+    /// Models with heap-carrying states should prefer
+    /// [`Explorer::check_with_codec`] and a packing codec.
     pub fn check<T, I>(&self, system: &T, invariant: I) -> CheckOutcome<T::State>
     where
         T: TransitionSystem,
         I: Invariant<T::State>,
     {
+        self.check_with_codec(system, &IdentityCodec::new(), invariant)
+    }
+
+    /// Checks `AG p`, interning visited states through `codec`.
+    ///
+    /// Explores every reachable state of `system`, testing `invariant`
+    /// on each; on violation the whole violating layer is completed and
+    /// the shortest trace reconstructed by walking arena parent indices.
+    pub fn check_with_codec<T, C, I>(
+        &self,
+        system: &T,
+        codec: &C,
+        invariant: I,
+    ) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem,
+        C: StateCodec<State = T::State>,
+        I: Invariant<T::State>,
+    {
         let start = Instant::now();
         let mut stats = ExploreStats::default();
+        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        let mut layer: Vec<u32> = Vec::new();
+        let mut violation: Option<u32> = None;
+        let mut exhausted = false;
 
-        // Arena of (state, parent index); `seen` maps state → arena index.
-        let mut arena: Vec<(T::State, Option<usize>)> = Vec::new();
-        let mut seen: FxHashMap<T::State, usize> = FxHashMap::default();
-        let mut frontier: VecDeque<(usize, u64)> = VecDeque::new();
-
-        let mut violation: Option<usize> = None;
-
+        // Layer 0: every distinct initial state.
         for init in system.initial_states() {
-            if seen.contains_key(&init) {
-                continue;
-            }
-            let idx = arena.len();
-            arena.push((init.clone(), None));
-            seen.insert(init.clone(), idx);
-            stats.states_explored += 1;
-            if !invariant.holds(&init) {
-                violation = Some(idx);
+            if arena.len() as u64 >= self.max_states {
+                exhausted = true;
                 break;
             }
-            frontier.push_back((idx, 0));
+            if let Interned::New(id) = arena.insert_if_absent(codec.encode(&init), NO_PARENT) {
+                if violation.is_none() && !invariant.holds(&init) {
+                    violation = Some(id);
+                }
+                layer.push(id);
+            }
         }
+        stats.frontier_peak = layer.len() as u64;
 
+        let mut depth: u64 = 0;
         let mut succ_buf: Vec<T::State> = Vec::new();
-        while violation.is_none() {
-            let Some((current, depth)) = frontier.pop_front() else {
-                break;
-            };
-            stats.depth_reached = stats.depth_reached.max(depth);
-            if depth >= self.max_depth {
-                continue;
-            }
-            succ_buf.clear();
-            let state = arena[current].0.clone();
-            system.successors(&state, &mut succ_buf);
-            stats.transitions += succ_buf.len() as u64;
-            for next in succ_buf.drain(..) {
-                if seen.contains_key(&next) {
-                    continue;
-                }
-                if stats.states_explored >= self.max_states {
-                    stats.duration = start.elapsed();
-                    return CheckOutcome {
-                        verdict: Verdict::BudgetExhausted,
-                        counterexample: None,
-                        stats,
+        'bfs: while violation.is_none() && !exhausted && !layer.is_empty() && depth < self.max_depth
+        {
+            let mut next_layer: Vec<u32> = Vec::new();
+            for &id in &layer {
+                let state = codec.decode(arena.get(id));
+                succ_buf.clear();
+                system.successors(&state, &mut succ_buf);
+                stats.transitions += succ_buf.len() as u64;
+                for next in succ_buf.drain(..) {
+                    let encoded = codec.encode(&next);
+                    if arena.lookup(&encoded).is_some() {
+                        continue;
+                    }
+                    if arena.len() as u64 >= self.max_states {
+                        exhausted = true;
+                        break 'bfs;
+                    }
+                    let Interned::New(next_id) = arena.insert_if_absent(encoded, id) else {
+                        unreachable!("lookup said absent");
                     };
+                    // Record the first violation but finish the layer:
+                    // layer membership (and so `states_explored`) stays
+                    // a function of the model, not of scan order.
+                    if violation.is_none() && !invariant.holds(&next) {
+                        violation = Some(next_id);
+                    }
+                    next_layer.push(next_id);
                 }
-                let idx = arena.len();
-                arena.push((next.clone(), Some(current)));
-                seen.insert(next, idx);
-                stats.states_explored += 1;
-                if !invariant.holds(&arena[idx].0) {
-                    stats.depth_reached = stats.depth_reached.max(depth + 1);
-                    violation = Some(idx);
-                    break;
-                }
-                frontier.push_back((idx, depth + 1));
             }
-            stats.frontier_peak = stats.frontier_peak.max(frontier.len() as u64);
+            if !next_layer.is_empty() {
+                depth += 1;
+            }
+            stats.frontier_peak = stats.frontier_peak.max(next_layer.len() as u64);
+            layer = next_layer;
         }
 
+        stats.depth_reached = depth;
+        stats.states_explored = arena.len() as u64;
+        stats.visited_bytes = arena.approx_bytes();
         stats.duration = start.elapsed();
+
         match violation {
-            Some(idx) => {
-                let mut path = Vec::new();
-                let mut cursor = Some(idx);
-                while let Some(i) = cursor {
-                    path.push(arena[i].0.clone());
-                    cursor = arena[i].1;
-                }
-                path.reverse();
-                CheckOutcome {
-                    verdict: Verdict::Violated,
-                    counterexample: Some(Trace::new(path)),
-                    stats,
-                }
-            }
+            Some(id) => CheckOutcome {
+                verdict: Verdict::Violated,
+                counterexample: Some(reconstruct(&arena, codec, id)),
+                stats,
+            },
             None => CheckOutcome {
-                verdict: if stats.depth_reached >= self.max_depth && self.max_depth != u64::MAX {
+                verdict: if exhausted
+                    || (!layer.is_empty() && self.max_depth != u64::MAX && depth >= self.max_depth)
+                {
                     Verdict::BudgetExhausted
                 } else {
                     Verdict::Holds
@@ -197,8 +231,29 @@ impl Explorer {
         T: TransitionSystem,
         P: Fn(&T::State) -> bool,
     {
-        self.check(system, |s: &T::State| !predicate(s)).counterexample
+        self.check(system, |s: &T::State| !predicate(s))
+            .counterexample
     }
+}
+
+/// Walks parent indices from `id` back to a root and decodes the path.
+fn reconstruct<C: StateCodec>(
+    arena: &StateArena<C::Encoded>,
+    codec: &C,
+    id: u32,
+) -> Trace<C::State> {
+    let mut path = Vec::new();
+    let mut cursor = id;
+    loop {
+        path.push(codec.decode(arena.get(cursor)));
+        let parent = arena.parent(cursor);
+        if parent == NO_PARENT {
+            break;
+        }
+        cursor = parent;
+    }
+    path.reverse();
+    Trace::new(path)
 }
 
 impl Default for Explorer {
@@ -240,12 +295,12 @@ mod tests {
         assert_eq!(outcome.verdict, Verdict::Holds);
         assert_eq!(outcome.stats.states_explored, 100);
         assert!(outcome.counterexample.is_none());
+        assert!(outcome.stats.visited_bytes > 0, "memory use is reported");
     }
 
     #[test]
     fn finds_shortest_counterexample() {
-        let outcome =
-            Explorer::new().check(&Grid { bound: 9 }, |s: &(u32, u32)| s.0 + s.1 != 4);
+        let outcome = Explorer::new().check(&Grid { bound: 9 }, |s: &(u32, u32)| s.0 + s.1 != 4);
         assert_eq!(outcome.verdict, Verdict::Violated);
         let trace = outcome.counterexample.unwrap();
         // Any violating state is at Manhattan distance 4; BFS must reach
@@ -257,6 +312,16 @@ mod tests {
         for (a, b) in trace.transitions() {
             assert_eq!((b.0 - a.0) + (b.1 - a.1), 1);
         }
+    }
+
+    /// Layer-synchronous semantics: a violated run still counts the
+    /// complete violating layer, making `states_explored` deterministic
+    /// (layers 0..=4 of the diamond: 1+2+3+4+5).
+    #[test]
+    fn violating_layer_is_completed() {
+        let outcome = Explorer::new().check(&Grid { bound: 9 }, |s: &(u32, u32)| s.0 + s.1 != 4);
+        assert_eq!(outcome.stats.states_explored, 15);
+        assert_eq!(outcome.stats.depth_reached, 4);
     }
 
     #[test]
@@ -323,5 +388,36 @@ mod tests {
         let stats = Explorer::new().count_reachable(&Grid { bound: 4 });
         assert_eq!(stats.states_explored, 25);
         assert!(stats.transitions >= 24);
+    }
+
+    /// A bit-packing codec must agree with the identity codec on
+    /// everything observable.
+    #[test]
+    fn packing_codec_matches_identity() {
+        #[derive(Debug)]
+        struct PairCodec;
+        impl StateCodec for PairCodec {
+            type State = (u32, u32);
+            type Encoded = u64;
+            fn encode(&self, s: &(u32, u32)) -> u64 {
+                (u64::from(s.0) << 32) | u64::from(s.1)
+            }
+            fn decode(&self, e: &u64) -> (u32, u32) {
+                ((e >> 32) as u32, *e as u32)
+            }
+        }
+        let grid = Grid { bound: 9 };
+        let invariant = |s: &(u32, u32)| s.0 + s.1 != 7;
+        let compact = Explorer::new().check_with_codec(&grid, &PairCodec, invariant);
+        let identity = Explorer::new().check(&grid, invariant);
+        assert_eq!(compact.verdict, identity.verdict);
+        assert_eq!(
+            compact.stats.states_explored,
+            identity.stats.states_explored
+        );
+        assert_eq!(
+            compact.counterexample.unwrap().transition_count(),
+            identity.counterexample.unwrap().transition_count()
+        );
     }
 }

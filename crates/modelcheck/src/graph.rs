@@ -143,7 +143,10 @@ fn sanitize(name: &str) -> String {
 }
 
 fn escape(label: &str) -> String {
-    label.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    label
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -161,7 +164,7 @@ mod tests {
 
         fn successors(&self, s: &u32, out: &mut Vec<u32>) {
             out.push((s + 1) % self.0);
-            if s % 2 == 0 {
+            if s.is_multiple_of(2) {
                 out.push((s + 2) % self.0);
             }
         }

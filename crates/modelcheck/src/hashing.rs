@@ -65,6 +65,16 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Hashes one value with [`FxHasher`] (the hash the visited-set arena
+/// and the parallel shard router both key on).
+#[inline]
+#[must_use]
+pub fn fx_hash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 

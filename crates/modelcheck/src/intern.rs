@@ -1,0 +1,212 @@
+//! The arena-interned visited set shared by both explorers.
+//!
+//! A [`StateArena`] stores each distinct encoded state **exactly once**
+//! in a flat vector, with the BFS parent recorded as a `u32` arena
+//! index instead of an `Option<State>` clone. Deduplication goes
+//! through a hash → bucket index keyed on the 64-bit Fx hash of the
+//! encoding, so the hash table never duplicates the encoded bytes the
+//! arena already owns (the classic interning layout; the old design
+//! stored every state twice — map key plus parent clone).
+//!
+//! Parent indices are opaque to the arena: the sequential explorer
+//! stores its own arena ids, the parallel explorer stores *global*
+//! `(local << shard_bits) | shard` ids. [`NO_PARENT`] marks roots.
+
+use crate::hashing::{fx_hash, FxHashMap};
+use std::hash::Hash;
+
+/// Parent marker for initial states (no predecessor).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// Outcome of [`StateArena::insert_if_absent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interned {
+    /// The state was new; it now lives at this index.
+    New(u32),
+    /// The state was already interned at this index.
+    Present(u32),
+}
+
+/// Hash-bucket entry: almost every hash maps to a single state, so the
+/// common case stays allocation-free.
+#[derive(Debug, Clone)]
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// An interning visited set: flat state storage + `u32` parent links.
+#[derive(Debug, Clone, Default)]
+pub struct StateArena<E> {
+    states: Vec<E>,
+    parents: Vec<u32>,
+    index: FxHashMap<u64, Bucket>,
+    collision_slots: usize,
+}
+
+impl<E: Eq + Hash> StateArena<E> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        StateArena {
+            states: Vec::new(),
+            parents: Vec::new(),
+            index: FxHashMap::default(),
+            collision_slots: 0,
+        }
+    }
+
+    /// Number of interned states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the arena is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The encoded state at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by an insert on this arena.
+    #[must_use]
+    pub fn get(&self, id: u32) -> &E {
+        &self.states[id as usize]
+    }
+
+    /// The parent index recorded for `id` ([`NO_PARENT`] for roots).
+    #[must_use]
+    pub fn parent(&self, id: u32) -> u32 {
+        self.parents[id as usize]
+    }
+
+    /// Looks up an encoded state without inserting.
+    #[must_use]
+    pub fn lookup(&self, encoded: &E) -> Option<u32> {
+        match self.index.get(&fx_hash(encoded))? {
+            Bucket::One(id) => (self.states[*id as usize] == *encoded).then_some(*id),
+            Bucket::Many(ids) => ids
+                .iter()
+                .copied()
+                .find(|&id| self.states[id as usize] == *encoded),
+        }
+    }
+
+    /// Interns `encoded` with the given parent index unless it is
+    /// already present.
+    pub fn insert_if_absent(&mut self, encoded: E, parent: u32) -> Interned {
+        let hash = fx_hash(&encoded);
+        let next_id = self.states.len() as u32;
+        match self.index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(next_id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => match slot.get_mut() {
+                Bucket::One(id) => {
+                    if self.states[*id as usize] == encoded {
+                        return Interned::Present(*id);
+                    }
+                    let existing = *id;
+                    self.collision_slots += 2;
+                    *slot.get_mut() = Bucket::Many(vec![existing, next_id]);
+                }
+                Bucket::Many(ids) => {
+                    if let Some(&id) = ids.iter().find(|&&id| self.states[id as usize] == encoded) {
+                        return Interned::Present(id);
+                    }
+                    self.collision_slots += 1;
+                    ids.push(next_id);
+                }
+            },
+        }
+        self.states.push(encoded);
+        self.parents.push(parent);
+        Interned::New(next_id)
+    }
+
+    /// Approximate resident bytes of the visited set: the interned
+    /// states themselves, the parent links, and the hash index.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let state_bytes = self.states.capacity() * std::mem::size_of::<E>();
+        let parent_bytes = self.parents.capacity() * std::mem::size_of::<u32>();
+        let index_bytes =
+            self.index.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>());
+        let bucket_bytes = self.collision_slots * std::mem::size_of::<u32>();
+        (state_bytes + parent_bytes + index_bytes + bucket_bytes) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut arena: StateArena<u64> = StateArena::new();
+        assert_eq!(arena.insert_if_absent(10, NO_PARENT), Interned::New(0));
+        assert_eq!(arena.insert_if_absent(20, 0), Interned::New(1));
+        assert_eq!(arena.insert_if_absent(10, 1), Interned::Present(0));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.lookup(&20), Some(1));
+        assert_eq!(arena.lookup(&30), None);
+    }
+
+    #[test]
+    fn parents_are_indices_not_clones() {
+        let mut arena: StateArena<(u32, u32)> = StateArena::new();
+        arena.insert_if_absent((0, 0), NO_PARENT);
+        arena.insert_if_absent((0, 1), 0);
+        arena.insert_if_absent((1, 1), 1);
+        assert_eq!(arena.parent(2), 1);
+        assert_eq!(arena.parent(1), 0);
+        assert_eq!(arena.parent(0), NO_PARENT);
+    }
+
+    /// Force every key into one hash bucket to exercise collision
+    /// handling: equal encodings must still dedup, distinct ones must
+    /// all be retained.
+    #[test]
+    fn hash_collisions_are_resolved_by_equality() {
+        #[derive(Clone, PartialEq, Eq)]
+        struct Collide(u32);
+        impl std::hash::Hash for Collide {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                0u64.hash(state);
+            }
+        }
+        let mut arena: StateArena<Collide> = StateArena::new();
+        for i in 0..20u32 {
+            assert_eq!(
+                arena.insert_if_absent(Collide(i), NO_PARENT),
+                Interned::New(i)
+            );
+        }
+        for i in 0..20u32 {
+            assert_eq!(
+                arena.insert_if_absent(Collide(i), NO_PARENT),
+                Interned::Present(i)
+            );
+            assert_eq!(arena.lookup(&Collide(i)), Some(i));
+        }
+        assert_eq!(arena.len(), 20);
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut arena: StateArena<[u64; 4]> = StateArena::new();
+        let empty = arena.approx_bytes();
+        for i in 0..1000 {
+            arena.insert_if_absent([i, 0, 0, 0], NO_PARENT);
+        }
+        assert!(arena.approx_bytes() > empty);
+        // The dominant term is the flat state storage, not per-entry
+        // heap boxes: well under 3× the raw payload.
+        let payload = 1000 * std::mem::size_of::<[u64; 4]>() as u64;
+        assert!(arena.approx_bytes() < 3 * payload + 4096);
+    }
+}

@@ -13,8 +13,11 @@
 //!   like SMV, it returns the **shortest** counterexample trace when the
 //!   property fails;
 //! * [`BoundedChecker`] — depth-bounded search (a BMC-style ablation);
-//! * [`parallel::ParallelExplorer`] — frontier-parallel BFS over
-//!   `crossbeam` scoped threads for large state spaces.
+//! * [`parallel::ParallelExplorer`] — frontier-parallel BFS over `std`
+//!   scoped threads with sharded, lock-free layer merges;
+//! * [`StateCodec`] / [`StateArena`] — compact state interning: visited
+//!   sets store fixed-size encodings once, and parent links are `u32`
+//!   arena indices instead of per-state clones.
 //!
 //! # Example
 //!
@@ -41,17 +44,21 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod bounded;
+pub mod codec;
 mod counterexample;
 mod explore;
 pub mod graph;
 pub mod hashing;
+pub mod intern;
 pub mod parallel;
 mod stats;
 mod system;
 
 pub use bounded::{BoundedChecker, BoundedOutcome, BoundedVerdict};
+pub use codec::{IdentityCodec, StateCodec};
 pub use counterexample::Trace;
-pub use explore::{CheckOutcome, Explorer, Verdict};
+pub use explore::{CheckOutcome, Explorer, Verdict, DEFAULT_MAX_STATES};
 pub use graph::StateGraph;
+pub use intern::{Interned, StateArena, NO_PARENT};
 pub use stats::ExploreStats;
 pub use system::{Invariant, TransitionSystem};

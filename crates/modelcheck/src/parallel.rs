@@ -1,23 +1,91 @@
 //! Frontier-parallel breadth-first exploration.
 //!
-//! Layer-synchronous BFS: each depth layer is split across worker threads
-//! (crossbeam scoped threads), and the visited set is sharded across
-//! mutex-protected hash maps keyed by state hash. Because layers complete
-//! before the next begins, the first layer containing a violation yields a
-//! minimal-depth counterexample — the same shortest-trace guarantee as the
-//! sequential [`crate::Explorer`].
+//! Layer-synchronous BFS with a two-phase, low-contention layer step —
+//! no locks anywhere:
+//!
+//! 1. **Expand** — the current layer is split into contiguous chunks,
+//!    one per worker. Each worker decodes its states from the shared
+//!    (read-only) shard arenas, generates successors into a reused
+//!    buffer, dedups them against the global visited set and a
+//!    per-thread local set, and routes survivors into per-shard output
+//!    buckets by the *high* bits of their Fx hash.
+//! 2. **Merge** — shards are partitioned contiguously across workers
+//!    (shard ownership), so every worker gets exclusive `&mut` access
+//!    to its shard arenas and drains the matching buckets from every
+//!    expander in deterministic order: no mutex, no CAS loop, just a
+//!    global atomic counter for the state budget.
+//!
+//! A state's global id is `(local_index << SHARD_BITS) | shard`; parent
+//! links are these `u32` ids, so trace reconstruction walks indices
+//! instead of cloning states. Because a violating layer is always
+//! completed (same as the sequential [`crate::Explorer`]), verdicts,
+//! `states_explored` and counterexample *lengths* are identical across
+//! backends and thread counts; counterexamples are minimal-depth.
 
+use crate::codec::{IdentityCodec, StateCodec};
 use crate::counterexample::Trace;
-use crate::explore::{CheckOutcome, Verdict};
-use crate::hashing::{FxHashMap, FxHasher};
+use crate::explore::{CheckOutcome, Verdict, DEFAULT_MAX_STATES};
+use crate::hashing::{fx_hash, FxHashSet};
+use crate::intern::{Interned, StateArena, NO_PARENT};
 use crate::stats::ExploreStats;
 use crate::system::{Invariant, TransitionSystem};
-use parking_lot::Mutex;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const SHARD_COUNT: usize = 64;
+/// log2 of [`SHARD_COUNT`]; global ids are `(local << SHARD_BITS) | shard`.
+const SHARD_BITS: u32 = 6;
+
+/// Number of visited-set shards (and the maximum useful merge fan-out).
+const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// Below this many layer items per worker the phases run inline on the
+/// calling thread (identical partitioning, so results are unchanged —
+/// spawning would cost more than the work).
+const SPAWN_THRESHOLD_PER_WORKER: usize = 32;
+
+/// Shard selector: the **high** bits of the Fx hash. FxHash is a
+/// multiply-xor hash whose final multiplication mixes the low bits
+/// least, so `hash % SHARD_COUNT` (the old selector) correlated with
+/// the low input bits and skewed shard occupancy; the top bits carry
+/// the most-mixed entropy.
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash >> (64 - SHARD_BITS)) as usize
+}
+
+/// Successors `(encoded, parent id)` one expander routed to one shard.
+type Bucket<E> = Vec<(E, u32)>;
+
+/// Every expander's bucket for one shard, in expander order (the
+/// deterministic merge order).
+type ShardColumn<E> = Vec<Bucket<E>>;
+
+#[inline]
+fn global_id(local: u32, shard: usize) -> u32 {
+    (local << SHARD_BITS) | shard as u32
+}
+
+#[inline]
+fn split_id(id: u32) -> (u32, usize) {
+    (id >> SHARD_BITS, (id & (SHARD_COUNT as u32 - 1)) as usize)
+}
+
+/// Per-expander output: successor proposals routed per shard, plus the
+/// transition count of the chunk.
+struct Expansion<E> {
+    buckets: Vec<Bucket<E>>,
+    transitions: u64,
+}
+
+/// Per-merger output: the new layer members it interned (global ids, in
+/// deterministic shard-then-proposal order), the first violation it
+/// saw, and whether it hit the state budget.
+struct Merged {
+    next: Vec<u32>,
+    violation: Option<u32>,
+    budget_hit: bool,
+}
 
 /// A parallel explicit-state model checker.
 ///
@@ -26,53 +94,19 @@ const SHARD_COUNT: usize = 64;
 pub struct ParallelExplorer {
     threads: usize,
     max_states: u64,
-}
-
-struct Shards<S> {
-    shards: Vec<Mutex<FxHashMap<S, Option<S>>>>,
-}
-
-impl<S: Eq + Hash + Clone> Shards<S> {
-    fn new() -> Self {
-        Shards {
-            shards: (0..SHARD_COUNT).map(|_| Mutex::new(FxHashMap::default())).collect(),
-        }
-    }
-
-    fn shard_of(&self, state: &S) -> usize {
-        let mut h = FxHasher::default();
-        state.hash(&mut h);
-        (h.finish() as usize) % SHARD_COUNT
-    }
-
-    /// Inserts `state` with `parent` if unseen; returns whether it was new.
-    fn try_insert(&self, state: &S, parent: Option<&S>) -> bool {
-        let mut shard = self.shards[self.shard_of(state)].lock();
-        if shard.contains_key(state) {
-            false
-        } else {
-            shard.insert(state.clone(), parent.cloned());
-            true
-        }
-    }
-
-    fn parent_of(&self, state: &S) -> Option<S> {
-        self.shards[self.shard_of(state)]
-            .lock()
-            .get(state)
-            .cloned()
-            .flatten()
-    }
+    max_depth: u64,
 }
 
 impl ParallelExplorer {
-    /// Creates an explorer using the machine's available parallelism.
+    /// Creates an explorer using the machine's available parallelism and
+    /// the same default budgets as the sequential [`crate::Explorer`].
     #[must_use]
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, usize::from);
         ParallelExplorer {
             threads: threads.max(1),
-            max_states: 1 << 26,
+            max_states: DEFAULT_MAX_STATES,
+            max_depth: u64::MAX,
         }
     }
 
@@ -95,8 +129,15 @@ impl ParallelExplorer {
         self
     }
 
-    /// Checks `AG p` in parallel; returns the same outcome shape as
-    /// [`crate::Explorer::check`], including a minimal-depth
+    /// Caps the BFS depth (number of transitions from an initial state).
+    #[must_use]
+    pub fn max_depth(mut self, max_depth: u64) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Checks `AG p` in parallel with the identity codec; same outcome
+    /// shape as [`crate::Explorer::check`], including a minimal-depth
     /// counterexample on violation.
     pub fn check<T, I>(&self, system: &T, invariant: I) -> CheckOutcome<T::State>
     where
@@ -104,99 +145,195 @@ impl ParallelExplorer {
         T::State: Send + Sync,
         I: Invariant<T::State> + Sync,
     {
+        self.check_with_codec(system, &IdentityCodec::new(), invariant)
+    }
+
+    /// Checks `AG p` in parallel, interning visited states through
+    /// `codec`.
+    pub fn check_with_codec<T, C, I>(
+        &self,
+        system: &T,
+        codec: &C,
+        invariant: I,
+    ) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem + Sync,
+        T::State: Send,
+        C: StateCodec<State = T::State> + Sync,
+        C::Encoded: Send + Sync,
+        I: Invariant<T::State> + Sync,
+    {
         let start = Instant::now();
-        let shards = Shards::new();
+        let mut stats = ExploreStats::default();
+        let mut shards: Vec<StateArena<C::Encoded>> =
+            (0..SHARD_COUNT).map(|_| StateArena::new()).collect();
         let explored = AtomicU64::new(0);
-        let transitions = AtomicU64::new(0);
+        let mut layer: Vec<u32> = Vec::new();
+        let mut violation: Option<u32> = None;
+        let mut exhausted = false;
 
-        let mut layer: Vec<T::State> = Vec::new();
-        let mut first_violation: Option<T::State> = None;
-
+        // Layer 0 on the calling thread: initial-state sets are tiny.
         for init in system.initial_states() {
-            if shards.try_insert(&init, None) {
-                explored.fetch_add(1, Ordering::Relaxed);
-                if !invariant.holds(&init) {
-                    first_violation = Some(init);
-                    break;
-                }
-                layer.push(init);
+            let encoded = codec.encode(&init);
+            let shard = shard_of(fx_hash(&encoded));
+            if shards[shard].lookup(&encoded).is_some() {
+                continue;
             }
+            if explored.fetch_add(1, Ordering::Relaxed) >= self.max_states {
+                exhausted = true;
+                break;
+            }
+            let Interned::New(local) = shards[shard].insert_if_absent(encoded, NO_PARENT) else {
+                unreachable!("lookup said absent");
+            };
+            let id = global_id(local, shard);
+            if violation.is_none() && !invariant.holds(&init) {
+                violation = Some(id);
+            }
+            layer.push(id);
         }
+        stats.frontier_peak = layer.len() as u64;
 
         let mut depth: u64 = 0;
-        let mut frontier_peak = layer.len() as u64;
-        let mut budget_hit = false;
-
-        while first_violation.is_none() && !layer.is_empty() && !budget_hit {
-            let chunk = layer.len().div_ceil(self.threads);
-            let results: Vec<(Vec<T::State>, Option<T::State>, bool)> =
-                crossbeam::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for slice in layer.chunks(chunk.max(1)) {
-                        let shards = &shards;
-                        let explored = &explored;
-                        let transitions = &transitions;
-                        let invariant = &invariant;
-                        let max_states = self.max_states;
-                        handles.push(scope.spawn(move |_| {
-                            let mut next = Vec::new();
-                            let mut violation = None;
-                            let mut hit_budget = false;
-                            let mut buf = Vec::new();
-                            'outer: for state in slice {
-                                buf.clear();
-                                system.successors(state, &mut buf);
-                                transitions.fetch_add(buf.len() as u64, Ordering::Relaxed);
-                                for succ in buf.drain(..) {
-                                    if !shards.try_insert(&succ, Some(state)) {
-                                        continue;
-                                    }
-                                    if explored.fetch_add(1, Ordering::Relaxed) + 1 > max_states {
-                                        hit_budget = true;
-                                        break 'outer;
-                                    }
-                                    if !invariant.holds(&succ) {
-                                        violation = Some(succ);
-                                        break 'outer;
-                                    }
-                                    next.push(succ);
-                                }
-                            }
-                            (next, violation, hit_budget)
-                        }));
-                    }
-                    handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        while violation.is_none() && !exhausted && !layer.is_empty() && depth < self.max_depth {
+            // Phase 1: expand the layer into per-shard proposal buckets.
+            let chunk_len = layer.len().div_ceil(self.threads).max(1);
+            let spawn =
+                self.threads > 1 && layer.len() >= self.threads * SPAWN_THRESHOLD_PER_WORKER;
+            let expansions: Vec<Expansion<C::Encoded>> = if spawn {
+                std::thread::scope(|scope| {
+                    let shards = &shards;
+                    let handles: Vec<_> = layer
+                        .chunks(chunk_len)
+                        .map(|chunk| {
+                            scope.spawn(move || expand_chunk(system, codec, shards, chunk))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("expand worker panicked"))
+                        .collect()
                 })
-                .expect("exploration scope panicked");
+            } else {
+                layer
+                    .chunks(chunk_len)
+                    .map(|chunk| expand_chunk(system, codec, &shards, chunk))
+                    .collect()
+            };
 
-            depth += 1;
-            let mut next_layer = Vec::new();
-            for (next, violation, hit) in results {
-                next_layer.extend(next);
-                budget_hit |= hit;
-                if first_violation.is_none() {
-                    first_violation = violation;
+            let mut proposals = 0usize;
+            for expansion in &expansions {
+                stats.transitions += expansion.transitions;
+                proposals += expansion.buckets.iter().map(Vec::len).sum::<usize>();
+            }
+
+            // Transpose to per-shard columns (bucket per expander, in
+            // expander order — the deterministic merge order).
+            let mut columns: Vec<ShardColumn<C::Encoded>> = (0..SHARD_COUNT)
+                .map(|_| Vec::with_capacity(expansions.len()))
+                .collect();
+            for expansion in expansions {
+                for (shard, bucket) in expansion.buckets.into_iter().enumerate() {
+                    if !bucket.is_empty() {
+                        columns[shard].push(bucket);
+                    }
                 }
             }
-            frontier_peak = frontier_peak.max(next_layer.len() as u64);
+
+            // Phase 2: merge, each worker owning a contiguous shard range.
+            let group_len = SHARD_COUNT.div_ceil(self.threads);
+            let mut groups: Vec<Vec<ShardColumn<C::Encoded>>> = Vec::new();
+            {
+                let mut iter = columns.into_iter();
+                loop {
+                    let group: Vec<_> = iter.by_ref().take(group_len).collect();
+                    if group.is_empty() {
+                        break;
+                    }
+                    groups.push(group);
+                }
+            }
+            let spawn_merge =
+                self.threads > 1 && proposals >= self.threads * SPAWN_THRESHOLD_PER_WORKER;
+            let merged: Vec<Merged> = if spawn_merge {
+                std::thread::scope(|scope| {
+                    let explored = &explored;
+                    let invariant = &invariant;
+                    let max_states = self.max_states;
+                    let handles: Vec<_> = shards
+                        .chunks_mut(group_len)
+                        .zip(groups)
+                        .enumerate()
+                        .map(|(group_index, (arenas, columns))| {
+                            scope.spawn(move || {
+                                merge_shard_group(
+                                    arenas,
+                                    group_index * group_len,
+                                    columns,
+                                    codec,
+                                    invariant,
+                                    explored,
+                                    max_states,
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("merge worker panicked"))
+                        .collect()
+                })
+            } else {
+                shards
+                    .chunks_mut(group_len)
+                    .zip(groups)
+                    .enumerate()
+                    .map(|(group_index, (arenas, columns))| {
+                        merge_shard_group(
+                            arenas,
+                            group_index * group_len,
+                            columns,
+                            codec,
+                            &invariant,
+                            &explored,
+                            self.max_states,
+                        )
+                    })
+                    .collect()
+            };
+
+            let mut next_layer: Vec<u32> = Vec::new();
+            for part in merged {
+                next_layer.extend(part.next);
+                exhausted |= part.budget_hit;
+                if violation.is_none() {
+                    violation = part.violation;
+                }
+            }
+            if !next_layer.is_empty() {
+                depth += 1;
+            }
+            stats.frontier_peak = stats.frontier_peak.max(next_layer.len() as u64);
             layer = next_layer;
         }
 
-        let stats = ExploreStats {
-            states_explored: explored.load(Ordering::Relaxed),
-            transitions: transitions.load(Ordering::Relaxed),
-            frontier_peak,
-            depth_reached: depth,
-            duration: start.elapsed(),
-        };
+        stats.depth_reached = depth;
+        stats.states_explored = shards.iter().map(|s| s.len() as u64).sum();
+        stats.visited_bytes = shards.iter().map(StateArena::approx_bytes).sum();
+        stats.duration = start.elapsed();
 
-        match first_violation {
-            Some(bad) => {
-                let mut path = vec![bad.clone()];
-                let mut cursor = shards.parent_of(&bad);
-                while let Some(state) = cursor {
-                    cursor = shards.parent_of(&state);
-                    path.push(state);
+        match violation {
+            Some(id) => {
+                let mut path = Vec::new();
+                let mut cursor = id;
+                loop {
+                    let (local, shard) = split_id(cursor);
+                    path.push(codec.decode(shards[shard].get(local)));
+                    let parent = shards[shard].parent(local);
+                    if parent == NO_PARENT {
+                        break;
+                    }
+                    cursor = parent;
                 }
                 path.reverse();
                 CheckOutcome {
@@ -206,12 +343,110 @@ impl ParallelExplorer {
                 }
             }
             None => CheckOutcome {
-                verdict: if budget_hit { Verdict::BudgetExhausted } else { Verdict::Holds },
+                verdict: if exhausted
+                    || (!layer.is_empty() && self.max_depth != u64::MAX && depth >= self.max_depth)
+                {
+                    Verdict::BudgetExhausted
+                } else {
+                    Verdict::Holds
+                },
                 counterexample: None,
                 stats,
             },
         }
     }
+}
+
+/// Phase 1 worker: expands one contiguous chunk of the current layer.
+///
+/// The successor buffer is reused across every state in the chunk, and
+/// a per-thread `local_seen` set drops in-chunk duplicates before they
+/// are routed, so the merge phase sees each proposal at most once per
+/// expander.
+fn expand_chunk<T, C>(
+    system: &T,
+    codec: &C,
+    shards: &[StateArena<C::Encoded>],
+    chunk: &[u32],
+) -> Expansion<C::Encoded>
+where
+    T: TransitionSystem,
+    C: StateCodec<State = T::State>,
+    C::Encoded: Clone + Eq + Hash,
+{
+    let mut buckets: Vec<Bucket<C::Encoded>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
+    let mut local_seen: FxHashSet<C::Encoded> = FxHashSet::default();
+    let mut succ_buf: Vec<T::State> = Vec::new();
+    let mut transitions = 0u64;
+    for &id in chunk {
+        let (local, shard) = split_id(id);
+        let state = codec.decode(shards[shard].get(local));
+        succ_buf.clear();
+        system.successors(&state, &mut succ_buf);
+        transitions += succ_buf.len() as u64;
+        for next in succ_buf.drain(..) {
+            let encoded = codec.encode(&next);
+            let shard = shard_of(fx_hash(&encoded));
+            if shards[shard].lookup(&encoded).is_some() {
+                continue;
+            }
+            if !local_seen.insert(encoded.clone()) {
+                continue;
+            }
+            buckets[shard].push((encoded, id));
+        }
+    }
+    Expansion {
+        buckets,
+        transitions,
+    }
+}
+
+/// Phase 2 worker: merges every expander's buckets for a contiguous,
+/// exclusively-owned range of shards.
+fn merge_shard_group<C, I>(
+    arenas: &mut [StateArena<C::Encoded>],
+    base_shard: usize,
+    columns: Vec<ShardColumn<C::Encoded>>,
+    codec: &C,
+    invariant: &I,
+    explored: &AtomicU64,
+    max_states: u64,
+) -> Merged
+where
+    C: StateCodec,
+    I: Invariant<C::State>,
+{
+    let mut merged = Merged {
+        next: Vec::new(),
+        violation: None,
+        budget_hit: false,
+    };
+    'group: for (offset, (arena, column)) in arenas.iter_mut().zip(columns).enumerate() {
+        let shard = base_shard + offset;
+        for bucket in column {
+            for (encoded, parent) in bucket {
+                if arena.lookup(&encoded).is_some() {
+                    continue;
+                }
+                if explored.fetch_add(1, Ordering::Relaxed) >= max_states {
+                    explored.fetch_sub(1, Ordering::Relaxed);
+                    merged.budget_hit = true;
+                    break 'group;
+                }
+                let state = codec.decode(&encoded);
+                let Interned::New(local) = arena.insert_if_absent(encoded, parent) else {
+                    unreachable!("lookup said absent and this worker owns the shard");
+                };
+                let id = global_id(local, shard);
+                if merged.violation.is_none() && !invariant.holds(&state) {
+                    merged.violation = Some(id);
+                }
+                merged.next.push(id);
+            }
+        }
+    }
+    merged
 }
 
 impl Default for ParallelExplorer {
@@ -273,8 +508,42 @@ mod tests {
             .threads(1)
             .check(&Grid { bound: 12 }, |_: &(u32, u32)| true);
         let sequential = crate::Explorer::new().check(&Grid { bound: 12 }, |_: &(u32, u32)| true);
-        assert_eq!(parallel.stats.states_explored, sequential.stats.states_explored);
+        assert_eq!(
+            parallel.stats.states_explored,
+            sequential.stats.states_explored
+        );
         assert_eq!(parallel.verdict, sequential.verdict);
+    }
+
+    /// Layer-synchronous determinism: every thread count agrees with the
+    /// sequential explorer on verdict, state count and trace length —
+    /// including on violated runs, where the violating layer is
+    /// completed by both backends.
+    #[test]
+    fn all_thread_counts_agree_with_sequential() {
+        let grid = Grid { bound: 9 };
+        let invariant = |s: &(u32, u32)| s.0 + s.1 != 4;
+        let sequential = crate::Explorer::new().check(&grid, invariant);
+        assert_eq!(sequential.stats.states_explored, 15, "layers 0..=4");
+        for threads in 1..=4 {
+            let parallel = ParallelExplorer::new()
+                .threads(threads)
+                .check(&grid, invariant);
+            assert_eq!(parallel.verdict, sequential.verdict, "{threads} threads");
+            assert_eq!(
+                parallel.stats.states_explored, sequential.stats.states_explored,
+                "{threads} threads"
+            );
+            assert_eq!(
+                parallel.counterexample.unwrap().transition_count(),
+                sequential
+                    .counterexample
+                    .as_ref()
+                    .unwrap()
+                    .transition_count(),
+                "{threads} threads"
+            );
+        }
     }
 
     #[test]
@@ -284,11 +553,23 @@ mod tests {
             .max_states(50)
             .check(&Grid { bound: 1000 }, |_: &(u32, u32)| true);
         assert_eq!(outcome.verdict, Verdict::BudgetExhausted);
+        assert!(outcome.stats.states_explored <= 50, "budget is strict");
+    }
+
+    #[test]
+    fn depth_budget_matches_sequential() {
+        let parallel = ParallelExplorer::new()
+            .threads(3)
+            .max_depth(3)
+            .check(&Grid { bound: 100 }, |_: &(u32, u32)| true);
+        assert_eq!(parallel.verdict, Verdict::BudgetExhausted);
+        assert_eq!(parallel.stats.states_explored, 10, "1 + 2 + 3 + 4 states");
     }
 
     #[test]
     fn violated_initial_state_short_circuits() {
-        let outcome = ParallelExplorer::new().check(&Grid { bound: 5 }, |s: &(u32, u32)| *s != (0, 0));
+        let outcome =
+            ParallelExplorer::new().check(&Grid { bound: 5 }, |s: &(u32, u32)| *s != (0, 0));
         assert_eq!(outcome.verdict, Verdict::Violated);
         assert_eq!(outcome.counterexample.unwrap().transition_count(), 0);
     }

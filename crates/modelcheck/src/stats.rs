@@ -16,6 +16,9 @@ pub struct ExploreStats {
     pub frontier_peak: u64,
     /// Deepest BFS layer reached.
     pub depth_reached: u64,
+    /// Approximate resident bytes of the visited-state structure
+    /// (interning arena + hash index) when exploration finished.
+    pub visited_bytes: u64,
     /// Wall-clock exploration time.
     pub duration: Duration,
 }
@@ -27,6 +30,17 @@ impl ExploreStats {
         let secs = self.duration.as_secs_f64();
         if secs > 0.0 {
             self.states_explored as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Average visited-set bytes per distinct state (0.0 when nothing
+    /// was explored or the backend did not report memory use).
+    #[must_use]
+    pub fn bytes_per_state(&self) -> f64 {
+        if self.states_explored > 0 {
+            self.visited_bytes as f64 / self.states_explored as f64
         } else {
             0.0
         }

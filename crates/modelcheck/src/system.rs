@@ -75,7 +75,7 @@ mod tests {
         fn check<I: Invariant<u32>>(inv: &I, s: u32) -> bool {
             inv.holds(&s)
         }
-        let inv = |s: &u32| s % 2 == 0;
+        let inv = |s: &u32| s.is_multiple_of(2);
         assert!(check(&inv, 4));
         assert!(!check(&inv, 5));
     }

@@ -161,21 +161,30 @@ mod tests {
         assert_eq!(t.observe(members(&[0, 2])), None);
         assert!(t.is_pending());
         // Second successor saw me: the first was the odd one out.
-        assert_eq!(t.observe(members(&[0, 1, 3])), Some(AckOutcome::AcknowledgedBySecond));
+        assert_eq!(
+            t.observe(members(&[0, 1, 3])),
+            Some(AckOutcome::AcknowledgedBySecond)
+        );
     }
 
     #[test]
     fn missing_first_frame_defers_to_second() {
         let mut t = AckTracker::new(NodeId::new(2));
         assert_eq!(t.observe(SuccessorFrame::Missing), None);
-        assert_eq!(t.observe(members(&[2])), Some(AckOutcome::AcknowledgedBySecond));
+        assert_eq!(
+            t.observe(members(&[2])),
+            Some(AckOutcome::AcknowledgedBySecond)
+        );
     }
 
     #[test]
     fn double_denial_is_a_send_fault() {
         let mut t = AckTracker::new(NodeId::new(3));
         assert_eq!(t.observe(members(&[0, 1])), None);
-        assert_eq!(t.observe(SuccessorFrame::Missing), Some(AckOutcome::SendFault));
+        assert_eq!(
+            t.observe(SuccessorFrame::Missing),
+            Some(AckOutcome::SendFault)
+        );
         assert!(!t.outcome().unwrap().is_acknowledged());
     }
 
@@ -184,7 +193,10 @@ mod tests {
         let mut t = AckTracker::new(NodeId::new(0));
         assert_eq!(t.observe(members(&[0])), Some(AckOutcome::Acknowledged));
         // Further observations cannot change a decided outcome.
-        assert_eq!(t.observe(SuccessorFrame::Missing), Some(AckOutcome::Acknowledged));
+        assert_eq!(
+            t.observe(SuccessorFrame::Missing),
+            Some(AckOutcome::Acknowledged)
+        );
         assert_eq!(t.outcome(), Some(AckOutcome::Acknowledged));
     }
 

@@ -35,6 +35,23 @@ impl CliqueCounters {
         Self::default()
     }
 
+    /// Reconstructs counters from raw counts — the inverse of
+    /// `agreed()`/`failed()`, used by state codecs that bit-pack
+    /// controller states for the model checker's visited set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds [`COUNTER_MAX`] (such a value can
+    /// never come from recording, so it indicates a codec bug).
+    #[must_use]
+    pub fn from_counts(agreed: u8, failed: u8) -> Self {
+        assert!(
+            agreed <= COUNTER_MAX && failed <= COUNTER_MAX,
+            "counters saturate at {COUNTER_MAX}: agreed={agreed} failed={failed}"
+        );
+        CliqueCounters { agreed, failed }
+    }
+
     /// Agreed-slots count.
     #[must_use]
     pub fn agreed(self) -> u8 {
@@ -191,7 +208,10 @@ mod tests {
 
     #[test]
     fn integrated_test_tolerates_silence() {
-        assert_eq!(CliqueCounters::new().integrated_verdict(), CliqueVerdict::NoTraffic);
+        assert_eq!(
+            CliqueCounters::new().integrated_verdict(),
+            CliqueVerdict::NoTraffic
+        );
     }
 
     #[test]
@@ -199,14 +219,21 @@ mod tests {
         // agreed <= 1 && failed == 0 → keep cold-starting.
         let own_only = CliqueCounters::new().record_own_send();
         assert_eq!(own_only.cold_start_verdict(), CliqueVerdict::NoTraffic);
-        assert_eq!(CliqueCounters::new().cold_start_verdict(), CliqueVerdict::NoTraffic);
+        assert_eq!(
+            CliqueCounters::new().cold_start_verdict(),
+            CliqueVerdict::NoTraffic
+        );
 
         // agreed > failed → active.
-        let joined = CliqueCounters::new().record_own_send().record(Judgment::Correct);
+        let joined = CliqueCounters::new()
+            .record_own_send()
+            .record(Judgment::Correct);
         assert_eq!(joined.cold_start_verdict(), CliqueVerdict::Majority);
 
         // otherwise → back to listen.
-        let contested = CliqueCounters::new().record_own_send().record(Judgment::Incorrect);
+        let contested = CliqueCounters::new()
+            .record_own_send()
+            .record(Judgment::Incorrect);
         assert_eq!(contested.cold_start_verdict(), CliqueVerdict::Minority);
     }
 

@@ -182,6 +182,58 @@ impl Controller {
         }
     }
 
+    /// Reassembles a controller from its accessor-visible parts — the
+    /// inverse of the accessors, used by state codecs that bit-pack
+    /// controller states for the model checker's visited set.
+    ///
+    /// `slot` is the raw slot-counter value; pass the canonical `1` for
+    /// states that keep no slot counter (what the accessor reports as
+    /// `None`). Likewise `listen_timeout` and `cold_start_rounds` must be
+    /// at their canonical `0` outside `listen` / `cold_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on values no reachable controller can hold (an out-of-round
+    /// slot, a timeout beyond `listen_timeout_init`, retry counts at or
+    /// past [`MAX_COLD_START_ROUNDS`]) — any such input indicates a codec
+    /// bug, not a model state.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        node_id: NodeId,
+        slots_per_round: u16,
+        state: ProtocolState,
+        slot: u16,
+        counters: CliqueCounters,
+        big_bang: bool,
+        listen_timeout: u16,
+        cold_start_rounds: u8,
+    ) -> Self {
+        let template = Controller::new(node_id, slots_per_round);
+        assert!(
+            slot >= 1 && slot <= slots_per_round,
+            "slot {slot} outside round of {slots_per_round}"
+        );
+        assert!(
+            listen_timeout <= template.listen_timeout_init(),
+            "listen timeout {listen_timeout} beyond its initial value"
+        );
+        assert!(
+            cold_start_rounds < MAX_COLD_START_ROUNDS,
+            "{cold_start_rounds} cold-start rounds would already have reset to listen"
+        );
+        Controller {
+            node_id,
+            slots_per_round,
+            state,
+            slot,
+            counters,
+            big_bang,
+            listen_timeout,
+            cold_start_rounds,
+        }
+    }
+
     /// The node this controller belongs to.
     #[must_use]
     pub fn node_id(&self) -> NodeId {
@@ -203,7 +255,9 @@ impl Controller {
     /// Current slot counter, if the state keeps one.
     #[must_use]
     pub fn slot(&self) -> Option<SlotIndex> {
-        self.state.keeps_slot_counter().then(|| SlotIndex::new(self.slot))
+        self.state
+            .keeps_slot_counter()
+            .then(|| SlotIndex::new(self.slot))
     }
 
     /// Clique counters accumulated this round.
@@ -278,13 +332,25 @@ impl Controller {
         match self.state {
             ProtocolState::Freeze => {
                 // freeze → {freeze, init} (+ await/test when enabled).
-                self.push(&mut out, self.reset_to(ProtocolState::Init), TransitionCause::Host);
+                self.push(
+                    &mut out,
+                    self.reset_to(ProtocolState::Init),
+                    TransitionCause::Host,
+                );
                 if choices.staggered_startup {
                     self.push(&mut out, *self, TransitionCause::Host);
                 }
                 if choices.allow_await_test {
-                    self.push(&mut out, self.reset_to(ProtocolState::Await), TransitionCause::Host);
-                    self.push(&mut out, self.reset_to(ProtocolState::Test), TransitionCause::Host);
+                    self.push(
+                        &mut out,
+                        self.reset_to(ProtocolState::Await),
+                        TransitionCause::Host,
+                    );
+                    self.push(
+                        &mut out,
+                        self.reset_to(ProtocolState::Test),
+                        TransitionCause::Host,
+                    );
                 }
             }
             ProtocolState::Init => {
@@ -294,24 +360,44 @@ impl Controller {
                     self.push(&mut out, *self, TransitionCause::Host);
                 }
                 if choices.allow_shutdown {
-                    self.push(&mut out, self.reset_to(ProtocolState::Freeze), TransitionCause::Host);
+                    self.push(
+                        &mut out,
+                        self.reset_to(ProtocolState::Freeze),
+                        TransitionCause::Host,
+                    );
                 }
             }
             ProtocolState::Listen => self.listen_successors(view, &mut out),
             ProtocolState::ColdStart => {
-                self.push(&mut out, self.integrated_step(view, true), TransitionCause::Protocol);
+                self.push(
+                    &mut out,
+                    self.integrated_step(view, true),
+                    TransitionCause::Protocol,
+                );
             }
             ProtocolState::Active => {
-                self.push(&mut out, self.integrated_step(view, false), TransitionCause::Protocol);
+                self.push(
+                    &mut out,
+                    self.integrated_step(view, false),
+                    TransitionCause::Protocol,
+                );
                 if choices.allow_shutdown {
-                    self.push(&mut out, self.reset_to(ProtocolState::Freeze), TransitionCause::Host);
+                    self.push(
+                        &mut out,
+                        self.reset_to(ProtocolState::Freeze),
+                        TransitionCause::Host,
+                    );
                     let mut demoted = *self;
                     demoted.state = ProtocolState::Passive;
                     self.push(&mut out, demoted.advanced(view), TransitionCause::Host);
                 }
             }
             ProtocolState::Passive => {
-                self.push(&mut out, self.integrated_step(view, false), TransitionCause::Protocol);
+                self.push(
+                    &mut out,
+                    self.integrated_step(view, false),
+                    TransitionCause::Protocol,
+                );
             }
             ProtocolState::Await | ProtocolState::Test | ProtocolState::Download => {
                 // Inert host-service states: unconstrained in the paper,
@@ -538,10 +624,8 @@ impl Controller {
                     events.push(ProtocolEvent::IntegratedOnCState { id });
                 }
             }
-            (ProtocolState::Listen, ProtocolState::Listen) => {
-                if !self.big_bang && next.big_bang {
-                    events.push(ProtocolEvent::ArmedBigBang);
-                }
+            (ProtocolState::Listen, ProtocolState::Listen) if !self.big_bang && next.big_bang => {
+                events.push(ProtocolEvent::ArmedBigBang);
             }
             (ProtocolState::ColdStart, ProtocolState::Active)
             | (ProtocolState::Passive, ProtocolState::Active) => {
@@ -571,7 +655,11 @@ impl fmt::Display for Controller {
             write!(f, " {}", self.counters)?;
         }
         if self.state == ProtocolState::Listen {
-            write!(f, " timeout={} big_bang={}", self.listen_timeout, self.big_bang)?;
+            write!(
+                f,
+                " timeout={} big_bang={}",
+                self.listen_timeout, self.big_bang
+            )?;
         }
         write!(f, "]")
     }
@@ -646,8 +734,12 @@ mod tests {
         let c = node(0);
         let succ = c.successors(&silent(), &HostChoices::checking());
         assert_eq!(succ.len(), 2);
-        assert!(succ.iter().any(|t| t.next.protocol_state() == ProtocolState::Init));
-        assert!(succ.iter().any(|t| t.next.protocol_state() == ProtocolState::Freeze));
+        assert!(succ
+            .iter()
+            .any(|t| t.next.protocol_state() == ProtocolState::Init));
+        assert!(succ
+            .iter()
+            .any(|t| t.next.protocol_state() == ProtocolState::Freeze));
         let eager = c.successors(&silent(), &HostChoices::eager());
         assert_eq!(eager.len(), 1);
         assert_eq!(eager[0].next.protocol_state(), ProtocolState::Init);
@@ -663,8 +755,12 @@ mod tests {
                 ..HostChoices::checking()
             },
         );
-        assert!(with.iter().any(|t| t.next.protocol_state() == ProtocolState::Await));
-        assert!(with.iter().any(|t| t.next.protocol_state() == ProtocolState::Test));
+        assert!(with
+            .iter()
+            .any(|t| t.next.protocol_state() == ProtocolState::Await));
+        assert!(with
+            .iter()
+            .any(|t| t.next.protocol_state() == ProtocolState::Test));
         let without = c.successors(&silent(), &HostChoices::checking());
         assert!(without.iter().all(|t| !t.next.protocol_state().is_inert()));
     }
@@ -740,8 +836,7 @@ mod tests {
     fn integration_choice_is_nondeterministic_across_channels() {
         let choices = HostChoices::checking();
         let mut c = node(1);
-        c = c
-            .successors(&silent(), &HostChoices::eager())[0]
+        c = c.successors(&silent(), &HostChoices::eager())[0]
             .next
             .successors(&silent(), &HostChoices::eager())[0]
             .next;
@@ -785,7 +880,11 @@ mod tests {
                 c = advance(c, &[silent()]);
             }
             if round < u16::from(crate::MAX_COLD_START_ROUNDS) {
-                assert_eq!(c.protocol_state(), ProtocolState::ColdStart, "round {round}");
+                assert_eq!(
+                    c.protocol_state(),
+                    ProtocolState::ColdStart,
+                    "round {round}"
+                );
                 assert_eq!(c.cold_start_rounds(), round as u8);
                 assert_eq!(c.send_intent(), SendIntent::ColdStart { id: 1 });
             }
@@ -829,7 +928,7 @@ mod tests {
         // Own slot is 2: first test fires immediately with no traffic —
         // node must stay passive, not freeze.
         c = advance(c, &[silent()]); // slot 2 → 3 (own slot is 2; test ran at entry? no: test runs when slot' == own)
-        // Correct frames in slots 3, 4, 1 → majority at next test.
+                                     // Correct frames in slots 3, 4, 1 → majority at next test.
         c = advance(c, &[cstate_frame(3)]);
         c = advance(c, &[cstate_frame(4)]);
         c = advance(c, &[cstate_frame(1)]); // slot' == 2 → test
@@ -923,7 +1022,9 @@ mod tests {
         };
         assert_eq!(c.protocol_state(), ProtocolState::Active);
         let gated = c.successors(&silent(), &HostChoices::checking());
-        assert!(gated.iter().all(|t| t.next.protocol_state() != ProtocolState::Freeze));
+        assert!(gated
+            .iter()
+            .all(|t| t.next.protocol_state() != ProtocolState::Freeze));
         let open = c.successors(
             &silent(),
             &HostChoices {

@@ -117,9 +117,9 @@ impl DelayedStartPolicy {
     #[must_use]
     pub fn remaining(&self, node: NodeId) -> u32 {
         let i = node.as_usize();
-        self.delays
-            .get(i)
-            .map_or(0, |d| d.saturating_sub(self.elapsed.get(i).copied().unwrap_or(0)))
+        self.delays.get(i).map_or(0, |d| {
+            d.saturating_sub(self.elapsed.get(i).copied().unwrap_or(0))
+        })
     }
 }
 

@@ -134,10 +134,16 @@ mod tests {
     fn silence_counts_against_members_only() {
         let mut m = MembershipService::new(4, 1);
         m.record(node(3), Judgment::Null);
-        assert!(!m.members().contains(node(3)), "non-member unaffected by silence");
+        assert!(
+            !m.members().contains(node(3)),
+            "non-member unaffected by silence"
+        );
         m.record(node(3), Judgment::Correct);
         m.record(node(3), Judgment::Null);
-        assert!(!m.members().contains(node(3)), "member expelled after silent slot");
+        assert!(
+            !m.members().contains(node(3)),
+            "member expelled after silent slot"
+        );
     }
 
     #[test]

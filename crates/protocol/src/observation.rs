@@ -46,7 +46,10 @@ impl ChannelObservation {
     #[must_use]
     pub fn frame(kind: FrameKind, id: u16) -> Self {
         assert!(
-            matches!(kind, FrameKind::ColdStart | FrameKind::CState | FrameKind::Other),
+            matches!(
+                kind,
+                FrameKind::ColdStart | FrameKind::CState | FrameKind::Other
+            ),
             "{kind} carries no slot id"
         );
         assert!(id != 0, "frame ids are one-based slot numbers");
@@ -124,13 +127,17 @@ impl ChannelView {
     /// Builds a view from two observations.
     #[must_use]
     pub fn new(ch0: ChannelObservation, ch1: ChannelObservation) -> Self {
-        ChannelView { channels: [ch0, ch1] }
+        ChannelView {
+            channels: [ch0, ch1],
+        }
     }
 
     /// The same frame replicated on both channels (the fault-free case).
     #[must_use]
     pub fn both(obs: ChannelObservation) -> Self {
-        ChannelView { channels: [obs, obs] }
+        ChannelView {
+            channels: [obs, obs],
+        }
     }
 
     /// Whether any channel carries a cold-start frame.

@@ -129,7 +129,10 @@ mod tests {
             .into_iter()
             .filter(|s| s.may_transmit())
             .collect();
-        assert_eq!(transmitting, [ProtocolState::ColdStart, ProtocolState::Active]);
+        assert_eq!(
+            transmitting,
+            [ProtocolState::ColdStart, ProtocolState::Active]
+        );
     }
 
     #[test]
@@ -143,10 +146,17 @@ mod tests {
 
     #[test]
     fn inert_states_are_host_services() {
-        let inert: Vec<_> = ProtocolState::all().into_iter().filter(|s| s.is_inert()).collect();
+        let inert: Vec<_> = ProtocolState::all()
+            .into_iter()
+            .filter(|s| s.is_inert())
+            .collect();
         assert_eq!(
             inert,
-            [ProtocolState::Await, ProtocolState::Test, ProtocolState::Download]
+            [
+                ProtocolState::Await,
+                ProtocolState::Test,
+                ProtocolState::Download
+            ]
         );
     }
 

@@ -32,7 +32,12 @@ fn arb_choices() -> impl Strategy<Value = HostChoices> {
 
 /// Walks a random path through the transition relation and returns every
 /// state visited.
-fn random_walk(node: u8, views: &[ChannelView], picks: &[usize], choices: &HostChoices) -> Vec<Controller> {
+fn random_walk(
+    node: u8,
+    views: &[ChannelView],
+    picks: &[usize],
+    choices: &HostChoices,
+) -> Vec<Controller> {
     let mut c = Controller::new(NodeId::new(node), SLOTS);
     let mut visited = vec![c];
     for (view, pick) in views.iter().zip(picks) {

@@ -130,7 +130,10 @@ impl AsyncMasqueradeDemo {
     #[must_use]
     pub fn run(&self) -> AsyncOutcome {
         assert!(self.clients >= 2, "need at least two clients");
-        assert!((self.departing as usize) < self.clients, "departing client out of range");
+        assert!(
+            (self.departing as usize) < self.clients,
+            "departing client out of range"
+        );
         let n = self.clients as u8;
         let mut queue: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -144,12 +147,20 @@ impl AsyncMasqueradeDemo {
         for id in 0..n {
             let period = 7 + u64::from(id) * 3;
             for k in 0..12 {
-                push(&mut queue, 1 + u64::from(id) + k * period, EventKind::ClientAnnounce(id));
+                push(
+                    &mut queue,
+                    1 + u64::from(id) + k * period,
+                    EventKind::ClientAnnounce(id),
+                );
             }
         }
         // The departing client leaves after its fourth announcement.
         let depart_at = 1 + u64::from(self.departing) + 4 * (7 + u64::from(self.departing) * 3);
-        push(&mut queue, depart_at, EventKind::ClientDepart(self.departing));
+        push(
+            &mut queue,
+            depart_at,
+            EventKind::ClientDepart(self.departing),
+        );
         // The faulty relay replays its stored (mailbox) copy of the
         // departed client's announcement, repeatedly — a stuck buffer,
         // like the coupler's out_of_slot fault — but only on the paths to
@@ -226,8 +237,7 @@ impl AsyncMasqueradeDemo {
             }
         }
 
-        let ground_truth: BTreeSet<ClientId> =
-            (0..n).filter(|id| !departed.contains(id)).collect();
+        let ground_truth: BTreeSet<ClientId> = (0..n).filter(|id| !departed.contains(id)).collect();
         AsyncOutcome {
             rosters: rosters
                 .iter()

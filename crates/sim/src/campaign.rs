@@ -63,9 +63,7 @@ impl Scenario {
     #[must_use]
     pub fn applicable(self, topology: Topology, authority: CouplerAuthority) -> bool {
         match self {
-            Scenario::CouplerReplay => {
-                topology.is_central() && authority.can_buffer_full_frames()
-            }
+            Scenario::CouplerReplay => topology.is_central() && authority.can_buffer_full_frames(),
             _ => true,
         }
     }
@@ -175,6 +173,15 @@ pub struct Campaign {
     trials: u32,
     slots: u64,
     seed: u64,
+    threads: usize,
+}
+
+/// SplitMix64 finalizer: decorrelates the per-trial seeds derived from
+/// `(campaign seed, scenario, trial index)`.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Campaign {
@@ -194,6 +201,7 @@ impl Campaign {
             trials: 50,
             slots: 400,
             seed: 0xDB5_2004,
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
         }
     }
 
@@ -218,7 +226,28 @@ impl Campaign {
         self
     }
 
-    /// Runs one scenario.
+    /// Sets the worker-thread count for [`Self::run`] (default: the
+    /// machine's available parallelism). Reports are identical for every
+    /// thread count: each trial draws from its own derived RNG seed, so
+    /// trial `i` is the same simulation no matter which worker runs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// The RNG seed of one trial, independent of every other trial.
+    fn trial_seed(&self, scenario: Scenario, index: u32) -> u64 {
+        mix(self.seed ^ mix((scenario as u64) << 32 | u64::from(index)))
+    }
+
+    /// Runs one scenario: `trials` independent randomized simulations,
+    /// distributed across the configured worker threads.
     #[must_use]
     pub fn run(&self, scenario: Scenario) -> CampaignReport {
         let mut report = CampaignReport {
@@ -233,11 +262,39 @@ impl Campaign {
         if !scenario.applicable(self.topology, self.authority) {
             return report;
         }
-        let mut rng = StdRng::seed_from_u64(self.seed ^ scenario as u64);
-        for _ in 0..self.trials {
-            let sim_report = self.trial(scenario, &mut rng);
+
+        let run_range = |range: std::ops::Range<u32>| -> Vec<Outcome> {
+            range
+                .map(|index| {
+                    let mut rng = StdRng::seed_from_u64(self.trial_seed(scenario, index));
+                    Outcome::classify(&self.trial(scenario, &mut rng))
+                })
+                .collect()
+        };
+
+        let threads = self.threads.min(self.trials.max(1) as usize);
+        let outcomes: Vec<Outcome> = if threads <= 1 {
+            run_range(0..self.trials)
+        } else {
+            let chunk = self.trials.div_ceil(threads as u32);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.trials)
+                    .step_by(chunk as usize)
+                    .map(|start| {
+                        let range = start..(start + chunk).min(self.trials);
+                        scope.spawn(move || run_range(range))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        };
+
+        for outcome in outcomes {
             report.trials += 1;
-            match Outcome::classify(&sim_report) {
+            match outcome {
                 Outcome::Contained => report.contained += 1,
                 Outcome::HealthyNodeFrozen => report.healthy_frozen += 1,
                 Outcome::StartupFailed => report.startup_failed += 1,
@@ -321,7 +378,9 @@ impl Campaign {
                 to_slot: self.slots,
             }),
         };
-        let delays = (0..self.nodes).map(|_| rng.gen_range(0..4 * self.nodes as u32)).collect();
+        let delays = (0..self.nodes)
+            .map(|_| rng.gen_range(0..4 * self.nodes as u32))
+            .collect();
         SimBuilder::new(self.nodes)
             .topology(self.topology)
             .authority(self.authority)
@@ -344,7 +403,8 @@ mod tests {
     #[test]
     fn fault_free_runs_are_always_contained() {
         for topology in [Topology::Bus, Topology::Star] {
-            let report = campaign(topology, CouplerAuthority::SmallShifting).run(Scenario::FaultFree);
+            let report =
+                campaign(topology, CouplerAuthority::SmallShifting).run(Scenario::FaultFree);
             assert_eq!(report.contained, report.trials, "{report}");
         }
     }
@@ -375,8 +435,8 @@ mod tests {
 
     #[test]
     fn masquerade_is_contained_by_central_blocking() {
-        let star =
-            campaign(Topology::Star, CouplerAuthority::TimeWindows).run(Scenario::MasqueradeColdStart);
+        let star = campaign(Topology::Star, CouplerAuthority::TimeWindows)
+            .run(Scenario::MasqueradeColdStart);
         assert_eq!(star.propagation_rate(), 0.0, "{star}");
     }
 
@@ -385,6 +445,22 @@ mod tests {
         let a = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::SosSender);
         let b = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::SosSender);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reports_are_identical_for_every_thread_count() {
+        let base = campaign(Topology::Star, CouplerAuthority::FullShifting);
+        let sequential = base.threads(1).run(Scenario::CouplerReplay);
+        for threads in 2..=4 {
+            let parallel = base.threads(threads).run(Scenario::CouplerReplay);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_is_rejected() {
+        let _ = campaign(Topology::Bus, CouplerAuthority::Passive).threads(0);
     }
 
     #[test]

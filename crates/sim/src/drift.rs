@@ -184,8 +184,16 @@ mod tests {
     fn unsynchronized_offsets_grow_linearly() {
         let mut config = base();
         config.resynchronize = false;
-        let short = DriftExperiment { rounds: 50, ..config }.run();
-        let long = DriftExperiment { rounds: 200, ..config }.run();
+        let short = DriftExperiment {
+            rounds: 50,
+            ..config
+        }
+        .run();
+        let long = DriftExperiment {
+            rounds: 200,
+            ..config
+        }
+        .run();
         // 4× the time, ~4× the final offset.
         let ratio = long.final_offset_microticks / short.final_offset_microticks;
         assert!((3.5..=4.5).contains(&ratio), "ratio {ratio}");

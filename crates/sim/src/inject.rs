@@ -167,7 +167,9 @@ impl FaultPlan {
     /// matching entry wins.
     #[must_use]
     pub fn node_fault_at(&self, node: NodeId, t: u64) -> Option<&NodeFault> {
-        self.node_faults.iter().find(|f| f.node == node && f.active_at(t))
+        self.node_faults
+            .iter()
+            .find(|f| f.node == node && f.active_at(t))
     }
 
     /// The coupler fault mode for `channel` at slot `t`.
@@ -260,8 +262,14 @@ mod tests {
             from_slot: 0,
             to_slot: 100,
         });
-        assert_eq!(plan.guardian_fault_at(NodeId::new(1), 50), LocalGuardianFault::StuckOpen);
-        assert_eq!(plan.guardian_fault_at(NodeId::new(0), 50), LocalGuardianFault::None);
+        assert_eq!(
+            plan.guardian_fault_at(NodeId::new(1), 50),
+            LocalGuardianFault::StuckOpen
+        );
+        assert_eq!(
+            plan.guardian_fault_at(NodeId::new(0), 50),
+            LocalGuardianFault::None
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl SlotLog {
 
     /// Events recorded at a specific slot.
     pub fn at(&self, slot: u64) -> impl Iterator<Item = &SlotEvent> {
-        self.entries.iter().filter(move |(s, _)| *s == slot).map(|(_, e)| e)
+        self.entries
+            .iter()
+            .filter(move |(s, _)| *s == slot)
+            .map(|(_, e)| e)
     }
 
     /// Number of events matching a predicate.

@@ -82,7 +82,10 @@ impl TimeSeries {
     /// First slot at which at least `n` nodes were integrated.
     #[must_use]
     pub fn first_slot_with_integrated(&self, n: u32) -> Option<u64> {
-        self.integrated.iter().position(|c| *c >= n).map(|i| i as u64)
+        self.integrated
+            .iter()
+            .position(|c| *c >= n)
+            .map(|i| i as u64)
     }
 
     /// Largest number of simultaneously integrated nodes.

@@ -222,7 +222,11 @@ impl Simulation {
         while self.t < self.slots {
             self.step();
         }
-        let final_states = self.controllers.iter().map(Controller::protocol_state).collect();
+        let final_states = self
+            .controllers
+            .iter()
+            .map(Controller::protocol_state)
+            .collect();
         SimReport::new(
             self.slots,
             final_states,
@@ -283,9 +287,9 @@ impl Simulation {
         }
 
         // 6. Post-step bookkeeping: integration adoption, logging, monitors.
-        for i in 0..self.controllers.len() {
+        for (i, prev) in before.iter().copied().enumerate() {
             let node = NodeId::new(i as u8);
-            let (prev, next) = (before[i], self.controllers[i]);
+            let next = self.controllers[i];
             if prev.protocol_state() != next.protocol_state() {
                 self.log.record(
                     t,
@@ -370,23 +374,27 @@ impl Simulation {
             // gap instead.
             Some(NodeFaultKind::MasqueradeColdStart { claimed_slot }) => {
                 let fault = fault.expect("fault is active");
-                ((t - fault.from_slot) % self.slots_per_round() == 0).then_some(Transmission {
-                    sender: node,
-                    kind: FrameKind::ColdStart,
-                    id: claimed_slot,
-                    defect: None,
-                    membership: None,
-                })
+                (t - fault.from_slot)
+                    .is_multiple_of(self.slots_per_round())
+                    .then_some(Transmission {
+                        sender: node,
+                        kind: FrameKind::ColdStart,
+                        id: claimed_slot,
+                        defect: None,
+                        membership: None,
+                    })
             }
             Some(NodeFaultKind::InvalidCState { claimed_slot }) => {
                 let fault = fault.expect("fault is active");
-                ((t - fault.from_slot) % self.slots_per_round() == 0).then_some(Transmission {
-                    sender: node,
-                    kind: FrameKind::CState,
-                    id: claimed_slot,
-                    defect: None,
-                    membership: Some(self.own_view_with_self(node)),
-                })
+                (t - fault.from_slot)
+                    .is_multiple_of(self.slots_per_round())
+                    .then_some(Transmission {
+                        sender: node,
+                        kind: FrameKind::CState,
+                        id: claimed_slot,
+                        defect: None,
+                        membership: Some(self.own_view_with_self(node)),
+                    })
             }
             Some(NodeFaultKind::Babbling) => Some(Transmission {
                 sender: node,
@@ -464,7 +472,8 @@ impl Simulation {
                     tta_guardian::sos::SosDomain::Time => self.authority.can_shift_small(),
                 };
                 if can_fix {
-                    self.log.record(t, SlotEvent::GuardianReshaped { node: tx.sender });
+                    self.log
+                        .record(t, SlotEvent::GuardianReshaped { node: tx.sender });
                     return Some(Transmission { defect: None, ..tx });
                 }
             }
@@ -604,9 +613,9 @@ impl Simulation {
         };
         // Identify the claimed sender, if any valid frame is present.
         let claimed: Option<NodeId> = channels.iter().find_map(|c| match c {
-            ChannelContent::Frame(tx) if tx.sender != receiver => {
-                Some(NodeId::new((tx.id.max(1) - 1) as u8 % self.controllers.len() as u8))
-            }
+            ChannelContent::Frame(tx) if tx.sender != receiver => Some(NodeId::new(
+                (tx.id.max(1) - 1) as u8 % self.controllers.len() as u8,
+            )),
             _ => None,
         });
         match view.joint_judgment(believed.get()) {
@@ -735,8 +744,18 @@ mod tests {
             .build()
             .run();
         assert!(report.healthy_frozen().is_empty(), "{report}");
-        assert!(report.log().count(|e| matches!(e, SlotEvent::GuardianReshaped { .. })) > 0);
-        assert!(report.log().count(|e| matches!(e, SlotEvent::SosDisagreement { .. })) == 0);
+        assert!(
+            report
+                .log()
+                .count(|e| matches!(e, SlotEvent::GuardianReshaped { .. }))
+                > 0
+        );
+        assert!(
+            report
+                .log()
+                .count(|e| matches!(e, SlotEvent::SosDisagreement { .. }))
+                == 0
+        );
     }
 
     #[test]
@@ -767,11 +786,19 @@ mod tests {
         // node on the bus depends on startup timing — the statistical
         // comparison lives in the campaign tests; here we pin the
         // deterministic mechanism.
-        assert!(star.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })) > 0);
-        assert!(star.cluster_started(), "star contains the masquerade: {star}");
+        assert!(
+            star.log()
+                .count(|e| matches!(e, SlotEvent::GuardianBlocked { .. }))
+                > 0
+        );
+        assert!(
+            star.cluster_started(),
+            "star contains the masquerade: {star}"
+        );
         assert!(star.healthy_frozen().is_empty());
         assert_eq!(
-            bus.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })),
+            bus.log()
+                .count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })),
             0,
             "local guardians cannot block content faults: {bus}"
         );
@@ -792,7 +819,11 @@ mod tests {
             .plan(plan)
             .build()
             .run();
-        assert!(star.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })) > 0);
+        assert!(
+            star.log()
+                .count(|e| matches!(e, SlotEvent::GuardianBlocked { .. }))
+                > 0
+        );
         assert!(star.healthy_frozen().is_empty(), "{star}");
         assert!(star.cluster_started(), "{star}");
     }
@@ -814,7 +845,12 @@ mod tests {
             .plan(plan)
             .build()
             .run();
-        assert!(report.log().count(|e| matches!(e, SlotEvent::CouplerReplay { .. })) > 0);
+        assert!(
+            report
+                .log()
+                .count(|e| matches!(e, SlotEvent::CouplerReplay { .. }))
+                > 0
+        );
         // A replayed frame is valid but stale: receivers in the listen
         // state integrate on it / integrated ones count failures.
         assert!(

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 use tta_guardian::sos::{ReceiverTolerance, SosDomain};
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
-use tta_sim::{
-    CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind, SimBuilder, Topology,
-};
+use tta_sim::{CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind, SimBuilder, Topology};
 use tta_types::NodeId;
 
 const SLOTS: u64 = 320;
@@ -25,8 +23,11 @@ fn arb_delays(nodes: usize) -> impl Strategy<Value = Vec<u32>> {
 }
 
 fn arb_tolerances(nodes: usize) -> impl Strategy<Value = Vec<ReceiverTolerance>> {
-    prop::collection::vec((0.3f64..0.7, 0.3f64..0.7), nodes)
-        .prop_map(|ts| ts.into_iter().map(|(t, v)| ReceiverTolerance::new(t, v)).collect())
+    prop::collection::vec((0.3f64..0.7, 0.3f64..0.7), nodes).prop_map(|ts| {
+        ts.into_iter()
+            .map(|(t, v)| ReceiverTolerance::new(t, v))
+            .collect()
+    })
 }
 
 proptest! {
@@ -211,7 +212,12 @@ fn founder_content_fault_recovers() {
         .run();
     // Content containment: not a single bogus frame reached the bus.
     use tta_sim::SlotEvent;
-    assert!(report.log().count(|e| matches!(e, SlotEvent::GuardianBlocked { .. })) > 0);
+    assert!(
+        report
+            .log()
+            .count(|e| matches!(e, SlotEvent::GuardianBlocked { .. }))
+            > 0
+    );
     // The surviving integrators keep the cluster alive on their own.
     assert!(report.healthy_frozen().is_empty(), "{report}");
     assert!(report.cluster_started(), "{report}");

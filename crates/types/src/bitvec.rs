@@ -98,7 +98,11 @@ impl BitVec {
     /// Panics if `index >= len()`.
     #[must_use]
     pub fn bit(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] >> (63 - index % 64) & 1 == 1
     }
 
@@ -130,7 +134,11 @@ impl BitVec {
     ///
     /// Panics if `index >= len()`.
     pub fn flip(&mut self, index: usize) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         self.words[index / 64] ^= 1 << (63 - index % 64);
     }
 

@@ -75,10 +75,16 @@ impl fmt::Display for CodecError {
                 write!(f, "{class} cannot carry {field}")
             }
             CodecError::Truncated { needed, available } => {
-                write!(f, "bit stream truncated: needed {needed} bits, had {available}")
+                write!(
+                    f,
+                    "bit stream truncated: needed {needed} bits, had {available}"
+                )
             }
             CodecError::UnknownClassTag(tag) => write!(f, "unknown frame class tag {tag:#b}"),
-            CodecError::CrcMismatch { computed, transmitted } => write!(
+            CodecError::CrcMismatch {
+                computed,
+                transmitted,
+            } => write!(
                 f,
                 "crc mismatch: computed {computed:#08x}, transmitted {transmitted:#08x}"
             ),
@@ -350,7 +356,10 @@ mod tests {
         for i in 0..bits.len() - 10 {
             short.push(bits.bit(i));
         }
-        assert!(matches!(decode_frame(&short), Err(CodecError::Truncated { .. })));
+        assert!(matches!(
+            decode_frame(&short),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -358,7 +367,10 @@ mod tests {
         let mut bits = BitVec::new();
         bits.push_bits(0b111, 3);
         bits.push_bits(0, 60);
-        assert!(matches!(decode_frame(&bits), Err(CodecError::UnknownClassTag(0b111))));
+        assert!(matches!(
+            decode_frame(&bits),
+            Err(CodecError::UnknownClassTag(0b111))
+        ));
     }
 
     #[test]
@@ -380,7 +392,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let err = CodecError::Truncated { needed: 10, available: 4 };
+        let err = CodecError::Truncated {
+            needed: 10,
+            available: 4,
+        };
         assert!(err.to_string().contains("truncated"));
         let err = CodecError::UnknownClassTag(7);
         assert!(err.to_string().contains("0b111"));

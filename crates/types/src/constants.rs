@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn x_frame_composition_matches_paper() {
-        assert_eq!(4 + C_STATE_BITS + X_FRAME_DATA_BITS + 2 * CRC_BITS + 8, X_FRAME_MAX_BITS);
+        assert_eq!(
+            4 + C_STATE_BITS + X_FRAME_DATA_BITS + 2 * CRC_BITS + 8,
+            X_FRAME_MAX_BITS
+        );
     }
 
     #[test]

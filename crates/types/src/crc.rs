@@ -144,8 +144,14 @@ mod tests {
         // the same payload — the mechanism behind implicit C-state frames.
         let mut payload = BitVec::new();
         payload.push_bits(0b1100_1010, 8);
-        let with_cstate_a = Crc24::new().digest(0x0101, 16).digest_bits(&payload).finish();
-        let with_cstate_b = Crc24::new().digest(0x0102, 16).digest_bits(&payload).finish();
+        let with_cstate_a = Crc24::new()
+            .digest(0x0101, 16)
+            .digest_bits(&payload)
+            .finish();
+        let with_cstate_b = Crc24::new()
+            .digest(0x0102, 16)
+            .digest_bits(&payload)
+            .finish();
         assert_ne!(with_cstate_a, with_cstate_b);
     }
 
@@ -160,7 +166,11 @@ mod tests {
                 let mut flipped = bits.clone();
                 flipped.flip(i);
                 flipped.flip(j);
-                assert_ne!(crc_of(&flipped), reference, "double flip {i},{j} undetected");
+                assert_ne!(
+                    crc_of(&flipped),
+                    reference,
+                    "double flip {i},{j} undetected"
+                );
             }
         }
     }

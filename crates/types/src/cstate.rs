@@ -214,7 +214,10 @@ mod tests {
     fn crc_seed_differs_for_different_cstates() {
         let a = CState::new(10, 2, 0, MembershipVector::full(4));
         let b = a.advance_slot();
-        assert_ne!(a.seed_crc(Crc24::new()).finish(), b.seed_crc(Crc24::new()).finish());
+        assert_ne!(
+            a.seed_crc(Crc24::new()).finish(),
+            b.seed_crc(Crc24::new()).finish()
+        );
     }
 
     #[test]

@@ -37,11 +37,17 @@ impl fmt::Display for MedlError {
             MedlError::DuplicateSender(node) => {
                 write!(f, "node {node} is assigned more than one slot")
             }
-            MedlError::SlotOutOfRange { slot, slots_per_round } => {
+            MedlError::SlotOutOfRange {
+                slot,
+                slots_per_round,
+            } => {
                 write!(f, "{slot} outside round of {slots_per_round} slots")
             }
             MedlError::FrameTooShort { bits, min_bits } => {
-                write!(f, "frame length {bits} bits is below the minimum of {min_bits} bits")
+                write!(
+                    f,
+                    "frame length {bits} bits is below the minimum of {min_bits} bits"
+                )
             }
         }
     }
@@ -66,8 +72,15 @@ pub enum TypeError {
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TypeError::FieldOverflow { field, value, width } => {
-                write!(f, "value {value} does not fit the {width}-bit field `{field}`")
+            TypeError::FieldOverflow {
+                field,
+                value,
+                width,
+            } => {
+                write!(
+                    f,
+                    "value {value} does not fit the {width}-bit field `{field}`"
+                )
             }
         }
     }
@@ -91,9 +104,12 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("slot 9") && s.contains('4'));
-        assert!(MedlError::FrameTooShort { bits: 10, min_bits: 28 }
-            .to_string()
-            .contains("28"));
+        assert!(MedlError::FrameTooShort {
+            bits: 10,
+            min_bits: 28
+        }
+        .to_string()
+        .contains("28"));
     }
 
     #[test]

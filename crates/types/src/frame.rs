@@ -247,7 +247,13 @@ impl Frame {
 
 impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} from {} ({} bits)", self.class, self.sender, self.bit_len())
+        write!(
+            f,
+            "{} from {} ({} bits)",
+            self.class,
+            self.sender,
+            self.bit_len()
+        )
     }
 }
 
@@ -310,7 +316,12 @@ impl FrameBuilder {
     /// position. Only meaningful for [`FrameClass::ColdStart`].
     #[must_use]
     pub fn cold_start(mut self, global_time: u16, round_slot: u16) -> Self {
-        self.cstate = Some(CState::new(global_time, round_slot, 0, MembershipVector::new()));
+        self.cstate = Some(CState::new(
+            global_time,
+            round_slot,
+            0,
+            MembershipVector::new(),
+        ));
         self
     }
 
@@ -461,7 +472,10 @@ mod tests {
     #[test]
     fn iframe_requires_cstate() {
         let err = FrameBuilder::new(FrameClass::IFrame, NodeId::new(0)).build();
-        assert!(matches!(err, Err(CodecError::MissingCState(FrameClass::IFrame))));
+        assert!(matches!(
+            err,
+            Err(CodecError::MissingCState(FrameClass::IFrame))
+        ));
     }
 
     #[test]

@@ -50,8 +50,8 @@ mod cstate;
 mod error;
 mod frame;
 mod medl;
-pub mod modes;
 mod membership;
+pub mod modes;
 mod node;
 mod slot;
 

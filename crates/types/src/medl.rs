@@ -27,7 +27,11 @@ impl SlotDescriptor {
     ///
     /// Returns [`MedlError::FrameTooShort`] if `frame_bits` is below the
     /// 28-bit protocol minimum.
-    pub fn new(sender: NodeId, frame_class: FrameClass, frame_bits: u32) -> Result<Self, MedlError> {
+    pub fn new(
+        sender: NodeId,
+        frame_class: FrameClass,
+        frame_bits: u32,
+    ) -> Result<Self, MedlError> {
         if frame_bits < N_FRAME_MIN_BITS {
             return Err(MedlError::FrameTooShort {
                 bits: frame_bits,
@@ -91,7 +95,11 @@ impl Medl {
     pub fn identity(nodes: usize) -> Result<Self, MedlError> {
         let mut builder = MedlBuilder::new();
         for node in NodeId::first(nodes) {
-            builder = builder.slot(node, FrameClass::IFrame, crate::constants::I_FRAME_PROTOCOL_BITS)?;
+            builder = builder.slot(
+                node,
+                FrameClass::IFrame,
+                crate::constants::I_FRAME_PROTOCOL_BITS,
+            )?;
         }
         builder.build()
     }
@@ -108,10 +116,12 @@ impl Medl {
     ///
     /// Returns [`MedlError::SlotOutOfRange`] for slots past the round.
     pub fn descriptor(&self, slot: SlotIndex) -> Result<&SlotDescriptor, MedlError> {
-        self.slots.get(slot.as_offset()).ok_or(MedlError::SlotOutOfRange {
-            slot,
-            slots_per_round: self.slots_per_round(),
-        })
+        self.slots
+            .get(slot.as_offset())
+            .ok_or(MedlError::SlotOutOfRange {
+                slot,
+                slots_per_round: self.slots_per_round(),
+            })
     }
 
     /// Sender assigned to `slot`.
@@ -135,14 +145,22 @@ impl Medl {
     /// Longest scheduled frame in bits (the analysis' f_max as configured).
     #[must_use]
     pub fn max_frame_bits(&self) -> u32 {
-        self.slots.iter().map(SlotDescriptor::frame_bits).max().unwrap_or(0)
+        self.slots
+            .iter()
+            .map(SlotDescriptor::frame_bits)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Shortest scheduled frame in bits (the analysis' f_min as
     /// configured).
     #[must_use]
     pub fn min_frame_bits(&self) -> u32 {
-        self.slots.iter().map(SlotDescriptor::frame_bits).min().unwrap_or(0)
+        self.slots
+            .iter()
+            .map(SlotDescriptor::frame_bits)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Iterates over `(slot, descriptor)` pairs in schedule order.
@@ -158,7 +176,13 @@ impl fmt::Display for Medl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "MEDL ({} slots/round):", self.slots_per_round())?;
         for (slot, d) in self.iter() {
-            writeln!(f, "  {slot}: {} sends {} ({} bits)", d.sender(), d.frame_class(), d.frame_bits())?;
+            writeln!(
+                f,
+                "  {slot}: {} sends {} ({} bits)",
+                d.sender(),
+                d.frame_class(),
+                d.frame_bits()
+            )?;
         }
         Ok(())
     }
@@ -192,7 +216,8 @@ impl MedlBuilder {
         if self.slots.iter().any(|d| d.sender() == sender) {
             return Err(MedlError::DuplicateSender(sender));
         }
-        self.slots.push(SlotDescriptor::new(sender, frame_class, frame_bits)?);
+        self.slots
+            .push(SlotDescriptor::new(sender, frame_class, frame_bits)?);
         Ok(self)
     }
 
@@ -225,7 +250,10 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_rejected() {
-        assert_eq!(MedlBuilder::new().build().unwrap_err(), MedlError::EmptySchedule);
+        assert_eq!(
+            MedlBuilder::new().build().unwrap_err(),
+            MedlError::EmptySchedule
+        );
         assert_eq!(Medl::identity(0).unwrap_err(), MedlError::EmptySchedule);
     }
 
@@ -242,7 +270,13 @@ mod tests {
     #[test]
     fn sub_minimum_frames_are_rejected() {
         let err = SlotDescriptor::new(NodeId::new(0), FrameClass::NFrame, 27).unwrap_err();
-        assert!(matches!(err, MedlError::FrameTooShort { bits: 27, min_bits: 28 }));
+        assert!(matches!(
+            err,
+            MedlError::FrameTooShort {
+                bits: 27,
+                min_bits: 28
+            }
+        ));
     }
 
     #[test]

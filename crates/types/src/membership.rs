@@ -106,7 +106,9 @@ impl MembershipVector {
 
     /// Iterates over the member node ids in ascending order.
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        (0u8..64).filter(move |i| self.0 >> i & 1 == 1).map(NodeId::new)
+        (0u8..64)
+            .filter(move |i| self.0 >> i & 1 == 1)
+            .map(NodeId::new)
     }
 
     /// Members present in `self` but not in `other`.

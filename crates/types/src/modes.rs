@@ -36,7 +36,11 @@ impl ModeChangeRequest {
     /// (`mode > 14`).
     #[must_use]
     pub fn switch_to(mode: ClusterMode) -> Self {
-        assert!(mode.get() <= 14, "mode {} does not fit the MCR field", mode.get());
+        assert!(
+            mode.get() <= 14,
+            "mode {} does not fit the MCR field",
+            mode.get()
+        );
         ModeChangeRequest(mode.get() + 1)
     }
 
@@ -97,10 +101,16 @@ impl fmt::Display for ModeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModeError::UnknownMode { mode, configured } => {
-                write!(f, "mode {mode} is not configured ({configured} modes exist)")
+                write!(
+                    f,
+                    "mode {mode} is not configured ({configured} modes exist)"
+                )
             }
             ModeError::ConflictingRequest { pending, requested } => {
-                write!(f, "mode {requested} requested while change to {pending} is pending")
+                write!(
+                    f,
+                    "mode {requested} requested while change to {pending} is pending"
+                )
             }
         }
     }
@@ -263,7 +273,8 @@ mod tests {
     fn changes_defer_to_the_cycle_boundary() {
         let mut m = schedule().manager();
         assert_eq!(m.active_medl().slots_per_round(), 4);
-        m.request(ModeChangeRequest::switch_to(ClusterMode::new(2))).unwrap();
+        m.request(ModeChangeRequest::switch_to(ClusterMode::new(2)))
+            .unwrap();
         assert_eq!(m.active_mode().get(), 0);
         assert_eq!(m.pending_mode(), Some(ClusterMode::new(2)));
         assert_eq!(m.cycle_boundary().get(), 2);
@@ -274,17 +285,29 @@ mod tests {
     #[test]
     fn unknown_modes_are_rejected() {
         let mut m = schedule().manager();
-        let err = m.request(ModeChangeRequest::switch_to(ClusterMode::new(5))).unwrap_err();
-        assert!(matches!(err, ModeError::UnknownMode { mode: 5, configured: 3 }));
+        let err = m
+            .request(ModeChangeRequest::switch_to(ClusterMode::new(5)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModeError::UnknownMode {
+                mode: 5,
+                configured: 3
+            }
+        ));
     }
 
     #[test]
     fn conflicting_requests_are_rejected() {
         let mut m = schedule().manager();
-        m.request(ModeChangeRequest::switch_to(ClusterMode::new(1))).unwrap();
+        m.request(ModeChangeRequest::switch_to(ClusterMode::new(1)))
+            .unwrap();
         // Same request again: idempotent.
-        m.request(ModeChangeRequest::switch_to(ClusterMode::new(1))).unwrap();
-        let err = m.request(ModeChangeRequest::switch_to(ClusterMode::new(2))).unwrap_err();
+        m.request(ModeChangeRequest::switch_to(ClusterMode::new(1)))
+            .unwrap();
+        let err = m
+            .request(ModeChangeRequest::switch_to(ClusterMode::new(2)))
+            .unwrap_err();
         assert!(matches!(
             err,
             ModeError::ConflictingRequest {
@@ -297,7 +320,8 @@ mod tests {
     #[test]
     fn requesting_the_current_mode_is_a_noop() {
         let mut m = schedule().manager();
-        m.request(ModeChangeRequest::switch_to(ClusterMode::new(0))).unwrap();
+        m.request(ModeChangeRequest::switch_to(ClusterMode::new(0)))
+            .unwrap();
         assert_eq!(m.pending_mode(), None);
         m.request(ModeChangeRequest::none()).unwrap();
         assert_eq!(m.pending_mode(), None);
@@ -311,7 +335,10 @@ mod tests {
 
     #[test]
     fn empty_schedule_is_rejected() {
-        assert_eq!(ClusterSchedule::new(vec![]).unwrap_err(), MedlError::EmptySchedule);
+        assert_eq!(
+            ClusterSchedule::new(vec![]).unwrap_err(),
+            MedlError::EmptySchedule
+        );
     }
 
     #[test]
@@ -320,7 +347,10 @@ mod tests {
         assert!(ModeChangeRequest::switch_to(ClusterMode::new(2))
             .to_string()
             .contains("mode 2"));
-        let err = ModeError::UnknownMode { mode: 9, configured: 2 };
+        let err = ModeError::UnknownMode {
+            mode: 9,
+            configured: 2,
+        };
         assert!(err.to_string().contains("9"));
     }
 }

@@ -23,7 +23,9 @@ fn main() {
     let rho = rho_from_crystal_ppm(100.0);
     let b_min = min_buffer_bits(le, rho, X_FRAME_MAX_BITS);
     let b_max = max_buffer_bits(f_min);
-    println!("design point: ±100 ppm crystals (ρ = {rho:.4}), frames {f_min}..{X_FRAME_MAX_BITS} bits");
+    println!(
+        "design point: ±100 ppm crystals (ρ = {rho:.4}), frames {f_min}..{X_FRAME_MAX_BITS} bits"
+    );
     println!("  required buffer  B_min = le + ρ·f_max = {b_min:.2} bits");
     println!("  permitted buffer B_max = f_min − 1    = {b_max} bits");
     println!(

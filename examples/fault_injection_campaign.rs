@@ -20,8 +20,16 @@ fn main() {
     // --- 1. Aggregate: propagation rates per topology.
     println!("## 1. Campaign: SOS sender, 20 trials per topology\n");
     for (label, topology, authority) in [
-        ("bus / local guardians ", Topology::Bus, CouplerAuthority::Passive),
-        ("star / small shifting ", Topology::Star, CouplerAuthority::SmallShifting),
+        (
+            "bus / local guardians ",
+            Topology::Bus,
+            CouplerAuthority::Passive,
+        ),
+        (
+            "star / small shifting ",
+            Topology::Star,
+            CouplerAuthority::SmallShifting,
+        ),
     ] {
         let report = Campaign::new(4, topology, authority)
             .trials(20)

@@ -30,7 +30,9 @@ fn main() {
     eprintln!("## 2. Reachability: earliest slot with a spent replay budget\n");
     let full = ClusterModel::new(ClusterConfig::paper(CouplerAuthority::FullShifting));
     let first_replay = Explorer::new()
-        .find(&full, |s: &tta::core::ClusterState| s.out_of_slot_used() > 0)
+        .find(&full, |s: &tta::core::ClusterState| {
+            s.out_of_slot_used() > 0
+        })
         .expect("replays are reachable");
     eprintln!(
         "a coupler can commit its first out-of-slot replay after {} slots\n\
@@ -50,7 +52,11 @@ fn main() {
         "{} states, {} transitions{}",
         graph.states().len(),
         graph.edges().len(),
-        if graph.is_truncated() { " (truncated)" } else { "" }
+        if graph.is_truncated() {
+            " (truncated)"
+        } else {
+            ""
+        }
     );
     let dot = graph.to_dot(
         "two_node_cluster",
@@ -61,7 +67,11 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join("\\n")
         },
-        |s| s.nodes().iter().any(|n| n.protocol_state() == ProtocolState::Active),
+        |s| {
+            s.nodes()
+                .iter()
+                .any(|n| n.protocol_state() == ProtocolState::Active)
+        },
     );
     println!("{dot}");
     eprintln!("(highlighted nodes contain an active controller)");

@@ -76,13 +76,20 @@ fn authority_ladder_matches_the_papers_tradeoff() {
     };
 
     // SOS: bus suffers; a reshaping star does not.
-    let sos_bus = rate(Topology::Bus, CouplerAuthority::Passive, Scenario::SosSender);
+    let sos_bus = rate(
+        Topology::Bus,
+        CouplerAuthority::Passive,
+        Scenario::SosSender,
+    );
     let sos_star = rate(
         Topology::Star,
         CouplerAuthority::SmallShifting,
         Scenario::SosSender,
     );
-    assert!(sos_bus > 0.3, "SOS must propagate on the bus (got {sos_bus})");
+    assert!(
+        sos_bus > 0.3,
+        "SOS must propagate on the bus (got {sos_bus})"
+    );
     assert_eq!(sos_star, 0.0, "reshaping must contain SOS");
 
     // Masquerading cold start: blocked by any blocking hub.
@@ -144,7 +151,11 @@ fn eq6_is_the_feasibility_knee() {
     let b_max = analysis::max_buffer_bits(N_FRAME_MIN_BITS);
 
     let at_knee = buffer::simulate_forwarding(f_max, 1.0, 1.0 - rho, LINE_ENCODING_BITS);
-    assert!(at_knee.peak_occupancy_bits <= b_max + 1, "{}", at_knee.peak_occupancy_bits);
+    assert!(
+        at_knee.peak_occupancy_bits <= b_max + 1,
+        "{}",
+        at_knee.peak_occupancy_bits
+    );
 
     let beyond = buffer::simulate_forwarding(2 * f_max, 1.0, 1.0 - rho, LINE_ENCODING_BITS);
     assert!(
@@ -158,7 +169,9 @@ fn eq6_is_the_feasibility_knee() {
 #[test]
 fn frames_flow_through_codec_and_semantic_filter() {
     use tta::guardian::reshape::{GuardianAction, SemanticFilter};
-    use tta::types::{decode_frame, CState, FrameBuilder, FrameClass, MembershipVector, NodeId, SlotIndex};
+    use tta::types::{
+        decode_frame, CState, FrameBuilder, FrameClass, MembershipVector, NodeId, SlotIndex,
+    };
 
     let cstate = CState::new(64, 2, 0, MembershipVector::full(4));
     let frame = FrameBuilder::new(FrameClass::IFrame, NodeId::new(1))

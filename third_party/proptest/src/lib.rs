@@ -1,0 +1,187 @@
+//! Offline vendored **stub** of `proptest`.
+//!
+//! This build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate reimplements the slice of the API the
+//! workspace's property tests use — [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`, ranges and tuples as strategies,
+//! [`arbitrary::any`], `prop::sample`/`prop::collection`, and the
+//! `proptest!`/`prop_assert*`/`prop_oneof!` macros — as a plain
+//! generate-and-test harness.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs' seed, not a
+//!   minimized input;
+//! * **derived deterministic seeds** — each test's cases derive from a
+//!   hash of the test name, so runs are reproducible without a
+//!   persistence file;
+//! * **rejection via regeneration** — `prop_assume!` rejects the case
+//!   and the harness draws a fresh one (bounded retries).
+//!
+//! Case count: `ProptestConfig::with_cases(n)` or the `PROPTEST_CASES`
+//! environment variable (default 32).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the workspace's `use proptest::prelude::*;` expects.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of real proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy};
+    }
+}
+
+/// Entry macro: `proptest! { fn name(x in strat, ..) { body } .. }`,
+/// optionally led by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            // The caller writes `#[test]` inside the block (upstream
+            // proptest convention); it passes through via `$meta`.
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(
+                    &__config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        let ( $($arg,)* ) = (
+                            $($crate::strategy::Strategy::generate(&($strat), __rng),)*
+                        );
+                        let __result: $crate::test_runner::TestCaseResult =
+                            (|| { $body Ok(()) })();
+                        __result
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "{}: `{:?}` vs `{:?}`",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assert_ne!(left, right)` with optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "{}: `{:?}` vs `{:?}`",
+                    format!($($fmt)+),
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+}
+
+/// `prop_assume!(cond)`: reject the current case (a fresh one is drawn).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_oneof![s1, s2, ..]`: uniform choice among boxed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,54 @@
+//! `prop::sample`: index and element selection.
+
+use crate::arbitrary::Arbitrary;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+
+/// An opaque uniform index, resolved against a collection length.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolves the index against a collection of `size` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    #[must_use]
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+/// Uniformly selects one of `values`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires a non-empty list");
+    Select { values }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.gen_range(0..self.values.len())].clone()
+    }
+}

@@ -1,0 +1,117 @@
+//! Deterministic generate-and-test harness.
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw fresh ones.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    #[must_use]
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies; deterministic per (test, case index).
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Derives a generator for one case.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the fully qualified test name: stable across runs.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` accepted cases of `case`, panicking on the first
+/// failure with the case's derivation seed (rerun with the same build
+/// for an identical sequence).
+///
+/// # Panics
+///
+/// Panics if a case fails or if rejections exhaust the retry budget.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let base = name_seed(name);
+    let max_attempts = cases.saturating_mul(10).max(64);
+    let mut accepted = 0u32;
+    let mut attempt = 0u32;
+    while accepted < cases {
+        assert!(
+            attempt < max_attempts,
+            "{name}: too many rejected cases ({accepted}/{cases} accepted \
+             after {attempt} attempts)"
+        );
+        let seed = base ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {accepted} (seed {seed:#018x}) failed: {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline vendored **stub** of `rand` 0.8.
+//!
+//! This build environment has no network access, so the real `rand`
+//! cannot be fetched. The workspace uses a narrow, fully deterministic
+//! slice of the API — `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer/float ranges and `Rng::gen_bool` — which this stub
+//! implements on top of xoshiro256++ seeded via SplitMix64.
+//!
+//! The stream differs from real `rand`'s ChaCha12-based `StdRng`, so
+//! seeded sequences are *internally* reproducible but not identical to
+//! upstream. Everything in-repo treats seeds as opaque reproducibility
+//! handles, so only determinism matters, not the exact stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: the entropy source.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`] (mirrors real `rand`'s `Rng: RngCore` relationship).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface; only the `seed_from_u64` entry point is used.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// The standard deterministic generator: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Named-generator module mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "cannot sample from empty range");
+                let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end as i128) - (start as i128) + 1;
+                assert!(span > 0, "cannot sample from empty range");
+                let offset = (rng.next_u64() as u128 % span as u128) as i128;
+                (start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let unit = unit_f64(rng.next_u64()) as $t;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: u16 = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&w));
+            let f: f64 = rng.gen_range(-2.0..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let n: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline vendored **stub** of `serde`.
+//!
+//! This build environment has no network access and an empty cargo
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! needs the *trait bounds* and *derive attributes* to compile; actual
+//! serialization is exercised nowhere in tier-1 (the serde round-trip
+//! integration tests are `#[ignore]`d under the stub). The traits here
+//! are blanket-implemented markers and the derives expand to nothing,
+//! so `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds
+//! compile unchanged against this crate.
+//!
+//! Replace with the real `serde` by deleting the `[patch.crates-io]`
+//! entries in the workspace `Cargo.toml` once a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Stand-ins for the `serde::de` module names used in trait bounds.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+
+    pub use crate::Deserialize;
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

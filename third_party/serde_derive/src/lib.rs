@@ -1,0 +1,18 @@
+//! Offline vendored **stub** of `serde_derive`: the derives expand to
+//! nothing (the stub `serde` traits are blanket-implemented, so no impl
+//! needs to be generated). `attributes(serde)` keeps `#[serde(...)]`
+//! field/container attributes accepted.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
