@@ -106,6 +106,34 @@ proptest! {
         }
     }
 
+    /// Figure 3 monotonicity *within each curve*: along one `f_max`
+    /// series, raising the minimum frame size never lowers the
+    /// admissible clock ratio. (The earlier `figure3_curve_shape` checks
+    /// two arbitrary points; this walks whole generated curves in plot
+    /// order, which is what the figure actually shows.)
+    #[test]
+    fn figure3_series_is_monotone_within_each_curve(
+        maxes in prop::collection::vec(16u32..5_000, 1..4),
+        floor in 1u32..64,
+        steps in 2u32..64,
+        le in 0u32..6,
+    ) {
+        let points = figure3_series(&maxes, floor, steps, le);
+        for curve in points.chunk_by(|a, b| a.max_frame_bits == b.max_frame_bits) {
+            for pair in curve.windows(2) {
+                prop_assert!(
+                    pair[0].min_frame_bits <= pair[1].min_frame_bits,
+                    "series must sweep f_min upward within an f_max curve"
+                );
+                prop_assert!(
+                    pair[0].ratio_limit <= pair[1].ratio_limit + 1e-12,
+                    "f_max={}: ratio limit fell from {} to {} as f_min rose",
+                    pair[0].max_frame_bits, pair[0].ratio_limit, pair[1].ratio_limit
+                );
+            }
+        }
+    }
+
     /// ρ from rates and ρ from crystal tolerance agree where they overlap:
     /// a guardian `t` ppm fast vs a node `t` ppm slow gives (to first
     /// order) 2t·1e-6.
@@ -119,4 +147,35 @@ proptest! {
         // First-order agreement: relative error below t·1e-6.
         prop_assert!((from_rates - from_crystals).abs() / from_crystals < 2.0 * t * 1e-6 + 1e-9);
     }
+}
+
+/// Published anchors from Section 6, pinned exactly. The paper works an
+/// example with `f_min = 28` bits (the shortest N-frame), `le = 4`
+/// line-encoding bits and ρ = 0.02%: eq. (4) yields a largest safe
+/// frame of (28 − 1 − 4) / 0.0002 = 115,000 bits. Inverting with the
+/// TTP/C maximum X-frame of 2076 bits, eq. (7) bounds ρ at
+/// 23 / 2076 ≈ 1.108%.
+#[test]
+fn paper_section6_anchors_hold() {
+    let f_max = max_frame_bits(28, 4, 0.0002).unwrap();
+    assert!(
+        (f_max - 115_000.0).abs() < 1e-6,
+        "eq. (4) anchor: got {f_max}"
+    );
+
+    let rho_limit = max_rho(28, 2076, 4).unwrap();
+    assert!(
+        (rho_limit - 23.0 / 2076.0).abs() < 1e-12,
+        "eq. (7) anchor: got {rho_limit}"
+    );
+    assert!(
+        rho_limit < 0.0111 && rho_limit > 0.0110,
+        "the paper quotes ≈1.11%: got {:.4}%",
+        rho_limit * 100.0
+    );
+
+    // The two anchors are consistent with each other: a 2076-bit X-frame
+    // is far below the 115,000-bit ceiling, so the paper's example
+    // tolerates much sloppier clocks than crystal oscillators provide.
+    assert!(2076.0 < f_max);
 }

@@ -1,0 +1,46 @@
+//! Conformance scenario runner.
+//!
+//! Executes one or more TOML scenario files through both engines — the
+//! bounded model checker and the slot-level simulator — and diffs every
+//! outcome against the scenario's `[expect]` section (see
+//! `crates/conformance` and the scenario files under `scenarios/`).
+//!
+//! ```text
+//! cargo run -p tta-bench --bin conformance_runner -- scenarios/coldstart_dup.toml
+//! ```
+//!
+//! Exits 0 iff every scenario passed; a failing check prints the
+//! divergence report and exits 1, a bad scenario file exits 2.
+
+use std::path::Path;
+use std::process::ExitCode;
+use tta_conformance::run_scenario_file;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: conformance_runner <scenario.toml>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match run_scenario_file(Path::new(path)) {
+            Ok(outcome) => {
+                print!("{}", outcome.report);
+                failed |= !outcome.passed;
+            }
+            Err(err) => {
+                eprintln!("{path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,110 @@
+//! Lifting simulator observations into the model's state vocabulary.
+//!
+//! The simulator and the model checker describe the same cluster at
+//! different granularities: the simulator logs physical transmissions
+//! per slot, the model enumerates abstract per-slot steps. The bridge is
+//! the [`ClusterSnapshot`] the simulator emits before each slot, lifted
+//! here into a [`ClusterState`] the model can judge. The lifting rules:
+//!
+//! * **controllers** carry over verbatim — both engines run the same
+//!   `tta_protocol::Controller`.
+//! * **coupler buffers** are the simulator's latched frames, already in
+//!   the guardian's `BufferedFrame` vocabulary.
+//! * **replay counter**: the model counts *delivered* replays and
+//!   saturates at [`REPLAY_COUNTER_CAP`]; the simulator's monotone
+//!   `replays_delivered` counter is clamped to match. Replays of an
+//!   empty buffer are not counted on either side (the model folds them
+//!   into the `Silence` fault mode).
+//! * **violation flag**: the first healthy-frozen node becomes the
+//!   model's `frozen_victim`. Violating states are absorbing in the
+//!   model, so a lifted trace is truncated after its first violating
+//!   state — the simulator keeps stepping past a freeze, the model
+//!   does not.
+
+use tta_core::{ClusterState, REPLAY_COUNTER_CAP};
+use tta_sim::ClusterSnapshot;
+
+/// Lifts one simulator snapshot into the model's state vocabulary.
+#[must_use]
+pub fn lift_snapshot(snap: &ClusterSnapshot) -> ClusterState {
+    ClusterState::with_parts(
+        snap.controllers.clone(),
+        snap.buffers,
+        snap.replays_delivered.min(REPLAY_COUNTER_CAP),
+        snap.healthy_frozen.first().copied(),
+    )
+}
+
+/// Lifts a full snapshot trace, truncating after the first violating
+/// state (violating states are absorbing in the model, so later
+/// simulator steps have no model-side counterpart).
+#[must_use]
+pub fn lift_trace(snapshots: &[ClusterSnapshot]) -> Vec<ClusterState> {
+    let mut states = Vec::with_capacity(snapshots.len());
+    for snap in snapshots {
+        let state = lift_snapshot(snap);
+        let violated = !state.property_holds();
+        states.push(state);
+        if violated {
+            break;
+        }
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_guardian::CouplerAuthority;
+    use tta_sim::{SimBuilder, Topology};
+
+    #[test]
+    fn lifted_states_mirror_the_snapshots() {
+        let (_, snapshots) = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::SmallShifting)
+            .slots(40)
+            .build()
+            .run_traced();
+        let states = lift_trace(&snapshots);
+        assert_eq!(states.len(), snapshots.len(), "fault-free: no truncation");
+        for (state, snap) in states.iter().zip(&snapshots) {
+            assert_eq!(state.nodes(), &snap.controllers[..]);
+            assert_eq!(state.coupler_buffers(), snap.buffers);
+            assert_eq!(state.property_holds(), snap.property_holds());
+        }
+    }
+
+    #[test]
+    fn replay_counter_saturates_at_the_model_cap() {
+        let snap = ClusterSnapshot {
+            slot: 0,
+            controllers: Vec::new(),
+            buffers: Default::default(),
+            replays_delivered: 200,
+            healthy_frozen: Vec::new(),
+        };
+        assert_eq!(lift_snapshot(&snap).out_of_slot_used(), REPLAY_COUNTER_CAP);
+    }
+
+    #[test]
+    fn trace_truncates_at_the_first_violation() {
+        let good = ClusterSnapshot {
+            slot: 0,
+            controllers: Vec::new(),
+            buffers: Default::default(),
+            replays_delivered: 0,
+            healthy_frozen: Vec::new(),
+        };
+        let bad = ClusterSnapshot {
+            healthy_frozen: vec![tta_types::NodeId::new(2)],
+            slot: 1,
+            ..good.clone()
+        };
+        let states = lift_trace(&[good.clone(), bad.clone(), bad, good]);
+        assert_eq!(states.len(), 2, "everything after the violation is dropped");
+        assert!(states[0].property_holds());
+        assert!(!states[1].property_holds());
+        assert_eq!(states[1].frozen_victim(), Some(tta_types::NodeId::new(2)));
+    }
+}

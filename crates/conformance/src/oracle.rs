@@ -1,0 +1,270 @@
+//! The trace-replay oracle: asserts every observed simulator step is
+//! admitted by the model's transition relation.
+//!
+//! Given a lifted state sequence, the oracle walks consecutive pairs and
+//! asks [`ClusterModel::step_between`] whether the model admits the
+//! observed transition. On a mismatch it builds a [`Divergence`] report:
+//! the offending step, the states on both sides, and the admitted
+//! successors *closest* to what the simulator actually did, with a
+//! per-node diff — the report a human debugs from, minimized to the
+//! components that actually differ.
+
+use std::fmt;
+use std::fmt::Write as _;
+use tta_core::{ClusterModel, ClusterState, StepInfo};
+
+/// How many closest admitted successors a divergence report keeps.
+const NEAREST_KEPT: usize = 3;
+
+/// A successful replay: every observed step was admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conformance {
+    /// Number of transitions checked (states − 1).
+    pub steps_checked: usize,
+}
+
+/// One admitted successor ranked by distance to the observed state.
+#[derive(Debug, Clone)]
+pub struct NearMiss {
+    /// The admitted successor state.
+    pub state: ClusterState,
+    /// The fault/view labels under which the model admits it.
+    pub info: StepInfo,
+    /// Number of differing components vs. the observed state.
+    pub distance: usize,
+}
+
+/// A step the model does not admit, with debugging context.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index of the offending transition (0-based: `states[step]` →
+    /// `states[step + 1]`).
+    pub step: usize,
+    /// The state the step started from (admitted so far).
+    pub before: ClusterState,
+    /// The state the simulator observed next.
+    pub observed: ClusterState,
+    /// The admitted successors closest to `observed`, nearest first.
+    pub nearest: Vec<NearMiss>,
+}
+
+impl Divergence {
+    /// Renders the pretty mismatch report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace replay diverged at step {} -> {}:",
+            self.step,
+            self.step + 1
+        );
+        let _ = writeln!(out, "  before:   {}", self.before);
+        let _ = writeln!(out, "  observed: {}", self.observed);
+        if self.nearest.is_empty() {
+            let _ = writeln!(out, "  the model admits NO successor of `before`");
+        } else {
+            let _ = writeln!(
+                out,
+                "  model admits {} closest alternative(s):",
+                self.nearest.len()
+            );
+            for miss in &self.nearest {
+                let _ = writeln!(
+                    out,
+                    "   - [faults ({}, {}), view {:?}, distance {}]",
+                    miss.info.faults[0], miss.info.faults[1], miss.info.view, miss.distance
+                );
+                for line in diff_states(&self.observed, &miss.state) {
+                    let _ = writeln!(out, "       {line}");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Replays `states` through `model`, checking that every consecutive
+/// pair is admitted by the transition relation.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] (boxed — it carries full states).
+pub fn check_trace(
+    model: &ClusterModel,
+    states: &[ClusterState],
+) -> Result<Conformance, Box<Divergence>> {
+    for (step, pair) in states.windows(2).enumerate() {
+        let (before, observed) = (&pair[0], &pair[1]);
+        if model.step_between(before, observed).is_none() {
+            return Err(Box::new(divergence(model, step, before, observed)));
+        }
+    }
+    Ok(Conformance {
+        steps_checked: states.len().saturating_sub(1),
+    })
+}
+
+fn divergence(
+    model: &ClusterModel,
+    step: usize,
+    before: &ClusterState,
+    observed: &ClusterState,
+) -> Divergence {
+    let mut nearest: Vec<NearMiss> = model
+        .expand(before)
+        .into_iter()
+        .map(|(state, info)| NearMiss {
+            distance: state_distance(observed, &state),
+            state,
+            info,
+        })
+        .collect();
+    nearest.sort_by_key(|m| m.distance);
+    nearest.truncate(NEAREST_KEPT);
+    Divergence {
+        step,
+        before: before.clone(),
+        observed: observed.clone(),
+        nearest,
+    }
+}
+
+/// Number of differing components between two states: per-node
+/// controllers (a node missing on one side counts), both coupler
+/// buffers, the replay counter and the violation flag.
+fn state_distance(a: &ClusterState, b: &ClusterState) -> usize {
+    let nodes = a.nodes().len().max(b.nodes().len());
+    let mut d = 0;
+    for i in 0..nodes {
+        if a.nodes().get(i) != b.nodes().get(i) {
+            d += 1;
+        }
+    }
+    for ch in 0..2 {
+        if a.coupler_buffers()[ch] != b.coupler_buffers()[ch] {
+            d += 1;
+        }
+    }
+    if a.out_of_slot_used() != b.out_of_slot_used() {
+        d += 1;
+    }
+    if a.frozen_victim() != b.frozen_victim() {
+        d += 1;
+    }
+    d
+}
+
+/// Per-component diff lines between the observed state and an admitted
+/// alternative, one line per differing component.
+fn diff_states(observed: &ClusterState, admitted: &ClusterState) -> Vec<String> {
+    let mut lines = Vec::new();
+    let nodes = observed.nodes().len().max(admitted.nodes().len());
+    for i in 0..nodes {
+        let o = observed.nodes().get(i);
+        let a = admitted.nodes().get(i);
+        if o != a {
+            lines.push(format!(
+                "node {i}: observed {} / admitted {}",
+                display_or(o),
+                display_or(a)
+            ));
+        }
+    }
+    for ch in 0..2 {
+        let o = observed.coupler_buffers()[ch];
+        let a = admitted.coupler_buffers()[ch];
+        if o != a {
+            lines.push(format!("buffer[{ch}]: observed {o} / admitted {a}"));
+        }
+    }
+    if observed.out_of_slot_used() != admitted.out_of_slot_used() {
+        lines.push(format!(
+            "replays: observed {} / admitted {}",
+            observed.out_of_slot_used(),
+            admitted.out_of_slot_used()
+        ));
+    }
+    if observed.frozen_victim() != admitted.frozen_victim() {
+        lines.push(format!(
+            "frozen victim: observed {:?} / admitted {:?}",
+            observed.frozen_victim(),
+            admitted.frozen_victim()
+        ));
+    }
+    lines
+}
+
+fn display_or<T: fmt::Display>(value: Option<&T>) -> String {
+    value.map_or_else(|| "<absent>".to_string(), ToString::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_core::{ClusterConfig, ClusterModel};
+
+    fn model() -> ClusterModel {
+        ClusterModel::new(ClusterConfig::default())
+    }
+
+    #[test]
+    fn an_actual_model_walk_conforms() {
+        let m = model();
+        let mut states = vec![m.initial_state()];
+        for _ in 0..6 {
+            let (next, _) = m
+                .expand(states.last().unwrap())
+                .into_iter()
+                .next()
+                .expect("non-violating states always have successors");
+            states.push(next);
+        }
+        let conf = check_trace(&m, &states).expect("walk along real edges conforms");
+        assert_eq!(conf.steps_checked, 6);
+    }
+
+    #[test]
+    fn a_skipped_step_is_reported_with_near_misses() {
+        let m = model();
+        let s0 = m.initial_state();
+        let (s1, _) = m.expand(&s0).into_iter().next().unwrap();
+        // Skip a slot: find a grandchild that is not also a child.
+        let children = m.expand(&s0);
+        let s2 = m
+            .expand(&s1)
+            .into_iter()
+            .map(|(s, _)| s)
+            .find(|s| !children.iter().any(|(c, _)| c == s))
+            .expect("some grandchild is not a direct child");
+        let err = check_trace(&m, &[s0.clone(), s2]).unwrap_err();
+        assert_eq!(err.step, 0);
+        assert_eq!(err.before, s0);
+        assert!(!err.nearest.is_empty());
+        assert!(
+            err.nearest
+                .windows(2)
+                .all(|w| w[0].distance <= w[1].distance),
+            "near misses sorted by distance"
+        );
+        let report = err.render();
+        assert!(report.contains("diverged at step 0"), "{report}");
+        assert!(report.contains("observed"), "{report}");
+    }
+
+    #[test]
+    fn single_state_traces_trivially_conform() {
+        let m = model();
+        let s0 = m.initial_state();
+        assert_eq!(check_trace(&m, &[s0]).unwrap().steps_checked, 0);
+        assert_eq!(check_trace(&m, &[]).unwrap().steps_checked, 0);
+    }
+}

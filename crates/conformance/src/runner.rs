@@ -1,0 +1,318 @@
+//! The scenario runner: executes one scenario through both engines —
+//! the bounded model checker and the slot-level simulator — and diffs
+//! every outcome against the scenario's expectations.
+//!
+//! Checks performed, in order:
+//!
+//! 1. **Checker phase**: `verify_cluster` on the scenario's checker
+//!    configuration; verdict and counterexample length against
+//!    `[expect]`; the counterexample's own steps re-admitted through the
+//!    model (the checker must not narrate an impossible trace); the
+//!    rendered report against the golden fixture, if one is named.
+//! 2. **Simulator phase** (skipped with a visible reason when the fault
+//!    plan is not physically executable, e.g. an `out_of_slot` replay on
+//!    a passive star): the traced run's disturbance outcome against
+//!    `[expect]`.
+//! 3. **Oracle phase** (skipped when the run is outside the model's
+//!    vocabulary): every observed simulator step re-admitted through the
+//!    model's transition relation via [`crate::check_trace`].
+//! 4. An **agreement line** relating what the two engines concluded.
+
+use crate::lift::lift_trace;
+use crate::oracle::check_trace;
+use crate::scenario::{ExpectedVerdict, Scenario, ScenarioError};
+use crate::snapshot::{compare_golden, render_verification, verdict_name};
+use std::fmt::Write as _;
+use std::path::Path;
+use tta_core::{verify_cluster, ClusterModel, Verdict};
+
+/// The outcome of running one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Whether every check passed.
+    pub passed: bool,
+    /// The full human-readable report, one line per check.
+    pub report: String,
+}
+
+/// Loads and runs the scenario at `path`.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the file cannot be read or parsed;
+/// check *failures* are reported in the returned outcome, not as errors.
+pub fn run_scenario_file(path: &Path) -> Result<ScenarioOutcome, ScenarioError> {
+    Ok(run_scenario(&Scenario::load(path)?))
+}
+
+/// Runs an already-parsed scenario through both engines.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let mut r = Report::new();
+    let _ = writeln!(
+        r.text,
+        "scenario: {}{}",
+        scenario.name,
+        if scenario.description.is_empty() {
+            String::new()
+        } else {
+            format!(" — {}", scenario.description)
+        }
+    );
+
+    // Phase 1: the bounded checker.
+    let config = scenario.checker_config();
+    let verification = verify_cluster(&config);
+    let _ = writeln!(r.text, "[checker] config: {config}");
+    match scenario.expect.verdict {
+        Some(expected) => r.check(
+            verdict_matches(verification.verdict, expected),
+            format!(
+                "[checker] verdict: {} (expected {expected})",
+                verdict_name(verification.verdict)
+            ),
+        ),
+        None => {
+            let _ = writeln!(
+                r.text,
+                "[checker] verdict: {} (no expectation)",
+                verdict_name(verification.verdict)
+            );
+        }
+    }
+    let trace_len = verification.counterexample_len();
+    if let Some(expected) = scenario.expect.trace_len {
+        r.check(
+            trace_len == Some(expected),
+            format!(
+                "[checker] counterexample length: {} (expected {expected} transitions)",
+                trace_len.map_or_else(|| "none".to_string(), |n| n.to_string())
+            ),
+        );
+    }
+    if let Some(trace) = &verification.counterexample {
+        let model = ClusterModel::new(config);
+        match check_trace(&model, trace.states()) {
+            Ok(conf) => r.check(
+                true,
+                format!(
+                    "[checker] counterexample self-admission: {} steps re-admitted",
+                    conf.steps_checked
+                ),
+            ),
+            Err(div) => r.check(
+                false,
+                format!("[checker] counterexample self-admission\n{}", div.render()),
+            ),
+        }
+    }
+    if let Some(golden) = &scenario.expect.golden {
+        let path = scenario.base_dir.join(golden);
+        match compare_golden(&path, &render_verification(&verification)) {
+            Ok(()) => r.check(true, format!("[checker] golden fixture {}", path.display())),
+            Err(why) => r.check(false, format!("[checker] golden fixture: {why}")),
+        }
+    }
+
+    // Phase 2: the simulator, when the plan is physically executable.
+    let sim_run = match scenario.sim_applicable() {
+        Err(why) => {
+            let _ = writeln!(r.text, "[sim] SKIPPED: {why}");
+            if scenario.expect.sim_disturbed.is_some() {
+                r.check(
+                    false,
+                    "[sim] expectation on a skipped phase cannot hold".to_string(),
+                );
+            }
+            None
+        }
+        Ok(()) => {
+            let (report, snapshots) = scenario.sim_builder().build().run_traced();
+            let disturbed = !report.healthy_frozen().is_empty() || !report.cluster_started();
+            let mut frozen: Vec<_> = report.healthy_frozen().to_vec();
+            frozen.sort_unstable();
+            frozen.dedup();
+            let _ = writeln!(
+                r.text,
+                "[sim] {} slots, started: {}, healthy nodes ever frozen: {}",
+                report.slots_run(),
+                report
+                    .startup_slot()
+                    .map_or_else(|| "never".to_string(), |s| format!("slot {s}")),
+                if frozen.is_empty() {
+                    "none".to_string()
+                } else {
+                    frozen
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            );
+            if let Some(expected) = scenario.expect.sim_disturbed {
+                r.check(
+                    disturbed == expected,
+                    format!("[sim] disturbed: {disturbed} (expected {expected})"),
+                );
+            }
+            Some((disturbed, snapshots))
+        }
+    };
+
+    // Phase 3: the trace-replay oracle.
+    if let Some((_, snapshots)) = &sim_run {
+        match scenario.oracle_applicable() {
+            Err(why) => {
+                let _ = writeln!(r.text, "[oracle] SKIPPED: {why}");
+            }
+            Ok(()) => {
+                let states = lift_trace(snapshots);
+                let expect_conforms = scenario.expect.oracle_conforms.unwrap_or(true);
+                match check_trace(&scenario.oracle_model(), &states) {
+                    Ok(conf) => r.check(
+                        expect_conforms,
+                        format!(
+                            "[oracle] {} observed steps admitted by the model{}",
+                            conf.steps_checked,
+                            if expect_conforms {
+                                ""
+                            } else {
+                                " — but the scenario expects a divergence; \
+                                 the pinned abstraction gap has closed, update the scenario"
+                            }
+                        ),
+                    ),
+                    Err(div) => r.check(
+                        !expect_conforms,
+                        format!(
+                            "[oracle] step admission{}\n{}",
+                            if expect_conforms {
+                                ""
+                            } else {
+                                " diverged as expected (pinned abstraction gap)"
+                            },
+                            div.render()
+                        ),
+                    ),
+                }
+            }
+        }
+    }
+
+    // Phase 4: cross-engine agreement.
+    if let Some((disturbed, _)) = sim_run {
+        let checker_violated = verification.verdict == Verdict::Violated;
+        let agree = checker_violated == disturbed;
+        let _ = writeln!(
+            r.text,
+            "agreement: checker {} / simulator {} — {}",
+            verdict_name(verification.verdict),
+            if disturbed {
+                "disturbed"
+            } else {
+                "undisturbed"
+            },
+            if agree {
+                "engines agree"
+            } else {
+                "engines DISAGREE (fine iff the scenario expects it: the checker \
+                 quantifies over all runs, the simulator executes one)"
+            }
+        );
+    }
+
+    let _ = writeln!(r.text, "{}", if r.passed { "PASS" } else { "FAIL" });
+    ScenarioOutcome {
+        passed: r.passed,
+        report: r.text,
+    }
+}
+
+fn verdict_matches(actual: Verdict, expected: ExpectedVerdict) -> bool {
+    match expected {
+        ExpectedVerdict::Holds => actual == Verdict::Holds,
+        ExpectedVerdict::Violated => actual == Verdict::Violated,
+    }
+}
+
+struct Report {
+    text: String,
+    passed: bool,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report {
+            text: String::new(),
+            passed: true,
+        }
+    }
+
+    fn check(&mut self, ok: bool, line: String) {
+        let _ = writeln!(self.text, "{line} ... {}", if ok { "ok" } else { "FAILED" });
+        if !ok {
+            self.passed = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL_SHIFTING_NOISE: &str = r#"
+[scenario]
+name = "small-shifting-noise"
+
+[cluster]
+nodes = 3
+topology = "star"
+authority = "small_shifting"
+
+[sim]
+slots = 120
+
+[[fault.coupler]]
+channel = 0
+mode = "bad_frame"
+from_slot = 20
+to_slot = 60
+
+[expect]
+verdict = "holds"
+sim_disturbed = false
+"#;
+
+    #[test]
+    fn a_benign_scenario_passes_all_phases() {
+        let scenario = Scenario::parse(SMALL_SHIFTING_NOISE, Path::new(".")).unwrap();
+        let outcome = run_scenario(&scenario);
+        assert!(outcome.passed, "{}", outcome.report);
+        assert!(
+            outcome.report.contains("engines agree"),
+            "{}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.contains("observed steps admitted"),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn wrong_expectations_fail_with_reasons() {
+        let text = SMALL_SHIFTING_NOISE
+            .replace("verdict = \"holds\"", "verdict = \"violated\"")
+            .replace("sim_disturbed = false", "sim_disturbed = true");
+        let scenario = Scenario::parse(&text, Path::new(".")).unwrap();
+        let outcome = run_scenario(&scenario);
+        assert!(!outcome.passed);
+        assert!(outcome.report.contains("FAILED"), "{}", outcome.report);
+        assert!(
+            outcome.report.trim_end().ends_with("FAIL"),
+            "{}",
+            outcome.report
+        );
+    }
+}

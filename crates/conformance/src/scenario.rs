@@ -1,0 +1,616 @@
+//! The TOML scenario DSL: one file describes a cluster, a fault plan and
+//! the verdicts both engines are expected to reach.
+//!
+//! ```toml
+//! [scenario]
+//! name = "coldstart-dup"
+//!
+//! [cluster]
+//! nodes = 4
+//! topology = "star"
+//! authority = "full_shifting"
+//!
+//! [model]
+//! out_of_slot_budget = 1          # or "unlimited"
+//!
+//! [sim]
+//! slots = 400
+//!
+//! [[fault.coupler]]
+//! channel = 0
+//! mode = "out_of_slot"            # silence | bad_frame | out_of_slot
+//! from_slot = 12
+//! to_slot = 340
+//!
+//! [expect]
+//! verdict = "violated"            # holds | violated
+//! trace_len = 10
+//! sim_disturbed = true
+//! golden = "../crates/conformance/fixtures/coldstart_dup.trace"
+//! ```
+
+use crate::toml::{Document, Table, Value};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use tta_core::{ClusterConfig, ClusterModel, FaultBudget};
+use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_protocol::HostChoices;
+use tta_sim::{CouplerFaultEvent, FaultPlan, SimBuilder, Topology};
+
+/// The verdict a scenario expects from the bounded checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedVerdict {
+    /// The property holds on every reachable state.
+    Holds,
+    /// A counterexample exists.
+    Violated,
+}
+
+impl fmt::Display for ExpectedVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ExpectedVerdict::Holds => "holds",
+            ExpectedVerdict::Violated => "violated",
+        })
+    }
+}
+
+/// What the scenario author expects each engine to report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Expectations {
+    /// Expected checker verdict.
+    pub verdict: Option<ExpectedVerdict>,
+    /// Expected counterexample length in transitions.
+    pub trace_len: Option<usize>,
+    /// Whether the simulated run should be disturbed (a healthy node
+    /// froze or the cluster failed to start).
+    pub sim_disturbed: Option<bool>,
+    /// Whether the trace-replay oracle should find every step admitted
+    /// (`true`, the default when the oracle runs) or is expected to
+    /// diverge (`false`) — used to pin *known* abstraction gaps, e.g.
+    /// the simulator's per-receiver membership semantics on replayed
+    /// C-state frames, which the model's uniform channel view cannot
+    /// express. An expected divergence that stops reproducing fails the
+    /// scenario, so a closed gap is noticed.
+    pub oracle_conforms: Option<bool>,
+    /// Golden-trace fixture to compare the rendered counterexample
+    /// against, relative to the scenario file.
+    pub golden: Option<String>,
+}
+
+/// One parsed conformance scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Short identifier.
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Cluster size (2..=16).
+    pub nodes: usize,
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// Central-guardian authority level.
+    pub authority: CouplerAuthority,
+    /// Simulation horizon in slots.
+    pub slots: u64,
+    /// Per-node start delays (defaults to the simulator's staggering).
+    pub start_delays: Option<Vec<u32>>,
+    /// Replay budget for the *checker* configuration.
+    pub out_of_slot_budget: FaultBudget,
+    /// Checker constraint: prohibit replaying cold-start frames.
+    pub forbid_cold_start_replay: bool,
+    /// Coupler faults injected into the simulated run.
+    pub coupler_faults: Vec<CouplerFaultEvent>,
+    /// Expected outcomes.
+    pub expect: Expectations,
+    /// Directory of the scenario file (fixture paths resolve against it).
+    pub base_dir: PathBuf,
+}
+
+/// A scenario-level error: a syntax error from the TOML layer or a
+/// semantic error (unknown section, bad enum value, inconsistent plan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl ScenarioError {
+    fn new(message: impl Into<String>) -> Self {
+        ScenarioError(message.into())
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+const KNOWN_SECTIONS: [&str; 6] = ["", "scenario", "cluster", "model", "sim", "expect"];
+
+impl Scenario {
+    /// Parses a scenario from TOML text. `base_dir` is the directory
+    /// fixture references resolve against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] for syntax errors, unknown sections or
+    /// keys, out-of-range values, and fault plans inconsistent with the
+    /// declared authority.
+    pub fn parse(text: &str, base_dir: &Path) -> Result<Self, ScenarioError> {
+        let doc = Document::parse(text).map_err(|e| ScenarioError::new(e.to_string()))?;
+        for path in doc.paths() {
+            if !KNOWN_SECTIONS.contains(&path) && path != "fault.coupler" {
+                return Err(ScenarioError::new(format!("unknown section [{path}]")));
+            }
+        }
+        if let Some(root) = doc.table("") {
+            if let Some(key) = root.keys().next() {
+                return Err(ScenarioError::new(format!(
+                    "top-level key `{key}` outside any section"
+                )));
+            }
+        }
+
+        let meta = doc.table("scenario");
+        let name = get_str(meta, "name", "scenario")?
+            .unwrap_or_default()
+            .to_string();
+        let description = get_str(meta, "description", "scenario")?
+            .unwrap_or_default()
+            .to_string();
+        check_keys(meta, &["name", "description"])?;
+
+        let cluster = doc
+            .table("cluster")
+            .ok_or_else(|| ScenarioError::new("missing [cluster] section"))?;
+        check_keys(Some(cluster), &["nodes", "topology", "authority"])?;
+        let nodes = get_int(Some(cluster), "nodes", "cluster")?
+            .ok_or_else(|| ScenarioError::new("cluster.nodes is required"))?;
+        let nodes = usize::try_from(nodes)
+            .ok()
+            .filter(|n| (2..=16).contains(n))
+            .ok_or_else(|| ScenarioError::new("cluster.nodes must be in 2..=16"))?;
+        let topology = match get_str(Some(cluster), "topology", "cluster")?.unwrap_or("star") {
+            "star" => Topology::Star,
+            "bus" => Topology::Bus,
+            other => {
+                return Err(ScenarioError::new(format!(
+                    "cluster.topology `{other}` (expected star | bus)"
+                )))
+            }
+        };
+        let authority = parse_authority(
+            get_str(Some(cluster), "authority", "cluster")?.unwrap_or("small_shifting"),
+        )?;
+
+        let model = doc.table("model");
+        check_keys(model, &["out_of_slot_budget", "forbid_cold_start_replay"])?;
+        let out_of_slot_budget = match model.and_then(|t| t.get("out_of_slot_budget")) {
+            None => FaultBudget::Unlimited,
+            Some(Value::Str(s)) if s == "unlimited" => FaultBudget::Unlimited,
+            Some(Value::Int(n)) if (0..=255).contains(n) => FaultBudget::AtMost(*n as u8),
+            Some(_) => {
+                return Err(ScenarioError::new(
+                    "model.out_of_slot_budget must be \"unlimited\" or an integer in 0..=255",
+                ))
+            }
+        };
+        let forbid_cold_start_replay =
+            get_bool(model, "forbid_cold_start_replay", "model")?.unwrap_or(false);
+
+        let sim = doc.table("sim");
+        check_keys(sim, &["slots", "start_delays"])?;
+        let slots = match get_int(sim, "slots", "sim")? {
+            None => 400,
+            Some(n) if n > 0 => n as u64,
+            Some(_) => return Err(ScenarioError::new("sim.slots must be positive")),
+        };
+        let start_delays = match sim.and_then(|t| t.get("start_delays")) {
+            None => None,
+            Some(Value::Array(items)) => {
+                let delays: Option<Vec<u32>> = items
+                    .iter()
+                    .map(|v| v.as_int().and_then(|n| u32::try_from(n).ok()))
+                    .collect();
+                let delays = delays.ok_or_else(|| {
+                    ScenarioError::new("sim.start_delays must be non-negative integers")
+                })?;
+                if delays.len() != nodes {
+                    return Err(ScenarioError::new(format!(
+                        "sim.start_delays needs {nodes} entries, got {}",
+                        delays.len()
+                    )));
+                }
+                Some(delays)
+            }
+            Some(_) => return Err(ScenarioError::new("sim.start_delays must be an array")),
+        };
+
+        let mut coupler_faults = Vec::new();
+        for table in doc.tables("fault.coupler") {
+            coupler_faults.push(parse_coupler_fault(table)?);
+        }
+
+        let expect_table = doc.table("expect");
+        check_keys(
+            expect_table,
+            &["verdict", "trace_len", "sim_disturbed", "oracle", "golden"],
+        )?;
+        let expect = Expectations {
+            verdict: match get_str(expect_table, "verdict", "expect")? {
+                None => None,
+                Some("holds") => Some(ExpectedVerdict::Holds),
+                Some("violated") => Some(ExpectedVerdict::Violated),
+                Some(other) => {
+                    return Err(ScenarioError::new(format!(
+                        "expect.verdict `{other}` (expected holds | violated)"
+                    )))
+                }
+            },
+            trace_len: get_int(expect_table, "trace_len", "expect")?
+                .map(|n| {
+                    usize::try_from(n)
+                        .map_err(|_| ScenarioError::new("expect.trace_len must be non-negative"))
+                })
+                .transpose()?,
+            sim_disturbed: get_bool(expect_table, "sim_disturbed", "expect")?,
+            oracle_conforms: match get_str(expect_table, "oracle", "expect")? {
+                None => None,
+                Some("conforms") => Some(true),
+                Some("diverges") => Some(false),
+                Some(other) => {
+                    return Err(ScenarioError::new(format!(
+                        "expect.oracle `{other}` (expected conforms | diverges)"
+                    )))
+                }
+            },
+            golden: get_str(expect_table, "golden", "expect")?.map(str::to_string),
+        };
+
+        Ok(Scenario {
+            name,
+            description,
+            nodes,
+            topology,
+            authority,
+            slots,
+            start_delays,
+            out_of_slot_budget,
+            forbid_cold_start_replay,
+            coupler_faults,
+            expect,
+            base_dir: base_dir.to_path_buf(),
+        })
+    }
+
+    /// Loads and parses a scenario file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O failures and everything [`Self::parse`] rejects.
+    pub fn load(path: &Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::new(format!("{}: {e}", path.display())))?;
+        let base = path.parent().unwrap_or_else(|| Path::new("."));
+        let mut scenario = Self::parse(&text, base)?;
+        if scenario.name.is_empty() {
+            scenario.name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+        }
+        Ok(scenario)
+    }
+
+    /// The configuration the bounded checker verifies: the scenario's
+    /// authority plus the `[model]` constraints.
+    #[must_use]
+    pub fn checker_config(&self) -> ClusterConfig {
+        ClusterConfig {
+            nodes: self.nodes,
+            authority: self.authority,
+            host_choices: HostChoices::checking(),
+            out_of_slot_budget: self.out_of_slot_budget,
+            forbid_cold_start_replay: self.forbid_cold_start_replay,
+            symmetric_fault_reduction: true,
+        }
+    }
+
+    /// The model the trace-replay oracle checks simulator steps against.
+    ///
+    /// Unlike [`Self::checker_config`] this drops every trace-shaping
+    /// constraint: the budget is unlimited (the simulated fault plan may
+    /// replay arbitrarily often), cold-start replays are allowed, and
+    /// both couplers may fail (the plan may target channel 1). The oracle
+    /// asks "is each observed step *possible*?", not "is it within the
+    /// narrated counterexample's constraints?".
+    #[must_use]
+    pub fn oracle_model(&self) -> ClusterModel {
+        ClusterModel::new(ClusterConfig {
+            nodes: self.nodes,
+            authority: self.authority,
+            host_choices: HostChoices::checking(),
+            out_of_slot_budget: FaultBudget::Unlimited,
+            forbid_cold_start_replay: false,
+            symmetric_fault_reduction: false,
+        })
+    }
+
+    /// The simulator run this scenario describes.
+    #[must_use]
+    pub fn sim_builder(&self) -> SimBuilder {
+        let mut plan = FaultPlan::none();
+        for fault in &self.coupler_faults {
+            plan = plan.with_coupler_fault(*fault);
+        }
+        let mut builder = SimBuilder::new(self.nodes)
+            .topology(self.topology)
+            .authority(self.authority)
+            .slots(self.slots)
+            .plan(plan);
+        if let Some(delays) = &self.start_delays {
+            builder = builder.start_delays(delays.clone());
+        }
+        builder
+    }
+
+    /// Whether the simulator can execute this scenario's fault plan at
+    /// all (`Ok`), or why not. An `out_of_slot` replay needs a coupler
+    /// that buffers full frames; asking a lesser authority to replay is
+    /// not a parse error (the checker phase still runs and reports the
+    /// verdict/golden divergence) but the simulator phase must be
+    /// skipped — the plan is physically meaningless there.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable reason the plan cannot be simulated.
+    pub fn sim_applicable(&self) -> Result<(), String> {
+        for fault in &self.coupler_faults {
+            if fault.mode == CouplerFaultMode::OutOfSlot
+                && !(self.topology.is_central() && self.authority.can_buffer_full_frames())
+            {
+                return Err(format!(
+                    "out_of_slot replay requires a full-shifting star coupler \
+                     (topology is {}, authority is {})",
+                    self.topology, self.authority
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the simulated execution can be replayed through the formal
+    /// model (`Ok`), or why not. The model speaks star topology with
+    /// coupler faults only; a scenario outside that vocabulary still runs
+    /// in the simulator, just without the step-admission oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable reason the oracle does not apply.
+    pub fn oracle_applicable(&self) -> Result<(), String> {
+        self.sim_applicable()?;
+        if self.topology != Topology::Star {
+            return Err("the formal model covers only the star topology".into());
+        }
+        for (i, a) in self.coupler_faults.iter().enumerate() {
+            for b in &self.coupler_faults[i + 1..] {
+                if a.channel != b.channel && a.from_slot < b.to_slot && b.from_slot < a.to_slot {
+                    return Err(format!(
+                        "coupler faults on both channels overlap in slots {}..{} — \
+                         outside the model's single-fault hypothesis",
+                        a.from_slot.max(b.from_slot),
+                        a.to_slot.min(b.to_slot)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_authority(text: &str) -> Result<CouplerAuthority, ScenarioError> {
+    match text {
+        "passive" => Ok(CouplerAuthority::Passive),
+        "time_windows" => Ok(CouplerAuthority::TimeWindows),
+        "small_shifting" => Ok(CouplerAuthority::SmallShifting),
+        "full_shifting" => Ok(CouplerAuthority::FullShifting),
+        other => Err(ScenarioError::new(format!(
+            "authority `{other}` (expected passive | time_windows | small_shifting | full_shifting)"
+        ))),
+    }
+}
+
+fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError> {
+    check_keys(Some(table), &["channel", "mode", "from_slot", "to_slot"])?;
+    let where_ = format!("fault.coupler (line {})", table.line);
+    let channel = get_int(Some(table), "channel", &where_)?
+        .filter(|c| (0..=1).contains(c))
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: channel must be 0 or 1")))?
+        as usize;
+    let mode = match get_str(Some(table), "mode", &where_)? {
+        Some("silence") => CouplerFaultMode::Silence,
+        Some("bad_frame") => CouplerFaultMode::BadFrame,
+        Some("out_of_slot") => CouplerFaultMode::OutOfSlot,
+        other => {
+            return Err(ScenarioError::new(format!(
+                "{where_}: mode `{}` (expected silence | bad_frame | out_of_slot)",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    };
+    let from_slot = get_int(Some(table), "from_slot", &where_)?
+        .filter(|s| *s >= 0)
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: from_slot is required")))?
+        as u64;
+    let to_slot = get_int(Some(table), "to_slot", &where_)?
+        .filter(|s| *s >= 0)
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: to_slot is required")))?
+        as u64;
+    if from_slot >= to_slot {
+        return Err(ScenarioError::new(format!(
+            "{where_}: empty window {from_slot}..{to_slot}"
+        )));
+    }
+    Ok(CouplerFaultEvent {
+        channel,
+        mode,
+        from_slot,
+        to_slot,
+    })
+}
+
+fn check_keys(table: Option<&Table>, known: &[&str]) -> Result<(), ScenarioError> {
+    if let Some(table) = table {
+        for key in table.keys() {
+            if !known.contains(&key) {
+                let section = if table.path.is_empty() {
+                    "top level".to_string()
+                } else {
+                    format!("[{}]", table.path)
+                };
+                return Err(ScenarioError::new(format!(
+                    "unknown key `{key}` in {section} (known: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get_str<'a>(
+    table: Option<&'a Table>,
+    key: &str,
+    section: &str,
+) -> Result<Option<&'a str>, ScenarioError> {
+    match table.and_then(|t| t.get(key)) {
+        None => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.as_str())),
+        Some(_) => Err(ScenarioError::new(format!(
+            "{section}.{key} must be a string"
+        ))),
+    }
+}
+
+fn get_int(table: Option<&Table>, key: &str, section: &str) -> Result<Option<i64>, ScenarioError> {
+    match table.and_then(|t| t.get(key)) {
+        None => Ok(None),
+        Some(Value::Int(n)) => Ok(Some(*n)),
+        Some(_) => Err(ScenarioError::new(format!(
+            "{section}.{key} must be an integer"
+        ))),
+    }
+}
+
+fn get_bool(
+    table: Option<&Table>,
+    key: &str,
+    section: &str,
+) -> Result<Option<bool>, ScenarioError> {
+    match table.and_then(|t| t.get(key)) {
+        None => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(ScenarioError::new(format!(
+            "{section}.{key} must be a boolean"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COLDSTART: &str = r#"
+[scenario]
+name = "coldstart-dup"
+description = "replay a buffered cold-start frame"
+
+[cluster]
+nodes = 4
+topology = "star"
+authority = "full_shifting"
+
+[model]
+out_of_slot_budget = 1
+
+[sim]
+slots = 400
+
+[[fault.coupler]]
+channel = 0
+mode = "out_of_slot"
+from_slot = 12
+to_slot = 340
+
+[expect]
+verdict = "violated"
+trace_len = 10
+sim_disturbed = true
+"#;
+
+    #[test]
+    fn parses_the_coldstart_scenario() {
+        let s = Scenario::parse(COLDSTART, Path::new(".")).unwrap();
+        assert_eq!(s.name, "coldstart-dup");
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.authority, CouplerAuthority::FullShifting);
+        assert_eq!(s.out_of_slot_budget, FaultBudget::AtMost(1));
+        assert_eq!(s.coupler_faults.len(), 1);
+        assert_eq!(s.coupler_faults[0].mode, CouplerFaultMode::OutOfSlot);
+        assert_eq!(s.expect.verdict, Some(ExpectedVerdict::Violated));
+        assert_eq!(s.expect.trace_len, Some(10));
+        assert_eq!(s.expect.sim_disturbed, Some(true));
+        assert!(s.oracle_applicable().is_ok());
+        let config = s.checker_config();
+        assert_eq!(config, ClusterConfig::paper_trace_cold_start());
+    }
+
+    #[test]
+    fn replay_plan_on_a_passive_star_parses_but_cannot_simulate() {
+        let text = COLDSTART.replace("full_shifting", "passive");
+        let s = Scenario::parse(&text, Path::new(".")).unwrap();
+        let why = s.sim_applicable().unwrap_err();
+        assert!(why.contains("full-shifting"), "{why}");
+        assert!(s.oracle_applicable().is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        let err = Scenario::parse("[cluster]\nnodes = 4\nnodez = 4\n", Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("nodez"), "{err}");
+        let err =
+            Scenario::parse("[cluster]\nnodes = 4\n[weird]\nx = 1\n", Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("weird"), "{err}");
+    }
+
+    #[test]
+    fn dual_channel_overlap_defeats_the_oracle() {
+        let text = format!(
+            "{COLDSTART}\n[[fault.coupler]]\nchannel = 1\nmode = \"silence\"\n\
+             from_slot = 100\nto_slot = 200\n"
+        );
+        let s = Scenario::parse(&text, Path::new(".")).unwrap();
+        let why = s.oracle_applicable().unwrap_err();
+        assert!(why.contains("single-fault"), "{why}");
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let s = Scenario::parse("[cluster]\nnodes = 4\n", Path::new(".")).unwrap();
+        assert_eq!(s.slots, 400);
+        assert_eq!(s.topology, Topology::Star);
+        assert_eq!(s.authority, CouplerAuthority::SmallShifting);
+        assert_eq!(s.out_of_slot_budget, FaultBudget::Unlimited);
+        assert!(s.coupler_faults.is_empty());
+        assert_eq!(s.expect, Expectations::default());
+    }
+
+    #[test]
+    fn oracle_model_drops_trace_constraints() {
+        let s = Scenario::parse(COLDSTART, Path::new(".")).unwrap();
+        let oracle = s.oracle_model();
+        assert_eq!(oracle.config().out_of_slot_budget, FaultBudget::Unlimited);
+        assert!(!oracle.config().symmetric_fault_reduction);
+    }
+}

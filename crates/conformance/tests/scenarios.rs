@@ -1,0 +1,94 @@
+//! Every checked-in scenario must pass through both engines, and a
+//! deliberately broken scenario must fail with the per-slot divergence
+//! report — the same checks CI runs via the `conformance_runner` binary.
+
+use std::path::{Path, PathBuf};
+use tta_conformance::{run_scenario, run_scenario_file, Scenario};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_checked_in_scenario_passes() {
+    let mut ran = 0;
+    for entry in std::fs::read_dir(scenarios_dir()).expect("scenarios/ exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        let outcome =
+            run_scenario_file(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(outcome.passed, "{}:\n{}", path.display(), outcome.report);
+        ran += 1;
+    }
+    assert!(ran >= 5, "expected at least five scenarios, ran {ran}");
+}
+
+#[test]
+fn scenarios_cover_every_authority_level() {
+    let mut seen = std::collections::BTreeSet::new();
+    for entry in std::fs::read_dir(scenarios_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        let scenario = Scenario::load(&path).unwrap();
+        seen.insert(scenario.authority);
+    }
+    assert_eq!(seen.len(), 4, "one scenario per authority level: {seen:?}");
+}
+
+/// The acceptance path from the issue: mutating the cold-start
+/// scenario's authority to `Passive` must make the run fail with a
+/// per-slot diff against the golden fixture, and the simulator phase
+/// must be skipped with a visible reason instead of attempting an
+/// impossible replay.
+#[test]
+fn passive_mutation_fires_the_divergence_report() {
+    let text = std::fs::read_to_string(scenarios_dir().join("coldstart_dup.toml")).unwrap();
+    let mutated = text.replace("authority = \"full_shifting\"", "authority = \"passive\"");
+    assert_ne!(text, mutated, "the mutation must apply");
+    let scenario = Scenario::parse(&mutated, &scenarios_dir()).unwrap();
+    let outcome = run_scenario(&scenario);
+    assert!(!outcome.passed);
+    let report = &outcome.report;
+    assert!(
+        report.contains("verdict: holds (expected violated) ... FAILED"),
+        "{report}"
+    );
+    assert!(
+        report.contains("drifted"),
+        "golden diff must fire: {report}"
+    );
+    assert!(
+        report.contains("- step  0:") && report.contains("- step 14:"),
+        "per-slot diff lists the vanished trace steps: {report}"
+    );
+    assert!(
+        report.contains("[sim] SKIPPED") && report.contains("full-shifting"),
+        "impossible plans skip the simulator with a reason: {report}"
+    );
+}
+
+/// Golden fixtures referenced by scenarios resolve relative to the
+/// scenario file and exist in the repository.
+#[test]
+fn referenced_fixtures_exist() {
+    for entry in std::fs::read_dir(scenarios_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "toml") {
+            continue;
+        }
+        let scenario = Scenario::load(&path).unwrap();
+        if let Some(golden) = &scenario.expect.golden {
+            let fixture = scenario.base_dir.join(golden);
+            assert!(
+                Path::new(&fixture).exists(),
+                "{}: fixture {} missing",
+                path.display(),
+                fixture.display()
+            );
+        }
+    }
+}

@@ -53,7 +53,7 @@ mod verify;
 pub use analyze::{analyze_reachable, ReachableSummary};
 pub use compact::{ClusterCodec, CompactState};
 pub use config::{ClusterConfig, FaultBudget};
-pub use model::{ClusterModel, StepInfo};
+pub use model::{ClusterModel, StepInfo, REPLAY_COUNTER_CAP};
 pub use narrate::{narrate_compressed, narrate_trace, NarratedStep};
 pub use state::ClusterState;
 pub use tta_modelcheck::Verdict;

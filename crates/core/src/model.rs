@@ -11,8 +11,10 @@ use tta_types::{FrameKind, NodeId};
 
 /// Saturation cap for the out-of-slot counter under an unlimited budget;
 /// keeps the state space finite without affecting semantics (the counter
-/// is only compared against finite budgets below this cap).
-const REPLAY_COUNTER_CAP: u8 = 7;
+/// is only compared against finite budgets below this cap). Exported so
+/// state-lifting code (the conformance oracle) saturates its replay count
+/// the same way.
+pub const REPLAY_COUNTER_CAP: u8 = 7;
 
 /// How a particular successor was produced: which coupler faults were
 /// injected and what the channels carried. Used by trace narration.
@@ -118,6 +120,33 @@ impl ClusterModel {
         out
     }
 
+    /// Whether the transition relation admits the step `state → next`.
+    ///
+    /// This is the model's *step-admission* judgment, the primitive the
+    /// conformance oracle replays simulator traces against: a step is
+    /// admitted iff some coupler-fault combination and host-choice vector
+    /// produces exactly `next`.
+    #[must_use]
+    pub fn admits(&self, state: &ClusterState, next: &ClusterState) -> bool {
+        self.step_between(state, next).is_some()
+    }
+
+    /// The [`StepInfo`] of some admitted step `state → next`, or `None`
+    /// if the relation does not admit it. When several fault combinations
+    /// produce the same successor, the first in enumeration order wins
+    /// (healthy couplers sort first, so the least-faulty explanation is
+    /// preferred).
+    #[must_use]
+    pub fn step_between(&self, state: &ClusterState, next: &ClusterState) -> Option<StepInfo> {
+        let mut found = None;
+        self.for_each_step(state, &mut |succ, info| {
+            if found.is_none() && &succ == next {
+                found = Some(info);
+            }
+        });
+        found
+    }
+
     /// Drives `emit` over every `(successor, info)` pair of `state`.
     ///
     /// This is the allocation-lean core behind [`Self::expand`] and the
@@ -126,7 +155,11 @@ impl ClusterModel {
     /// and callers that only need the successors (the explorers, via
     /// `successors`) never materialize an intermediate
     /// `Vec<(ClusterState, StepInfo)>`.
-    fn for_each_step(&self, state: &ClusterState, emit: &mut dyn FnMut(ClusterState, StepInfo)) {
+    pub fn for_each_step(
+        &self,
+        state: &ClusterState,
+        emit: &mut dyn FnMut(ClusterState, StepInfo),
+    ) {
         if state.frozen_victim().is_some() {
             return;
         }

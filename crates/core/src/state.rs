@@ -22,7 +22,10 @@ pub struct ClusterState {
 }
 
 impl ClusterState {
-    pub(crate) fn new(nodes: Vec<Controller>) -> Self {
+    /// A state with every given controller, empty coupler buffers, no
+    /// replays spent, and a clear monitor.
+    #[must_use]
+    pub fn new(nodes: Vec<Controller>) -> Self {
         ClusterState {
             nodes,
             coupler_buffers: [BufferedFrame::empty(); 2],
@@ -31,7 +34,12 @@ impl ClusterState {
         }
     }
 
-    pub(crate) fn with_parts(
+    /// Assembles a state from all four components. Public so external
+    /// oracles (the conformance crate) can lift simulator observations
+    /// into the model's vocabulary; the model itself only ever produces
+    /// states through the transition relation.
+    #[must_use]
+    pub fn with_parts(
         nodes: Vec<Controller>,
         coupler_buffers: [BufferedFrame; 2],
         out_of_slot_used: u8,

@@ -1,0 +1,228 @@
+//! Table-driven coverage of the authority ladder: for every
+//! [`CouplerAuthority`] level, one row states what the semantic filter
+//! must do with each defect class, which fault modes the coupler may
+//! exhibit, and whether full-frame buffering is permitted. The tables
+//! make the paper's central tradeoff mechanical: each added capability
+//! (blocking, shifting, buffering) both masks a defect class *and*
+//! widens the guardian's own failure modes.
+
+use tta_guardian::enhanced::{audit, BufferedFunction, MailboxService, PriorityRelay};
+use tta_guardian::reshape::{GuardianAction, SemanticFilter};
+use tta_guardian::sos::{SosDefect, SosDomain};
+use tta_guardian::{BufferedFrame, CouplerAuthority, CouplerFaultMode, StarCoupler};
+use tta_types::{CState, Frame, FrameBuilder, FrameClass, MembershipVector, NodeId, SlotIndex};
+
+use CouplerAuthority::{FullShifting, Passive, SmallShifting, TimeWindows};
+
+fn iframe(sender: u8) -> Frame {
+    FrameBuilder::new(FrameClass::IFrame, NodeId::new(sender))
+        .cstate(CState::new(5, 1, 0, MembershipVector::full(4)))
+        .build()
+        .unwrap()
+}
+
+/// One row per authority level: what the filter does with (a) an
+/// off-slot transmission, (b) a masquerading sender, (c) a time-domain
+/// SOS defect, (d) a value-domain SOS defect.
+#[test]
+fn filter_actions_follow_the_authority_table() {
+    struct Row {
+        authority: CouplerAuthority,
+        blocks_off_slot: bool,
+        blocks_masquerade: bool,
+        reshapes_time_sos: bool,
+        reshapes_value_sos: bool,
+    }
+    let table = [
+        Row {
+            authority: Passive,
+            blocks_off_slot: false,
+            blocks_masquerade: false,
+            reshapes_time_sos: false,
+            reshapes_value_sos: false,
+        },
+        Row {
+            authority: TimeWindows,
+            blocks_off_slot: true,
+            blocks_masquerade: true,
+            reshapes_time_sos: false,
+            reshapes_value_sos: true,
+        },
+        Row {
+            authority: SmallShifting,
+            blocks_off_slot: true,
+            blocks_masquerade: true,
+            reshapes_time_sos: true,
+            reshapes_value_sos: true,
+        },
+        Row {
+            authority: FullShifting,
+            blocks_off_slot: true,
+            blocks_masquerade: true,
+            reshapes_time_sos: true,
+            reshapes_value_sos: true,
+        },
+    ];
+
+    for row in table {
+        let filter = SemanticFilter::new(row.authority);
+        let a = row.authority;
+
+        // (a) Off-slot: honest frame, outside its window.
+        let (action, _) = filter.filter(
+            &iframe(0),
+            SlotIndex::new(1),
+            NodeId::new(0),
+            false,
+            None,
+            None,
+        );
+        assert_eq!(
+            action == GuardianAction::BlockedOffSlot,
+            row.blocks_off_slot,
+            "{a}: off-slot handling"
+        );
+
+        // (b) Masquerade: node 3 transmits in node 0's window.
+        let (action, _) = filter.filter(
+            &iframe(3),
+            SlotIndex::new(1),
+            NodeId::new(0),
+            true,
+            None,
+            None,
+        );
+        assert_eq!(
+            matches!(action, GuardianAction::BlockedMasquerade { .. }),
+            row.blocks_masquerade,
+            "{a}: masquerade handling"
+        );
+
+        // (c)/(d) SOS defects in each domain on an otherwise honest frame.
+        for (domain, expect_fix) in [
+            (SosDomain::Time, row.reshapes_time_sos),
+            (SosDomain::Value, row.reshapes_value_sos),
+        ] {
+            let defect = SosDefect::new(domain, 0.5);
+            let (action, residual) = filter.filter(
+                &iframe(0),
+                SlotIndex::new(1),
+                NodeId::new(0),
+                true,
+                Some(defect),
+                None,
+            );
+            assert!(action.passed(), "{a}: SOS frames are never dropped");
+            assert_eq!(
+                action == GuardianAction::Reshaped(domain),
+                expect_fix,
+                "{a}: {domain:?}-domain reshaping"
+            );
+            assert_eq!(
+                residual.is_none(),
+                expect_fix,
+                "{a}: defect must survive iff not reshaped"
+            );
+        }
+    }
+}
+
+/// The coupler's enumerable fault modes grow with authority exactly once:
+/// `out_of_slot` appears at full shifting and nowhere below.
+#[test]
+fn fault_modes_grow_only_at_full_shifting() {
+    for authority in CouplerAuthority::all() {
+        let modes = StarCoupler::new(authority).fault_modes();
+        assert_eq!(
+            modes.contains(&CouplerFaultMode::OutOfSlot),
+            authority == FullShifting,
+            "{authority}: replay capability"
+        );
+        assert_eq!(
+            modes.len(),
+            if authority == FullShifting { 4 } else { 3 },
+            "{authority}: no other mode may appear"
+        );
+        assert_eq!(
+            authority.preserves_passive_fault_hypothesis(),
+            authority != FullShifting,
+            "{authority}: passive-channel hypothesis"
+        );
+    }
+}
+
+/// The out-of-slot buffering boundary: reconstructing a coupler with a
+/// non-empty buffer must panic for every authority that cannot buffer
+/// full frames, and succeed only for full shifting.
+#[test]
+fn with_buffer_rejects_non_buffering_authorities() {
+    let held = BufferedFrame {
+        id: 2,
+        kind: tta_types::FrameKind::CState,
+    };
+    for authority in CouplerAuthority::all() {
+        let attempt = std::panic::catch_unwind(|| StarCoupler::with_buffer(authority, held));
+        assert_eq!(
+            attempt.is_ok(),
+            authority.can_buffer_full_frames(),
+            "{authority}: non-empty buffer acceptance"
+        );
+        // The empty buffer is representable everywhere.
+        let empty = StarCoupler::with_buffer(authority, BufferedFrame::empty());
+        assert_eq!(empty.buffer(), BufferedFrame::empty());
+    }
+}
+
+/// Eq. (3) boundary, exactly: a function needing `f_min − 1` bits is
+/// fault tolerant, one more bit violates the bound.
+#[test]
+fn fault_tolerance_bound_boundary_is_exact() {
+    struct Needs(u32);
+    impl BufferedFunction for Needs {
+        fn required_buffer_bits(&self) -> u32 {
+            self.0
+        }
+    }
+    let f_min = tta_types::constants::N_FRAME_MIN_BITS;
+    assert!(!Needs(f_min - 1).violates_fault_tolerance_bound(f_min));
+    assert!(Needs(f_min).violates_fault_tolerance_bound(f_min));
+    assert!(Needs(f_min - 1).violates_fault_tolerance_bound(f_min - 1));
+    // Degenerate input: a zero-bit minimum frame must not underflow.
+    assert!(Needs(1).violates_fault_tolerance_bound(0));
+    assert!(!Needs(0).violates_fault_tolerance_bound(0));
+}
+
+/// Both enhanced functions from Section 6 audit as bound violations the
+/// moment they hold a single real frame, and both enable the replay
+/// fault mode — the capability the golden traces show freezing healthy
+/// nodes.
+#[test]
+fn enhanced_functions_audit_as_replay_enablers() {
+    let f_min = tta_types::constants::N_FRAME_MIN_BITS;
+    let frame = iframe(0);
+
+    let mut mailbox = MailboxService::new();
+    mailbox.store(NodeId::new(0), frame.clone());
+    let mut relay = PriorityRelay::new();
+    relay.enqueue(1, frame);
+
+    for (name, function) in [
+        ("mailboxes", &mailbox as &dyn BufferedFunction),
+        ("CAN emulation", &relay as &dyn BufferedFunction),
+    ] {
+        assert!(
+            function.violates_fault_tolerance_bound(f_min),
+            "{name}: any stored frame exceeds B_max"
+        );
+        assert_eq!(
+            function.enabled_fault_mode(),
+            CouplerFaultMode::OutOfSlot,
+            "{name}: full-frame buffers enable replay"
+        );
+    }
+
+    let report = audit("mailboxes", &mailbox, f_min);
+    assert!(!report.fault_tolerant);
+    assert_eq!(report.permitted_bits, f_min - 1);
+    assert!(report.to_string().contains("VIOLATES"));
+}

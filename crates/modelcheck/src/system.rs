@@ -18,6 +18,16 @@ pub trait TransitionSystem {
     /// empty). Appending nothing makes `state` a deadlock; the explorer
     /// treats deadlocks as ordinary leaves.
     fn successors(&self, state: &Self::State, out: &mut Vec<Self::State>);
+
+    /// Whether the relation admits the step `state → next` — the
+    /// step-admission judgment conformance oracles replay observed traces
+    /// against. The default implementation enumerates the successors;
+    /// systems with a cheaper membership test may override it.
+    fn admits(&self, state: &Self::State, next: &Self::State) -> bool {
+        let mut out = Vec::new();
+        self.successors(state, &mut out);
+        out.contains(next)
+    }
 }
 
 /// A state invariant (the `p` of `AG p`).
@@ -68,6 +78,15 @@ mod tests {
         let mut out = Vec::new();
         ring.successors(&3, &mut out);
         assert_eq!(out, [0]);
+    }
+
+    #[test]
+    fn admits_accepts_exactly_the_successors() {
+        let ring = Ring(4);
+        assert!(ring.admits(&2, &3));
+        assert!(ring.admits(&3, &0));
+        assert!(!ring.admits(&0, &2));
+        assert!(!ring.admits(&0, &0));
     }
 
     #[test]

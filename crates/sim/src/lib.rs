@@ -48,6 +48,7 @@ pub mod metrics;
 mod report;
 mod sim;
 mod topology;
+mod trace;
 
 pub use campaign::{Campaign, CampaignReport, Outcome, Scenario};
 pub use drift::{DriftExperiment, DriftReport};
@@ -57,3 +58,4 @@ pub use metrics::TimeSeries;
 pub use report::SimReport;
 pub use sim::{SimBuilder, Simulation};
 pub use topology::Topology;
+pub use trace::ClusterSnapshot;

@@ -7,7 +7,7 @@ use tta_protocol::ProtocolState;
 use tta_types::NodeId;
 
 /// Everything a finished simulation reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimReport {
     slots_run: u64,
     final_states: Vec<ProtocolState>,

@@ -29,8 +29,10 @@ use crate::inject::{FaultPlan, NodeFaultKind};
 use crate::log::{SlotEvent, SlotLog};
 use crate::report::SimReport;
 use crate::topology::Topology;
+use crate::trace::ClusterSnapshot;
 use tta_guardian::local::LocalGuardianFault;
 use tta_guardian::sos::{ReceiverTolerance, SosDefect};
+use tta_guardian::BufferedFrame;
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
 use tta_protocol::membership::MembershipService;
 use tta_protocol::{
@@ -175,6 +177,7 @@ impl SimBuilder {
             log: SlotLog::new(),
             healthy_frozen: Vec::new(),
             startup_slot: None,
+            replays_delivered: 0,
         }
     }
 }
@@ -197,6 +200,7 @@ pub struct Simulation {
     log: SlotLog,
     healthy_frozen: Vec<NodeId>,
     startup_slot: Option<u64>,
+    replays_delivered: u8,
 }
 
 impl Simulation {
@@ -222,6 +226,44 @@ impl Simulation {
         while self.t < self.slots {
             self.step();
         }
+        self.finish()
+    }
+
+    /// Runs to the configured horizon, capturing a [`ClusterSnapshot`] at
+    /// every slot boundary: one before each slot and one after the last,
+    /// so a run over `n` slots yields `n + 1` snapshots. The snapshots
+    /// are the structured trace the conformance oracle replays through
+    /// the formal model's transition relation.
+    #[must_use]
+    pub fn run_traced(mut self) -> (SimReport, Vec<ClusterSnapshot>) {
+        let mut snapshots = Vec::with_capacity(self.slots as usize + 1);
+        while self.t < self.slots {
+            snapshots.push(self.snapshot());
+            self.step();
+        }
+        snapshots.push(self.snapshot());
+        (self.finish(), snapshots)
+    }
+
+    /// The protocol-visible state at the current slot boundary.
+    #[must_use]
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let lift = |buffer: &Option<Transmission>| {
+            buffer.map_or(BufferedFrame::empty(), |tx| BufferedFrame {
+                id: tx.id,
+                kind: tx.kind,
+            })
+        };
+        ClusterSnapshot {
+            slot: self.t,
+            controllers: self.controllers.clone(),
+            buffers: [lift(&self.buffers[0]), lift(&self.buffers[1])],
+            replays_delivered: self.replays_delivered,
+            healthy_frozen: self.healthy_frozen.clone(),
+        }
+    }
+
+    fn finish(self) -> SimReport {
         let final_states = self
             .controllers
             .iter()
@@ -495,6 +537,9 @@ impl Simulation {
                     "out_of_slot coupler faults require a full-shifting star coupler"
                 );
                 self.log.record(t, SlotEvent::CouplerReplay { channel });
+                if self.buffers[channel].is_some() {
+                    self.replays_delivered = self.replays_delivered.saturating_add(1);
+                }
                 self.buffers[channel].map_or(ChannelContent::Silence, ChannelContent::Frame)
             }
         };
@@ -927,5 +972,66 @@ mod tests {
     #[should_panic(expected = "2..=16")]
     fn tiny_clusters_are_rejected() {
         let _ = SimBuilder::new(1);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let build = || {
+            SimBuilder::new(4)
+                .topology(Topology::Star)
+                .authority(CouplerAuthority::SmallShifting)
+                .slots(120)
+                .plan(FaultPlan::none())
+                .build()
+        };
+        let plain = build().run();
+        let (traced, snapshots) = build().run_traced();
+        assert_eq!(plain, traced, "tracing must not change the execution");
+        assert_eq!(snapshots.len(), 121, "one snapshot per boundary");
+        assert_eq!(snapshots[0].slot, 0);
+        assert!(snapshots[0]
+            .controllers
+            .iter()
+            .all(|c| c.protocol_state() == ProtocolState::Freeze));
+        assert_eq!(snapshots.last().unwrap().slot, 120);
+        assert!(snapshots.iter().all(ClusterSnapshot::property_holds));
+    }
+
+    #[test]
+    fn snapshots_count_only_delivered_replays() {
+        // The first replay window opens before any frame was buffered:
+        // those replays hit an empty buffer and must not count. The
+        // second opens after cold-start traffic has been latched (same
+        // onset as `coupler_replay_freezes_healthy_node_in_full_shifting_star`).
+        let plan = FaultPlan::none()
+            .with_coupler_fault(CouplerFaultEvent {
+                channel: 0,
+                mode: CouplerFaultMode::OutOfSlot,
+                from_slot: 2,
+                to_slot: 4,
+            })
+            .with_coupler_fault(CouplerFaultEvent {
+                channel: 0,
+                mode: CouplerFaultMode::OutOfSlot,
+                from_slot: 12,
+                to_slot: 40,
+            });
+        let (report, snapshots) = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .authority(CouplerAuthority::FullShifting)
+            .slots(60)
+            .plan(plan)
+            .build()
+            .run_traced();
+        let logged = report
+            .log()
+            .count(|e| matches!(e, SlotEvent::CouplerReplay { .. }));
+        let delivered = snapshots.last().unwrap().replays_delivered;
+        assert!(logged as u8 > delivered, "empty-buffer replays are logged");
+        assert!(delivered > 0, "buffered frames were replayed eventually");
+        // The counter is monotone along the trace.
+        for pair in snapshots.windows(2) {
+            assert!(pair[0].replays_delivered <= pair[1].replays_delivered);
+        }
     }
 }

@@ -21,7 +21,11 @@
 //! * [`sim`] — a fault-injection simulator (the SWIFI substitute) with
 //!   bus-vs-star campaigns;
 //! * [`analysis`] — the Section 6 buffer/frame/clock-rate equations and
-//!   the Figure 3 curve.
+//!   the Figure 3 curve;
+//! * [`conformance`] — cross-engine conformance: a trace-replay oracle
+//!   lifting simulator runs into the checker's vocabulary, a TOML
+//!   scenario DSL executed by both engines, and golden snapshots of the
+//!   paper's two counterexample traces.
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use tta_analysis as analysis;
+pub use tta_conformance as conformance;
 pub use tta_core as core;
 pub use tta_guardian as guardian;
 pub use tta_modelcheck as modelcheck;

@@ -203,3 +203,20 @@ fn frames_flow_through_codec_and_semantic_filter() {
     );
     assert!(matches!(action, GuardianAction::BlockedMasquerade { .. }));
 }
+
+/// The conformance layer closes the loop through the facade: the checked-in
+/// scenario for the paper's cold-start counterexample drives the checker,
+/// the simulator and the trace-replay oracle, and all three agree.
+#[test]
+fn conformance_scenario_ties_the_engines_together() {
+    let scenario = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join("coldstart_dup.toml");
+    let outcome = tta::conformance::run_scenario_file(&scenario).expect("scenario loads");
+    assert!(outcome.passed, "{}", outcome.report);
+    assert!(
+        outcome.report.contains("engines agree"),
+        "{}",
+        outcome.report
+    );
+}
