@@ -14,6 +14,7 @@
 //! | `exp_fault_injection` | Bus-vs-star containment (E9) |
 //! | `exp_scaling` | State-space scaling, replay-budget sweep (S1) |
 //! | `exp_extensions` | Enhanced guardian functions, async masquerade, clock drift (S2) |
+//! | `exp_liveness` | Integration liveness under weak fairness, fair-lasso counterexample (S4) |
 //!
 //! Run any of them with `cargo run --release -p tta-bench --bin <name>`.
 

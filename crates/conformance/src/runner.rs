@@ -8,7 +8,10 @@
 //!    configuration; verdict and counterexample length against
 //!    `[expect]`; the counterexample's own steps re-admitted through the
 //!    model (the checker must not narrate an impossible trace); the
-//!    rendered report against the golden fixture, if one is named.
+//!    rendered report against the golden fixture, if one is named; when
+//!    the scenario sets `expect.liveness`, the weak-fairness liveness
+//!    checker (`listening ~> integrated` per node) runs too and its
+//!    verdict is diffed.
 //! 2. **Simulator phase** (skipped with a visible reason when the fault
 //!    plan is not physically executable, e.g. an `out_of_slot` replay on
 //!    a passive star): the traced run's disturbance outcome against
@@ -24,7 +27,7 @@ use crate::scenario::{ExpectedVerdict, Scenario, ScenarioError};
 use crate::snapshot::{compare_golden, render_verification, verdict_name};
 use std::fmt::Write as _;
 use std::path::Path;
-use tta_core::{verify_cluster, ClusterModel, Verdict};
+use tta_core::{verify_cluster, verify_cluster_liveness, ClusterModel, Verdict};
 
 /// The outcome of running one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +114,32 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         match compare_golden(&path, &render_verification(&verification)) {
             Ok(()) => r.check(true, format!("[checker] golden fixture {}", path.display())),
             Err(why) => r.check(false, format!("[checker] golden fixture: {why}")),
+        }
+    }
+
+    // Phase 1b: the liveness checker, when the scenario expects a
+    // liveness verdict. Unlike safety this must build the full reachable
+    // graph, so it only runs on demand.
+    if let Some(expected) = scenario.expect.liveness {
+        let liveness = verify_cluster_liveness(&config);
+        r.check(
+            verdict_matches(liveness.verdict, expected),
+            format!(
+                "[liveness] listening ~> integrated: {} (expected {expected})",
+                verdict_name(liveness.verdict)
+            ),
+        );
+        if let Some(lasso) = &liveness.lasso {
+            let _ = writeln!(
+                r.text,
+                "[liveness] fair lasso: node {} starved, stem {} + cycle {} slots{}",
+                liveness
+                    .violating_node
+                    .map_or_else(|| "?".to_string(), |n| n.to_string()),
+                lasso.stem_len(),
+                lasso.cycle_len(),
+                if lasso.is_stutter() { " (stutter)" } else { "" }
+            );
         }
     }
 

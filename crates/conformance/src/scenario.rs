@@ -60,6 +60,9 @@ impl fmt::Display for ExpectedVerdict {
 pub struct Expectations {
     /// Expected checker verdict.
     pub verdict: Option<ExpectedVerdict>,
+    /// Expected verdict for the liveness checker: per-node
+    /// `listening ~> integrated` under weak startup fairness.
+    pub liveness: Option<ExpectedVerdict>,
     /// Expected counterexample length in transitions.
     pub trace_len: Option<usize>,
     /// Whether the simulated run should be disturbed (a healthy node
@@ -235,7 +238,14 @@ impl Scenario {
         let expect_table = doc.table("expect");
         check_keys(
             expect_table,
-            &["verdict", "trace_len", "sim_disturbed", "oracle", "golden"],
+            &[
+                "verdict",
+                "liveness",
+                "trace_len",
+                "sim_disturbed",
+                "oracle",
+                "golden",
+            ],
         )?;
         let expect = Expectations {
             verdict: match get_str(expect_table, "verdict", "expect")? {
@@ -245,6 +255,16 @@ impl Scenario {
                 Some(other) => {
                     return Err(ScenarioError::new(format!(
                         "expect.verdict `{other}` (expected holds | violated)"
+                    )))
+                }
+            },
+            liveness: match get_str(expect_table, "liveness", "expect")? {
+                None => None,
+                Some("holds") => Some(ExpectedVerdict::Holds),
+                Some("violated") => Some(ExpectedVerdict::Violated),
+                Some(other) => {
+                    return Err(ScenarioError::new(format!(
+                        "expect.liveness `{other}` (expected holds | violated)"
                     )))
                 }
             },

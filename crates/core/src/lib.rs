@@ -54,9 +54,12 @@ pub use analyze::{analyze_reachable, ReachableSummary};
 pub use compact::{ClusterCodec, CompactState};
 pub use config::{ClusterConfig, FaultBudget};
 pub use model::{ClusterModel, StepInfo, REPLAY_COUNTER_CAP};
-pub use narrate::{narrate_compressed, narrate_trace, NarratedStep};
+pub use narrate::{narrate_compressed, narrate_lasso, narrate_trace, NarratedStep};
 pub use state::ClusterState;
+pub use tta_liveness::{FairAction, Lasso, LivenessStats, Property};
 pub use tta_modelcheck::Verdict;
 pub use verify::{
-    find_startup_witness, verify_cluster, verify_cluster_with, CheckStrategy, VerificationReport,
+    cluster_startup_fairness, find_startup_witness, node_integration_property, verify_cluster,
+    verify_cluster_liveness, verify_cluster_liveness_with, verify_cluster_with, CheckStrategy,
+    LivenessReport, VerificationReport,
 };

@@ -9,6 +9,7 @@
 use crate::model::{ClusterModel, StepInfo};
 use crate::state::ClusterState;
 use tta_guardian::CouplerFaultMode;
+use tta_liveness::Lasso;
 use tta_modelcheck::Trace;
 use tta_protocol::{ProtocolEvent, ProtocolState};
 use tta_types::NodeId;
@@ -55,9 +56,16 @@ pub fn narrate_trace(model: &ClusterModel, trace: &Trace<ClusterState>) -> Vec<N
 /// storytelling.
 #[must_use]
 pub fn narrate_compressed(model: &ClusterModel, trace: &Trace<ClusterState>) -> Vec<String> {
+    compress_steps(&narrate_trace(model, trace), &mut 1)
+}
+
+/// Shared compression core: numbered lines for noteworthy steps, quiet
+/// runs merged. `number` carries the next step number across calls so a
+/// lasso's stem and cycle share one numbering.
+fn compress_steps(steps: &[NarratedStep], number: &mut usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut quiet_run = 0usize;
-    for step in narrate_trace(model, trace) {
+    for step in steps {
         if step.is_quiet() {
             quiet_run += 1;
             continue;
@@ -68,7 +76,8 @@ pub fn narrate_compressed(model: &ClusterModel, trace: &Trace<ClusterState>) -> 
             ));
             quiet_run = 0;
         }
-        let mut line = format!("{})", out.len() + 1);
+        let mut line = format!("{number})");
+        *number += 1;
         for l in &step.lines {
             line.push(' ');
             line.push_str(l);
@@ -77,6 +86,50 @@ pub fn narrate_compressed(model: &ClusterModel, trace: &Trace<ClusterState>) -> 
     }
     if quiet_run > 0 {
         out.push(format!("({quiet_run} quiet slot(s))"));
+    }
+    out
+}
+
+/// Narrates a liveness [`Lasso`] in the same storytelling register as
+/// [`narrate_compressed`]: the stem's steps first, then a marked cycle
+/// section the cluster repeats forever. For a stutter lasso (the cycle
+/// is a deadlocked state presented as an infinite repetition) the
+/// synthetic closing self-loop is described, not narrated as a model
+/// transition.
+///
+/// # Panics
+///
+/// Panics if the lasso's real transitions are not steps of `model`.
+#[must_use]
+pub fn narrate_lasso(model: &ClusterModel, lasso: &Lasso<ClusterState>) -> Vec<String> {
+    let mut out = vec![format!(
+        "lasso: stem of {} transition(s), then a cycle of {} repeating forever{}",
+        lasso.stem_len(),
+        lasso.cycle_len(),
+        if lasso.is_stutter() { " (stutter)" } else { "" }
+    )];
+
+    // Stem and in-cycle transitions form one real path; narrate it once
+    // and split the numbered story at the cycle entry.
+    let path: Vec<ClusterState> = lasso.states().cloned().collect();
+    let steps = if path.len() > 1 {
+        narrate_trace(model, &Trace::new(path))
+    } else {
+        Vec::new()
+    };
+    let mut number = 1usize;
+    out.extend(compress_steps(&steps[..lasso.stem_len()], &mut number));
+    out.push("── cycle (repeats forever) ──".to_string());
+    out.extend(compress_steps(&steps[lasso.stem_len()..], &mut number));
+    if lasso.is_stutter() {
+        out.push(
+            "(deadlock: no transition is enabled; the state above repeats forever)".to_string(),
+        );
+    } else {
+        let cycle = lasso.cycle();
+        let closing = Trace::new(vec![cycle[cycle.len() - 1].clone(), cycle[0].clone()]);
+        out.extend(compress_steps(&narrate_trace(model, &closing), &mut number));
+        out.push("(the cycle closes: back to its first state)".to_string());
     }
     out
 }

@@ -4,10 +4,13 @@ use crate::compact::ClusterCodec;
 use crate::config::ClusterConfig;
 use crate::model::ClusterModel;
 use crate::state::ClusterState;
+use tta_liveness::{FairAction, FairGraph, Lasso, LivenessStats, Property};
 use tta_modelcheck::{
     parallel::ParallelExplorer, BoundedChecker, BoundedVerdict, ExploreStats, Explorer, Trace,
-    Verdict,
+    Verdict, DEFAULT_MAX_STATES,
 };
+use tta_protocol::ProtocolState;
+use tta_types::NodeId;
 
 /// Which exploration engine to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +126,145 @@ pub fn find_startup_witness(config: &ClusterConfig) -> Option<tta_modelcheck::Tr
             .iter()
             .all(|n| n.protocol_state() == tta_protocol::ProtocolState::Active)
     })
+}
+
+/// Result of verifying the cluster's *liveness* property — every
+/// correct node's startup leads to integration — under weak fairness.
+#[derive(Debug, Clone)]
+pub struct LivenessReport {
+    /// Configuration that was checked.
+    pub config: ClusterConfig,
+    /// Overall verdict: `Violated` if any node's leads-to fails,
+    /// `BudgetExhausted` if the graph was truncated with no violation
+    /// found, `Holds` otherwise.
+    pub verdict: Verdict,
+    /// Per-node verdicts for `listening(i) ~> integrated(i)`, in node
+    /// order.
+    pub per_node: Vec<Verdict>,
+    /// The first node whose property is violated, if any.
+    pub violating_node: Option<NodeId>,
+    /// The violating execution for that node: a finite stem plus a
+    /// cycle the cluster repeats forever.
+    pub lasso: Option<Lasso<ClusterState>>,
+    /// Graph and analysis statistics (check time and SCC counts summed
+    /// over the per-node properties; the graph is built once).
+    pub stats: LivenessStats,
+}
+
+/// The weak-fairness constraints the cluster liveness check runs under:
+/// one *startup progress* action per node, taken when the node's host
+/// powers it up (`freeze → init`) or its initialization completes
+/// (`init → listen`).
+///
+/// These are the only stuttering choices the checking host model has,
+/// so weak fairness on them says exactly "a node allowed to start
+/// eventually does" — without it, "node 2 never leaves freeze" would be
+/// a (vacuous) counterexample to every startup-liveness claim. All
+/// later transitions (listen, cold start, clique tests) are
+/// protocol-forced and need no fairness.
+#[must_use]
+pub fn cluster_startup_fairness(nodes: usize) -> Vec<FairAction<ClusterState>> {
+    (0..nodes)
+        .map(|i| {
+            FairAction::new(
+                format!("startup progress(node {i})"),
+                move |before: &ClusterState, after: &ClusterState| {
+                    matches!(
+                        (
+                            before.nodes()[i].protocol_state(),
+                            after.nodes()[i].protocol_state(),
+                        ),
+                        (ProtocolState::Freeze, ProtocolState::Init)
+                            | (ProtocolState::Init, ProtocolState::Listen)
+                    )
+                },
+            )
+        })
+        .collect()
+}
+
+/// The per-node integration-liveness property:
+/// `listening(node) ~> integrated(node)` — whenever the node is in the
+/// listen state, it eventually *attains active membership*.
+///
+/// "Integrated" is deliberately `active`, not `active ∨ passive`: in
+/// this model `passive` is a transient staging state (an integrated
+/// passive node is promoted at its next own slot or frozen by the
+/// clique test, within one round), and the paper's freeze-out victim
+/// *does* pass through passive for a few slots before the clique error
+/// freezes it. Counting that transient visit as integration would
+/// discharge the leads-to obligation and mask exactly the denial of
+/// lasting integration the paper describes.
+#[must_use]
+pub fn node_integration_property(node: usize) -> Property<ClusterState> {
+    Property::leads_to(
+        format!("node {node} listening"),
+        move |s: &ClusterState| s.nodes()[node].protocol_state() == ProtocolState::Listen,
+        format!("node {node} integrated"),
+        move |s: &ClusterState| s.nodes()[node].protocol_state() == ProtocolState::Active,
+    )
+}
+
+/// Verifies integration liveness — *every correct node's listening
+/// leads to integration* — for all nodes of the configured cluster,
+/// under the weak startup fairness of [`cluster_startup_fairness`].
+///
+/// The reachable graph is built once (interned through the same
+/// bit-packing codec as the safety checker) and shared by the per-node
+/// leads-to checks. Unlike the safety check, the graph must cover the
+/// *full* reachable space — cycles can hide anywhere — so expect this
+/// to visit at least as many states as a `Holds` safety run.
+#[must_use]
+pub fn verify_cluster_liveness(config: &ClusterConfig) -> LivenessReport {
+    verify_cluster_liveness_with(config, DEFAULT_MAX_STATES)
+}
+
+/// [`verify_cluster_liveness`] with an explicit state budget. A
+/// violation found on a truncated graph is still sound; a clean pass is
+/// downgraded to `BudgetExhausted`.
+#[must_use]
+pub fn verify_cluster_liveness_with(config: &ClusterConfig, max_states: u64) -> LivenessReport {
+    let model = ClusterModel::new(*config);
+    let codec = ClusterCodec::new(config);
+    let fairness = cluster_startup_fairness(config.nodes);
+    let graph = FairGraph::build(&model, &codec, &fairness, max_states);
+
+    let mut per_node = Vec::with_capacity(config.nodes);
+    let mut violating_node = None;
+    let mut lasso = None;
+    let mut stats: Option<LivenessStats> = None;
+    for node in 0..config.nodes {
+        let outcome = graph.check(&node_integration_property(node));
+        if outcome.verdict == Verdict::Violated && violating_node.is_none() {
+            violating_node = Some(NodeId::new(node as u8));
+            lasso = outcome.lasso;
+        }
+        per_node.push(outcome.verdict);
+        stats = Some(match stats {
+            None => outcome.stats,
+            Some(mut acc) => {
+                acc.check_time += outcome.stats.check_time;
+                acc.sccs_examined += outcome.stats.sccs_examined;
+                acc
+            }
+        });
+    }
+
+    let verdict = if per_node.contains(&Verdict::Violated) {
+        Verdict::Violated
+    } else if per_node.contains(&Verdict::BudgetExhausted) {
+        Verdict::BudgetExhausted
+    } else {
+        Verdict::Holds
+    };
+    LivenessReport {
+        config: *config,
+        verdict,
+        per_node,
+        violating_node,
+        lasso,
+        stats: stats.expect("a cluster has at least one node"),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,400 @@
+//! The fair transition graph: the reachable state space built once, in
+//! interned compact form, with per-edge action labels and per-state
+//! enabledness masks.
+//!
+//! Liveness analysis needs the *whole* reachable graph (cycles live
+//! anywhere), not just a frontier, so memory discipline matters even
+//! more than in the BFS checker. The builder reuses PR 1's interning
+//! stack — [`StateCodec`] encodings stored exactly once in a
+//! [`StateArena`], BFS parents as `u32` indices — and adds a CSR
+//! adjacency with one `u32` action-label bitmask per edge.
+//!
+//! Two details keep later verdicts sound:
+//!
+//! * **Enabledness is derived during generation.** An action is enabled
+//!   in a state iff some *generated* successor takes it. The mask is
+//!   accumulated over every generated edge — including edges into
+//!   states dropped by the `max_states` budget — so "enabled but never
+//!   taken on this cycle" can never be a truncation artifact and
+//!   `Violated` verdicts remain sound on truncated graphs (a would-be
+//!   `Holds` becomes `BudgetExhausted` instead).
+//! * **Deadlocks get a stutter loop.** A state with no successors
+//!   receives a synthetic self-loop (label 0), the standard stutter
+//!   extension: every state then has an infinite behaviour, and a
+//!   maximal finite run appears as a lasso whose cycle repeats the
+//!   final state. The loop is marked so renderers do not present it as
+//!   a model transition.
+
+use crate::fairness::{FairAction, MAX_FAIR_ACTIONS};
+use std::fmt;
+use std::time::{Duration, Instant};
+use tta_modelcheck::{Interned, StateArena, StateCodec, TransitionSystem, NO_PARENT};
+
+/// The reachable state graph of a [`TransitionSystem`], interned through
+/// a [`StateCodec`], labeled with weak-fairness actions.
+pub struct FairGraph<'c, C: StateCodec> {
+    codec: &'c C,
+    arena: StateArena<C::Encoded>,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    labels: Vec<u32>,
+    enabled: Vec<u32>,
+    deadlock: Vec<bool>,
+    initial: Vec<u32>,
+    action_names: Vec<String>,
+    action_mask: u32,
+    truncated: bool,
+    edges_generated: u64,
+    build_time: Duration,
+}
+
+impl<C: StateCodec> fmt::Debug for FairGraph<'_, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FairGraph")
+            .field("states", &self.state_count())
+            .field("edges", &self.edge_count())
+            .field("actions", &self.action_names)
+            .field("truncated", &self.truncated)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c, C: StateCodec> FairGraph<'c, C> {
+    /// Explores `system` breadth-first and builds the labeled graph,
+    /// keeping at most `max_states` distinct states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_FAIR_ACTIONS`] fairness constraints are
+    /// supplied, or if the state space exceeds `u32` addressing.
+    #[must_use]
+    pub fn build<T>(
+        system: &T,
+        codec: &'c C,
+        fairness: &[FairAction<C::State>],
+        max_states: u64,
+    ) -> Self
+    where
+        T: TransitionSystem<State = C::State>,
+    {
+        assert!(
+            fairness.len() <= MAX_FAIR_ACTIONS,
+            "at most {MAX_FAIR_ACTIONS} weak-fairness constraints per graph (got {})",
+            fairness.len()
+        );
+        let start = Instant::now();
+        let max_states = max_states.min(u64::from(u32::MAX - 1));
+
+        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut enabled: Vec<u32> = Vec::new();
+        let mut deadlock: Vec<bool> = Vec::new();
+        let mut initial: Vec<u32> = Vec::new();
+        let mut truncated = false;
+        let mut edges_generated = 0u64;
+
+        for init in system.initial_states() {
+            if (arena.len() as u64) >= max_states {
+                truncated = true;
+                break;
+            }
+            if let Interned::New(id) = arena.insert_if_absent(codec.encode(&init), NO_PARENT) {
+                initial.push(id);
+            }
+        }
+
+        // Arena ids are assigned in insertion order, so scanning them in
+        // order with new states appended at the tail is exactly BFS, and
+        // arena parents give shortest stems.
+        let mut succs: Vec<C::State> = Vec::new();
+        let mut cursor = 0u32;
+        while (cursor as usize) < arena.len() {
+            let id = cursor;
+            cursor += 1;
+            let state = codec.decode(arena.get(id));
+            succs.clear();
+            system.successors(&state, &mut succs);
+            let mut mask = 0u32;
+            if succs.is_empty() {
+                // Stutter extension: synthetic self-loop, no labels.
+                edges.push((id, id, 0));
+                enabled.push(0);
+                deadlock.push(true);
+                continue;
+            }
+            for succ in &succs {
+                edges_generated += 1;
+                let mut label = 0u32;
+                for (i, action) in fairness.iter().enumerate() {
+                    if action.taken(&state, succ) {
+                        label |= 1 << i;
+                    }
+                }
+                // Enabledness counts every generated edge, kept or not.
+                mask |= label;
+                let encoded = codec.encode(succ);
+                let target = match arena.lookup(&encoded) {
+                    Some(t) => Some(t),
+                    None if (arena.len() as u64) < max_states => {
+                        match arena.insert_if_absent(encoded, id) {
+                            Interned::New(t) => Some(t),
+                            Interned::Present(t) => Some(t),
+                        }
+                    }
+                    None => {
+                        truncated = true;
+                        None
+                    }
+                };
+                if let Some(t) = target {
+                    edges.push((id, t, label));
+                }
+            }
+            enabled.push(mask);
+            deadlock.push(false);
+        }
+
+        // Counting sort into CSR, labels carried alongside.
+        let n = arena.len();
+        let mut offsets = vec![0usize; n + 1];
+        for &(from, _, _) in &edges {
+            offsets[from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut fill = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut labels = vec![0u32; edges.len()];
+        for &(from, to, label) in &edges {
+            let slot = fill[from as usize];
+            targets[slot] = to;
+            labels[slot] = label;
+            fill[from as usize] += 1;
+        }
+
+        FairGraph {
+            codec,
+            arena,
+            offsets,
+            targets,
+            labels,
+            enabled,
+            deadlock,
+            initial,
+            action_names: fairness.iter().map(|a| a.name().to_string()).collect(),
+            action_mask: if fairness.is_empty() {
+                0
+            } else {
+                u32::MAX >> (32 - fairness.len())
+            },
+            truncated,
+            edges_generated,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of distinct reachable states kept.
+    #[must_use]
+    pub fn state_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of stored edges (including synthetic stutter loops).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of transitions the model generated, dropped or kept
+    /// (stutter loops excluded).
+    #[must_use]
+    pub fn edges_generated(&self) -> u64 {
+        self.edges_generated
+    }
+
+    /// Whether the `max_states` budget cut off part of the graph.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Ids of the initial states.
+    #[must_use]
+    pub fn initial(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Whether `id` is a deadlock state carrying a synthetic stutter
+    /// loop.
+    #[must_use]
+    pub fn is_deadlock(&self, id: u32) -> bool {
+        self.deadlock[id as usize]
+    }
+
+    /// Decodes the state stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn state(&self, id: u32) -> C::State {
+        self.codec.decode(self.arena.get(id))
+    }
+
+    /// Names of the registered fairness actions, bit order.
+    #[must_use]
+    pub fn action_names(&self) -> &[String] {
+        &self.action_names
+    }
+
+    /// Wall-clock time spent building the graph.
+    #[must_use]
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Approximate resident bytes: the interned arena plus the CSR
+    /// arrays.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        self.arena.approx_bytes()
+            + (self.offsets.capacity() * std::mem::size_of::<usize>()
+                + self.targets.capacity() * std::mem::size_of::<u32>()
+                + self.labels.capacity() * std::mem::size_of::<u32>()
+                + self.enabled.capacity() * std::mem::size_of::<u32>()
+                + self.deadlock.capacity()) as u64
+    }
+
+    // ── internals shared with the property algorithms (check.rs) ──
+
+    /// Outgoing `(target, label)` pairs of `v`, stutter loop included.
+    pub(crate) fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        range
+            .clone()
+            .map(move |i| (self.targets[i], self.labels[i]))
+    }
+
+    /// Actions enabled in `v` (derived over all generated edges).
+    pub(crate) fn enabled_mask(&self, v: u32) -> u32 {
+        self.enabled[v as usize]
+    }
+
+    /// Bitmask covering every registered action.
+    pub(crate) fn all_actions(&self) -> u32 {
+        self.action_mask
+    }
+
+    /// BFS parent of `v` in the arena ([`NO_PARENT`] for initial
+    /// states).
+    pub(crate) fn bfs_parent(&self, v: u32) -> u32 {
+        self.arena.parent(v)
+    }
+
+    /// The shortest-path id chain from an initial state to `v`
+    /// (inclusive), via arena parents.
+    pub(crate) fn stem_ids_to(&self, v: u32) -> Vec<u32> {
+        let mut chain = vec![v];
+        let mut cur = v;
+        while self.bfs_parent(cur) != NO_PARENT {
+            cur = self.bfs_parent(cur);
+            chain.push(cur);
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// CSR slices for the SCC decomposition.
+    pub(crate) fn csr(&self) -> (&[usize], &[u32]) {
+        (&self.offsets, &self.targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_modelcheck::IdentityCodec;
+
+    /// 0 → 1 → 2 → 1 (cycle), plus 0 → 3 (deadlock).
+    struct Diamond;
+    impl TransitionSystem for Diamond {
+        type State = u32;
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+            match s {
+                0 => out.extend([1, 3]),
+                1 => out.push(2),
+                2 => out.push(1),
+                _ => {}
+            }
+        }
+    }
+
+    fn build(
+        fairness: &[FairAction<u32>],
+        max_states: u64,
+    ) -> FairGraph<'static, IdentityCodec<u32>> {
+        static CODEC: IdentityCodec<u32> = IdentityCodec::new();
+        FairGraph::build(&Diamond, &CODEC, fairness, max_states)
+    }
+
+    #[test]
+    fn builds_states_edges_and_stutter_loop() {
+        let g = build(&[], 1 << 20);
+        assert_eq!(g.state_count(), 4);
+        // 4 real edges + 1 stutter loop on the deadlock state.
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.edges_generated(), 4);
+        assert!(!g.is_truncated());
+        let dead = (0..4).find(|&v| g.is_deadlock(v)).expect("one deadlock");
+        assert_eq!(g.state(dead), 3);
+        assert_eq!(g.neighbors(dead).collect::<Vec<_>>(), [(dead, 0)]);
+    }
+
+    #[test]
+    fn labels_and_enabledness_are_derived_from_actions() {
+        let forward = FairAction::new("forward", |a: &u32, b: &u32| b > a);
+        let g = build(&[forward], 1 << 20);
+        let id1 = (0..4).find(|&v| g.state(v) == 1).unwrap();
+        let id2 = (0..4).find(|&v| g.state(v) == 2).unwrap();
+        // 1 → 2 takes "forward"; 2 → 1 does not, so "forward" is
+        // enabled at 1 but not at 2.
+        assert_eq!(g.enabled_mask(id1), 1);
+        assert_eq!(g.enabled_mask(id2), 0);
+        assert_eq!(g.all_actions(), 1);
+        let labels: Vec<u32> = g.neighbors(id1).map(|(_, l)| l).collect();
+        assert_eq!(labels, [1]);
+    }
+
+    #[test]
+    fn truncation_keeps_enabledness_of_dropped_edges() {
+        let forward = FairAction::new("forward", |a: &u32, b: &u32| b > a);
+        let g = build(&[forward], 2);
+        assert!(g.is_truncated());
+        assert_eq!(g.state_count(), 2);
+        // State 1's only successor (2) was dropped, but "forward" must
+        // still read as enabled there.
+        let id1 = (0..2).find(|&v| g.state(v) == 1).unwrap();
+        assert_eq!(g.enabled_mask(id1), 1);
+    }
+
+    #[test]
+    fn stem_ids_follow_bfs_parents() {
+        let g = build(&[], 1 << 20);
+        let id2 = (0..4).find(|&v| g.state(v) == 2).unwrap();
+        let stem: Vec<u32> = g.stem_ids_to(id2).iter().map(|&v| g.state(v)).collect();
+        assert_eq!(stem, [0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weak-fairness constraints")]
+    fn too_many_actions_are_rejected() {
+        let actions: Vec<FairAction<u32>> = (0..33)
+            .map(|i| FairAction::new(format!("a{i}"), |_: &u32, _: &u32| false))
+            .collect();
+        let _ = build(&actions, 1 << 20);
+    }
+}

@@ -1,0 +1,138 @@
+//! The temporal property AST.
+//!
+//! Properties are interpreted over the *infinite fair executions* of a
+//! finite transition system: every maximal path, extended by stuttering
+//! at deadlock states, that satisfies all registered weak-fairness
+//! constraints (see [`crate::FairAction`]). This is the standard
+//! possible-worlds reading under which "the cluster eventually starts"
+//! is a meaningful claim even though every finite prefix is silent.
+
+use std::fmt;
+
+/// A named boolean predicate over states — the atoms of [`Property`].
+///
+/// The name is carried along into verdicts, lasso renderings and
+/// `Debug` output, so pick something a reader of a counterexample will
+/// recognize ("node 2 listening", not "p").
+pub struct StatePredicate<S> {
+    name: String,
+    test: Box<dyn Fn(&S) -> bool>,
+}
+
+impl<S> StatePredicate<S> {
+    /// Wraps a closure as a named predicate.
+    pub fn new(name: impl Into<String>, test: impl Fn(&S) -> bool + 'static) -> Self {
+        StatePredicate {
+            name: name.into(),
+            test: Box::new(test),
+        }
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the predicate in `state`.
+    #[must_use]
+    pub fn holds(&self, state: &S) -> bool {
+        (self.test)(state)
+    }
+}
+
+impl<S> fmt::Debug for StatePredicate<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("StatePredicate").field(&self.name).finish()
+    }
+}
+
+/// A temporal property over infinite fair executions.
+///
+/// The four forms cover the paper's needs: `Always` is the safety shape
+/// the BFS checker already handles (`AG p`), the other three are genuine
+/// liveness and require fair-cycle analysis.
+#[derive(Debug)]
+pub enum Property<S> {
+    /// `G p`: the predicate holds in every reachable state. A violation
+    /// is witnessed by any path to a `¬p` state (the lasso's cycle is
+    /// then an arbitrary continuation — every extension violates).
+    Always(StatePredicate<S>),
+    /// `F p`: every fair execution eventually reaches a `p` state. A
+    /// violation is a fair lasso that stays in `¬p` forever.
+    Eventually(StatePredicate<S>),
+    /// `G (p → F q)`: whenever `p` holds, `q` follows eventually — the
+    /// classic *leads-to*. A violation is a fair lasso with a `p ∧ ¬q`
+    /// state after which `q` never holds again.
+    LeadsTo(StatePredicate<S>, StatePredicate<S>),
+    /// `G F p`: the predicate holds infinitely often on every fair
+    /// execution. A violation is a fair lasso whose cycle avoids `p`.
+    AlwaysEventually(StatePredicate<S>),
+}
+
+impl<S> Property<S> {
+    /// `G p` from a named closure.
+    pub fn always(name: impl Into<String>, test: impl Fn(&S) -> bool + 'static) -> Self {
+        Property::Always(StatePredicate::new(name, test))
+    }
+
+    /// `F p` from a named closure.
+    pub fn eventually(name: impl Into<String>, test: impl Fn(&S) -> bool + 'static) -> Self {
+        Property::Eventually(StatePredicate::new(name, test))
+    }
+
+    /// `G (p → F q)` from two named closures.
+    pub fn leads_to(
+        p_name: impl Into<String>,
+        p: impl Fn(&S) -> bool + 'static,
+        q_name: impl Into<String>,
+        q: impl Fn(&S) -> bool + 'static,
+    ) -> Self {
+        Property::LeadsTo(
+            StatePredicate::new(p_name, p),
+            StatePredicate::new(q_name, q),
+        )
+    }
+
+    /// `G F p` from a named closure.
+    pub fn always_eventually(name: impl Into<String>, test: impl Fn(&S) -> bool + 'static) -> Self {
+        Property::AlwaysEventually(StatePredicate::new(name, test))
+    }
+}
+
+impl<S> fmt::Display for Property<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::Always(p) => write!(f, "G({})", p.name()),
+            Property::Eventually(p) => write!(f, "F({})", p.name()),
+            Property::LeadsTo(p, q) => write!(f, "{} ~> {}", p.name(), q.name()),
+            Property::AlwaysEventually(p) => write!(f, "GF({})", p.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_evaluate_and_carry_names() {
+        let p = StatePredicate::new("even", |s: &u32| s.is_multiple_of(2));
+        assert!(p.holds(&4));
+        assert!(!p.holds(&5));
+        assert_eq!(p.name(), "even");
+        assert!(format!("{p:?}").contains("even"));
+    }
+
+    #[test]
+    fn display_uses_temporal_notation() {
+        let ev: Property<u32> = Property::eventually("done", |s| *s == 9);
+        assert_eq!(ev.to_string(), "F(done)");
+        let lt: Property<u32> = Property::leads_to("req", |s| *s == 1, "ack", |s| *s == 2);
+        assert_eq!(lt.to_string(), "req ~> ack");
+        let gf: Property<u32> = Property::always_eventually("tick", |s| *s == 0);
+        assert_eq!(gf.to_string(), "GF(tick)");
+        let g: Property<u32> = Property::always("safe", |s| *s < 10);
+        assert_eq!(g.to_string(), "G(safe)");
+    }
+}

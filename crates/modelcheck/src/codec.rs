@@ -50,7 +50,7 @@ pub struct IdentityCodec<S>(PhantomData<fn() -> S>);
 impl<S> IdentityCodec<S> {
     /// Creates the identity codec.
     #[must_use]
-    pub fn new() -> Self {
+    pub const fn new() -> Self {
         IdentityCodec(PhantomData)
     }
 }

@@ -6,11 +6,13 @@
 //! result as Graphviz DOT, with user-supplied labels and an optional
 //! highlight predicate (e.g. the paper's violating states).
 
+use crate::codec::StateCodec;
 use crate::hashing::FxHashMap;
+use crate::intern::{Interned, StateArena, NO_PARENT};
 use crate::system::TransitionSystem;
 use std::collections::VecDeque;
-use std::fmt::Write as _;
 use std::hash::Hash;
+use std::io;
 
 /// An extracted finite state graph.
 #[derive(Debug, Clone)]
@@ -78,6 +80,68 @@ impl<S: Clone + Eq + Hash> StateGraph<S> {
         }
     }
 
+    /// [`Self::explore`] with the visited set interned through `codec`:
+    /// each discovered state is stored in its compact encoded form (one
+    /// arena slot, no per-probe clone of `S`) and decoded back exactly
+    /// once when the graph is assembled. Semantically identical to
+    /// [`Self::explore`] — same states, same edges, same truncation.
+    #[must_use]
+    pub fn explore_with_codec<T, C>(system: &T, codec: &C, max_states: usize) -> Self
+    where
+        T: TransitionSystem<State = S>,
+        C: StateCodec<State = S>,
+    {
+        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        let mut edges = Vec::new();
+        let mut truncated = false;
+
+        for init in system.initial_states() {
+            let encoded = codec.encode(&init);
+            if arena.lookup(&encoded).is_some() {
+                continue;
+            }
+            if arena.len() >= max_states {
+                truncated = true;
+                break;
+            }
+            arena.insert_if_absent(encoded, NO_PARENT);
+        }
+
+        // Arena insertion order *is* BFS discovery order, so a cursor
+        // over ids replaces the explicit queue.
+        let mut cursor = 0usize;
+        let mut succ = Vec::new();
+        while cursor < arena.len() {
+            let state = codec.decode(arena.get(cursor as u32));
+            succ.clear();
+            system.successors(&state, &mut succ);
+            for next in succ.drain(..) {
+                let encoded = codec.encode(&next);
+                let target = match arena.lookup(&encoded) {
+                    Some(id) => id as usize,
+                    None if arena.len() >= max_states => {
+                        truncated = true;
+                        continue;
+                    }
+                    None => match arena.insert_if_absent(encoded, cursor as u32) {
+                        Interned::New(id) | Interned::Present(id) => id as usize,
+                    },
+                };
+                edges.push((cursor, target));
+            }
+            cursor += 1;
+        }
+
+        let states = (0..arena.len() as u32)
+            .map(|id| codec.decode(arena.get(id)))
+            .collect();
+        StateGraph {
+            states,
+            edges,
+            truncated,
+        }
+    }
+
     /// The extracted states, in BFS discovery order.
     #[must_use]
     pub fn states(&self) -> &[S] {
@@ -105,26 +169,57 @@ impl<S: Clone + Eq + Hash> StateGraph<S> {
         L: Fn(&S) -> String,
         H: Fn(&S) -> bool,
     {
-        let mut out = String::new();
-        let _ = writeln!(out, "digraph {} {{", sanitize(name));
-        let _ = writeln!(out, "  rankdir=LR;");
-        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        let mut out = Vec::new();
+        self.write_dot(&mut out, name, label, highlight)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("DOT output is UTF-8")
+    }
+
+    /// Streams the graph as Graphviz DOT into `writer` without
+    /// materializing the document — a multi-million-state graph renders
+    /// in constant memory straight to a file. [`Self::to_dot`] is this,
+    /// buffered into a `String`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the writer's I/O errors.
+    pub fn write_dot<W, L, H>(
+        &self,
+        writer: &mut W,
+        name: &str,
+        label: L,
+        highlight: H,
+    ) -> io::Result<()>
+    where
+        W: io::Write,
+        L: Fn(&S) -> String,
+        H: Fn(&S) -> bool,
+    {
+        writeln!(writer, "digraph {} {{", sanitize(name))?;
+        writeln!(writer, "  rankdir=LR;")?;
+        writeln!(writer, "  node [shape=box, fontsize=10];")?;
         for (i, state) in self.states.iter().enumerate() {
             let attrs = if highlight(state) {
                 ", style=filled, fillcolor=\"#ffcccc\", color=red"
             } else {
                 ""
             };
-            let _ = writeln!(out, "  s{i} [label=\"{}\"{attrs}];", escape(&label(state)));
+            writeln!(
+                writer,
+                "  s{i} [label=\"{}\"{attrs}];",
+                escape(&label(state))
+            )?;
         }
         for (from, to) in &self.edges {
-            let _ = writeln!(out, "  s{from} -> s{to};");
+            writeln!(writer, "  s{from} -> s{to};")?;
         }
         if self.truncated {
-            let _ = writeln!(out, "  trunc [label=\"… (truncated)\", shape=plaintext];");
+            writeln!(
+                writer,
+                "  trunc [label=\"… (truncated)\", shape=plaintext];"
+            )?;
         }
-        let _ = writeln!(out, "}}");
-        out
+        writeln!(writer, "}}")
     }
 }
 
@@ -215,5 +310,49 @@ mod tests {
         let graph = StateGraph::explore(&Ring(50), 3);
         let dot = graph.to_dot("big", |s| s.to_string(), |_| false);
         assert!(dot.contains("truncated"));
+    }
+
+    /// A deliberately non-identity codec: states are stored shifted, so
+    /// any decode/encode mix-up changes the extracted graph.
+    struct ShiftCodec;
+
+    impl StateCodec for ShiftCodec {
+        type State = u32;
+        type Encoded = u64;
+
+        fn encode(&self, state: &u32) -> u64 {
+            u64::from(*state) + 1000
+        }
+
+        fn decode(&self, encoded: &u64) -> u32 {
+            (encoded - 1000) as u32
+        }
+    }
+
+    #[test]
+    fn codec_exploration_matches_plain_exploration() {
+        for (ring, budget) in [(6u32, 100usize), (50, 5)] {
+            let plain = StateGraph::explore(&Ring(ring), budget);
+            let interned = StateGraph::explore_with_codec(&Ring(ring), &ShiftCodec, budget);
+            assert_eq!(plain.states(), interned.states());
+            assert_eq!(plain.edges(), interned.edges());
+            assert_eq!(plain.is_truncated(), interned.is_truncated());
+        }
+    }
+
+    #[test]
+    fn streaming_dot_matches_buffered_dot() {
+        let graph = StateGraph::explore(&Ring(6), 100);
+        let mut streamed = Vec::new();
+        graph
+            .write_dot(
+                &mut streamed,
+                "ring 6",
+                |s| format!("state {s}"),
+                |s| *s == 3,
+            )
+            .unwrap();
+        let buffered = graph.to_dot("ring 6", |s| format!("state {s}"), |s| *s == 3);
+        assert_eq!(String::from_utf8(streamed).unwrap(), buffered);
     }
 }

@@ -16,6 +16,9 @@
 //!   four authority levels the paper compares;
 //! * [`modelcheck`] — an explicit-state model checker (the SMV
 //!   substitute) with shortest-counterexample BFS;
+//! * [`liveness`] — temporal liveness on top of it: `F`/`G`/leads-to/`GF`
+//!   properties under weak fairness, SCC-based fair-cycle detection, and
+//!   lasso (stem + cycle) counterexamples;
 //! * [`core`] — the paper's Section 4 cluster model and Section 5
 //!   property, one call away: [`core::verify_cluster`];
 //! * [`sim`] — a fault-injection simulator (the SWIFI substitute) with
@@ -53,6 +56,7 @@ pub use tta_analysis as analysis;
 pub use tta_conformance as conformance;
 pub use tta_core as core;
 pub use tta_guardian as guardian;
+pub use tta_liveness as liveness;
 pub use tta_modelcheck as modelcheck;
 pub use tta_protocol as protocol;
 pub use tta_sim as sim;
