@@ -10,7 +10,10 @@
 //! * `G F p` fails iff any reachable fair cycle avoids `p` entirely
 //!   (the prefix may pass through anything);
 //! * `G p` is plain safety — a reachable `¬p` state — reported in lasso
-//!   form by extending the offending path until a state repeats.
+//!   form by extending the offending path until a state repeats (or, on
+//!   a truncated graph, until the walk reaches a state whose stored
+//!   successors were all dropped by the budget, closed as a stutter
+//!   cycle there).
 //!
 //! A cycle is **weakly fair** iff every registered action is either
 //! disabled at some state of the cycle or taken by some edge of it.
@@ -125,9 +128,10 @@ struct CycleWitness {
     /// Path from an initial state up to (excluding) the cycle entry.
     stem_ids: Vec<u32>,
     /// The cycle as a closed walk; `cycle_ids[0]` is the entry, and the
-    /// closing edge `last → entry` exists in the graph.
+    /// closing edge `last → entry` exists in the graph — except for a
+    /// single-state cycle at a truncation-frontier state, whose closing
+    /// self-loop is synthetic (rendered as stutter).
     cycle_ids: Vec<u32>,
-    sccs_examined: u64,
 }
 
 impl<C: StateCodec> FairGraph<'_, C> {
@@ -149,7 +153,7 @@ impl<C: StateCodec> FairGraph<'_, C> {
                     .copied()
                     .filter(|&s| keep[s as usize])
                     .collect();
-                split(self.find_fair_cycle(&keep, &Sources::Restricted(sources)))
+                self.find_fair_cycle(&keep, &Sources::Restricted(sources))
             }
             Property::LeadsTo(p, q) => {
                 let p_holds = self.eval(p);
@@ -157,16 +161,22 @@ impl<C: StateCodec> FairGraph<'_, C> {
                 let sources: Vec<u32> = (0..self.state_count() as u32)
                     .filter(|&v| p_holds[v as usize] && keep[v as usize])
                     .collect();
-                split(self.find_fair_cycle(&keep, &Sources::Restricted(sources)))
+                self.find_fair_cycle(&keep, &Sources::Restricted(sources))
             }
             Property::AlwaysEventually(p) => {
                 let keep: Vec<bool> = self.eval(p).iter().map(|h| !h).collect();
-                split(self.find_fair_cycle(&keep, &Sources::Anywhere))
+                self.find_fair_cycle(&keep, &Sources::Anywhere)
             }
         };
 
         let lasso = witness.map(|w| {
-            let stutter = w.cycle_ids.len() == 1 && self.is_deadlock(w.cycle_ids[0]);
+            // A single-state cycle is synthetic stutter when the graph
+            // stores no real self-loop there: deadlock states carry the
+            // marked stutter loop, truncation-frontier states store no
+            // outgoing edge at all.
+            let entry = w.cycle_ids[0];
+            let stutter = w.cycle_ids.len() == 1
+                && (self.is_deadlock(entry) || !self.neighbors(entry).any(|(t, _)| t == entry));
             Lasso::new(
                 w.stem_ids.iter().map(|&v| self.state(v)).collect(),
                 w.cycle_ids.iter().map(|&v| self.state(v)).collect(),
@@ -205,10 +215,11 @@ impl<C: StateCodec> FairGraph<'_, C> {
     }
 
     /// Safety violation in lasso form: the shortest path to a `¬p`
-    /// state, extended greedily until a state repeats (every state has
-    /// an outgoing edge thanks to the stutter extension, so this
-    /// terminates within `n` steps). Any extension violates `G p`; no
-    /// fairness analysis is needed.
+    /// state, extended greedily until a state repeats or the walk hits
+    /// the truncation frontier (both bounded by `n` steps: deadlock
+    /// states carry a stutter loop, so only budget-dropped successors
+    /// can leave a state without a stored edge). Any extension violates
+    /// `G p`; no fairness analysis is needed.
     fn safety_witness(&self, holds: &[bool]) -> Option<CycleWitness> {
         let bad = (0..self.state_count() as u32).find(|&v| !holds[v as usize])?;
         let mut path = self.stem_ids_to(bad);
@@ -218,17 +229,24 @@ impl<C: StateCodec> FairGraph<'_, C> {
         }
         loop {
             let cur = *path.last().expect("path starts non-empty");
-            let (next, _) = self
-                .neighbors(cur)
-                .next()
-                .expect("stutter extension guarantees a successor");
+            let Some((next, _)) = self.neighbors(cur).next() else {
+                // Truncation frontier: `cur` has successors in the
+                // model, but the `max_states` budget dropped all of
+                // them. The `¬p` state is already on the path, so the
+                // violation stands; close the lasso as a single-state
+                // stutter cycle at the frontier, like a deadlock.
+                let entry = path.pop().expect("path starts non-empty");
+                return Some(CycleWitness {
+                    stem_ids: path,
+                    cycle_ids: vec![entry],
+                });
+            };
             if position[next as usize] != usize::MAX {
                 let at = position[next as usize];
                 let cycle_ids = path.split_off(at);
                 return Some(CycleWitness {
                     stem_ids: path,
                     cycle_ids,
-                    sccs_examined: 0,
                 });
             }
             position[next as usize] = path.len();
@@ -238,8 +256,9 @@ impl<C: StateCodec> FairGraph<'_, C> {
 
     /// Finds a weakly-fair cycle within the `keep` restriction,
     /// reachable as `sources` prescribes, and assembles the full
-    /// stem/cycle id witness.
-    fn find_fair_cycle(&self, keep: &[bool], sources: &Sources) -> Option<CycleWitness> {
+    /// stem/cycle id witness. The second element counts the strongly
+    /// connected components examined, witness or not.
+    fn find_fair_cycle(&self, keep: &[bool], sources: &Sources) -> (Option<CycleWitness>, u64) {
         let n = self.state_count();
         const UNSET: u32 = u32::MAX;
 
@@ -273,6 +292,7 @@ impl<C: StateCodec> FairGraph<'_, C> {
         // 2. SCCs of the active subgraph.
         let (offsets, targets) = self.csr();
         let scc = tarjan_csr(offsets, targets, Some(&active));
+        let sccs_examined = scc.count as u64;
         let groups = scc.groups();
         let all = self.all_actions();
 
@@ -301,7 +321,9 @@ impl<C: StateCodec> FairGraph<'_, C> {
                 }
             }
         }
-        let (entry, cid) = chosen?;
+        let Some((entry, cid)) = chosen else {
+            return (None, sccs_examined);
+        };
 
         // 4. Stitch a fair closed walk through the component.
         let cycle_ids = self.fair_walk(&active, &scc, cid, entry, &groups[cid]);
@@ -330,11 +352,13 @@ impl<C: StateCodec> FairGraph<'_, C> {
             }
         };
 
-        Some(CycleWitness {
-            stem_ids,
-            cycle_ids,
-            sccs_examined: scc.count as u64,
-        })
+        (
+            Some(CycleWitness {
+                stem_ids,
+                cycle_ids,
+            }),
+            sccs_examined,
+        )
     }
 
     /// Builds a closed walk from `entry` through the strongly connected
@@ -352,15 +376,21 @@ impl<C: StateCodec> FairGraph<'_, C> {
         let in_comp = |v: u32| active[v as usize] && scc.component[v as usize] == cid as u32;
         let mut walk = vec![entry];
 
+        // Fairness support accumulated incrementally as the walk grows:
+        // a bit is set once the walk visits a state where the action is
+        // disabled or traverses an edge taking it, so no segment is
+        // ever rescanned.
         let all = self.all_actions();
+        let mut satisfied = !self.enabled_mask(entry) & all;
         for bit in (0..32).map(|i| 1u32 << i).filter(|b| all & b != 0) {
-            if self.walk_satisfies(&walk, bit) {
+            if satisfied & bit != 0 {
                 continue;
             }
             let cur = *walk.last().expect("walk starts at entry");
             if let Some(&w) = members.iter().find(|&&v| self.enabled_mask(v) & bit == 0) {
                 // Visit a state where the action is disabled.
-                walk.extend(self.path_in_comp(&in_comp, cur, w).into_iter().skip(1));
+                let hop = self.path_in_comp(&in_comp, cur, w);
+                self.extend_walk(&mut walk, &mut satisfied, hop.into_iter().skip(1));
             } else {
                 // Traverse an edge that takes the action (the fairness
                 // support test guarantees one exists in the component).
@@ -372,8 +402,9 @@ impl<C: StateCodec> FairGraph<'_, C> {
                             .map(|(v, _)| (u, v))
                     })
                     .expect("fair component has an internal edge taking the action");
-                walk.extend(self.path_in_comp(&in_comp, cur, u).into_iter().skip(1));
-                walk.push(v);
+                let hop = self.path_in_comp(&in_comp, cur, u);
+                let hop = hop.into_iter().skip(1).chain(std::iter::once(v));
+                self.extend_walk(&mut walk, &mut satisfied, hop);
             }
         }
 
@@ -401,12 +432,22 @@ impl<C: StateCodec> FairGraph<'_, C> {
         walk
     }
 
-    /// Whether the open walk already witnesses fairness of `bit`.
-    fn walk_satisfies(&self, walk: &[u32], bit: u32) -> bool {
-        walk.iter().any(|&v| self.enabled_mask(v) & bit == 0)
-            || walk
-                .windows(2)
-                .any(|w| self.edge_label(w[0], w[1]) & bit != 0)
+    /// Appends `suffix` to the walk (each element must be a graph
+    /// successor of its predecessor), folding every traversed edge's
+    /// label and every visited state's disabled actions into the
+    /// `satisfied` fairness-support mask.
+    fn extend_walk(
+        &self,
+        walk: &mut Vec<u32>,
+        satisfied: &mut u32,
+        suffix: impl IntoIterator<Item = u32>,
+    ) {
+        let all = self.all_actions();
+        for v in suffix {
+            let prev = *walk.last().expect("walk is non-empty");
+            *satisfied |= self.edge_label(prev, v) | (!self.enabled_mask(v) & all);
+            walk.push(v);
+        }
     }
 
     /// The label of the edge `u → v` (parallel edges share labels, as
@@ -453,11 +494,6 @@ impl<C: StateCodec> FairGraph<'_, C> {
         }
         unreachable!("both endpoints lie in one strongly connected component")
     }
-}
-
-fn split(witness: Option<CycleWitness>) -> (Option<CycleWitness>, u64) {
-    let sccs = witness.as_ref().map_or(0, |w| w.sccs_examined);
-    (witness, sccs)
 }
 
 #[cfg(test)]
@@ -513,6 +549,9 @@ mod tests {
         assert_eq!(out.verdict, Verdict::Holds);
         assert!(out.lasso.is_none());
         assert_eq!(out.stats.states, 4);
+        // Tarjan ran over the ¬p restriction {0, 1, 2} even though no
+        // fair cycle was found: the SCC count must survive a Holds.
+        assert_eq!(out.stats.sccs_examined, 3);
     }
 
     #[test]
@@ -645,6 +684,27 @@ mod tests {
         assert_eq!(out.verdict, Verdict::BudgetExhausted);
         assert!(out.stats.truncated);
         assert!(out.lasso.is_none());
+    }
+
+    #[test]
+    fn always_violation_on_truncated_graph_closes_at_the_frontier() {
+        // States 0..=9 are kept; 5 violates the invariant, and the
+        // greedy extension walks 5 → … → 9, whose only successor (10)
+        // was dropped by the budget, so the frontier state has no
+        // stored outgoing edge. The checker must return the sound
+        // Violated verdict with a stutter cycle there, not panic.
+        let out = LivenessChecker::new().max_states(10).check(
+            &Unbounded,
+            &CODEC,
+            &[],
+            &Property::always("below 5", |s| *s < 5),
+        );
+        assert_eq!(out.verdict, Verdict::Violated);
+        assert!(out.stats.truncated);
+        let lasso = out.lasso.unwrap();
+        assert_eq!(lasso.stem(), [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(lasso.cycle(), [9]);
+        assert!(lasso.is_stutter());
     }
 
     #[test]
