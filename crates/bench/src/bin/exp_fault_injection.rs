@@ -14,34 +14,16 @@
 //!   central guardian — is the one fault the star topology *adds*.
 
 use tta_analysis::tables::Table;
-use tta_bench::heading;
+use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson};
 use tta_guardian::CouplerAuthority;
 use tta_sim::{Campaign, Scenario, Topology};
 
 const TRIALS: u32 = 40;
-
-/// `--threads N` pins the campaign worker count; the default follows the
-/// machine's available parallelism. Reports are bit-identical either way
-/// (trial seeds are derived per index, not from a shared stream).
-fn parse_threads() -> Option<usize> {
-    let mut iter = std::env::args().skip(1);
-    let arg = iter.next()?;
-    if arg == "--threads" {
-        if let Some(value) = iter.next().and_then(|v| v.parse().ok()) {
-            if value > 0 && iter.next().is_none() {
-                return Some(value);
-            }
-        }
-        eprintln!("error: --threads needs a single positive integer");
-    } else {
-        eprintln!("error: unknown argument {arg}");
-    }
-    eprintln!("usage: exp_fault_injection [--threads N]");
-    std::process::exit(2);
-}
+const USAGE: &str = "exp_fault_injection [--threads N] [--json [PATH]] [--check GOLDEN]";
 
 fn main() {
-    let threads = parse_threads();
+    let args = CampaignArgs::parse(USAGE, false);
+    let threads = args.threads;
     heading("E9 — fault containment: bus (local guardians) vs. star (central guardians)");
     println!("{TRIALS} randomized trials per cell; 4-node cluster, 400 slots per trial.");
     println!("cell format: propagation rate (healthy node frozen or startup failed)\n");
@@ -83,6 +65,7 @@ fn main() {
         configs[4].0,
     ]);
 
+    let mut cells = Vec::new();
     for scenario in Scenario::all() {
         let mut row = vec![scenario.to_string()];
         for (_, topology, authority) in configs {
@@ -96,6 +79,21 @@ fn main() {
             } else {
                 "n/a".to_string()
             });
+            cells.push(CampaignCell {
+                scenario: report.scenario.to_string(),
+                topology: report.topology.to_string(),
+                authority: report.authority.to_string(),
+                policy: None,
+                outcomes: vec![
+                    ("contained", u64::from(report.contained)),
+                    ("healthy_frozen", u64::from(report.healthy_frozen)),
+                    ("startup_failed", u64::from(report.startup_failed)),
+                ],
+                metrics: vec![(
+                    "propagation_rate",
+                    report.applicable().then(|| report.propagation_rate()),
+                )],
+            });
         }
         table.row(row);
     }
@@ -107,4 +105,28 @@ fn main() {
     println!(" * coupler replay: n/a everywhere except the full-shifting star — the new");
     println!("   failure mode that full-frame buffering introduces (the paper's tradeoff).");
     println!(" * silence/noise channel faults: contained everywhere by channel redundancy.");
+
+    let json = CampaignJson {
+        experiment: "E9".to_string(),
+        trials: TRIALS,
+        cells,
+    };
+    let rendered = json.render();
+    if args.json {
+        match &args.json_path {
+            Some(path) => {
+                std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+                println!("\nwrote {}", path.display());
+            }
+            None => print!("\n{rendered}"),
+        }
+    }
+    if let Some(golden) = &args.check {
+        if !tta_bench::check_against_golden(golden, &rendered) {
+            std::process::exit(1);
+        }
+    }
 }

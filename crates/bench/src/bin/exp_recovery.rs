@@ -1,0 +1,255 @@
+//! Experiment E10 — recovery and graceful degradation: what the E9
+//! containment table looks like once hosts are allowed to *restart*
+//! frozen controllers and faults are *transient*.
+//!
+//! Each cell runs a Monte-Carlo campaign of one fault scenario against
+//! one topology/authority/restart-policy combination, bounds the fault
+//! to a transient window, and classifies every trial as contained /
+//! recovered / degraded-stable / permanent-loss, with availability (the
+//! mean fraction of slots at full healthy strength) and mean
+//! time-to-reintegration alongside.
+//!
+//! Expected shape:
+//!
+//! * With `never` (the paper's semantics — freeze is absorbing) both
+//!   ends of the authority spectrum turn transient disturbances into
+//!   **permanent losses**: weak authority lets an SOS sender freeze
+//!   healthy peers, and the one fault the star *adds* — the
+//!   full-shifting replay — freezes them from the other side.
+//! * Unlimited restarting (`immediate`, `watchdog`) converts those
+//!   trials into bounded-TTR recoveries once the fault clears; a
+//!   bounded retry budget that the fault window outlasts degenerates
+//!   back to `never`.
+//! * Reshaping authorities contain the SOS sender outright, so their
+//!   policy rows all agree; channel redundancy contains silence
+//!   everywhere.
+//!
+//! Flags: `--threads N` pins workers (reports are bit-identical either
+//! way), `--json [PATH]` emits the machine-readable table,
+//! `--check GOLDEN` diffs that JSON against a fixture (CI), `--smoke`
+//! runs the reduced deterministic sweep the `recovery` CI job pins.
+
+use tta_analysis::tables::Table;
+use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson};
+use tta_guardian::CouplerAuthority;
+use tta_protocol::RestartPolicy;
+use tta_sim::{Campaign, RecoveryReport, Scenario, Topology};
+
+const USAGE: &str = "exp_recovery [--threads N] [--json [PATH]] [--check GOLDEN] [--smoke]";
+
+/// One topology/authority column of the sweep.
+type Config = (&'static str, Topology, CouplerAuthority);
+
+struct Sweep {
+    experiment: &'static str,
+    configs: Vec<Config>,
+    scenarios: Vec<Scenario>,
+    policies: Vec<RestartPolicy>,
+    trials: u32,
+    slots: u64,
+    fault_duration: u64,
+}
+
+fn full_sweep() -> Sweep {
+    Sweep {
+        experiment: "E10",
+        configs: vec![
+            ("bus / local", Topology::Bus, CouplerAuthority::Passive),
+            ("star / passive", Topology::Star, CouplerAuthority::Passive),
+            (
+                "star / time windows",
+                Topology::Star,
+                CouplerAuthority::TimeWindows,
+            ),
+            (
+                "star / small shifting",
+                Topology::Star,
+                CouplerAuthority::SmallShifting,
+            ),
+            (
+                "star / full shifting",
+                Topology::Star,
+                CouplerAuthority::FullShifting,
+            ),
+        ],
+        scenarios: vec![
+            Scenario::SosSender,
+            Scenario::CouplerSilence,
+            Scenario::CouplerReplay,
+        ],
+        policies: vec![
+            RestartPolicy::Never,
+            RestartPolicy::Immediate,
+            RestartPolicy::BoundedRetry {
+                max_restarts: 3,
+                backoff_slots: 4,
+            },
+            RestartPolicy::Watchdog { silence_slots: 8 },
+        ],
+        trials: 24,
+        slots: 400,
+        fault_duration: 60,
+    }
+}
+
+/// The reduced sweep the CI `recovery` job runs: two scenarios that
+/// bracket the story (an SOS sender every guardian contains; the replay
+/// only full shifting admits) × the two extreme policies × the two
+/// extreme authorities. Deterministic — same seeds, any thread count.
+fn smoke_sweep() -> Sweep {
+    Sweep {
+        experiment: "E10-smoke",
+        configs: vec![
+            ("star / passive", Topology::Star, CouplerAuthority::Passive),
+            (
+                "star / full shifting",
+                Topology::Star,
+                CouplerAuthority::FullShifting,
+            ),
+        ],
+        scenarios: vec![Scenario::SosSender, Scenario::CouplerReplay],
+        policies: vec![
+            RestartPolicy::Never,
+            RestartPolicy::Watchdog { silence_slots: 8 },
+        ],
+        trials: 12,
+        slots: 300,
+        fault_duration: 60,
+    }
+}
+
+fn run_cell(
+    sweep: &Sweep,
+    config: &Config,
+    scenario: Scenario,
+    policy: RestartPolicy,
+    threads: Option<usize>,
+) -> RecoveryReport {
+    let (_, topology, authority) = *config;
+    let mut campaign = Campaign::new(4, topology, authority)
+        .trials(sweep.trials)
+        .slots(sweep.slots)
+        .restart_policy(policy)
+        .fault_duration(sweep.fault_duration);
+    if let Some(threads) = threads {
+        campaign = campaign.threads(threads);
+    }
+    campaign.run_recovery(scenario)
+}
+
+fn table_cell(report: &RecoveryReport) -> String {
+    if !report.applicable() {
+        return "n/a".to_string();
+    }
+    let mut cell = format!("{:.3}", report.availability());
+    if report.permanent_loss > 0 {
+        cell.push_str(&format!(" ({} lost)", report.permanent_loss));
+    } else if let Some(ttr) = report.mean_time_to_reintegration {
+        cell.push_str(&format!(" (TTR {ttr:.0})"));
+    }
+    cell
+}
+
+fn json_cell(report: &RecoveryReport) -> CampaignCell {
+    CampaignCell {
+        scenario: report.scenario.to_string(),
+        topology: report.topology.to_string(),
+        authority: report.authority.to_string(),
+        policy: Some(report.policy.to_string()),
+        outcomes: vec![
+            ("contained", u64::from(report.contained)),
+            ("recovered", u64::from(report.recovered)),
+            ("degraded", u64::from(report.degraded)),
+            ("permanent_loss", u64::from(report.permanent_loss)),
+        ],
+        metrics: vec![
+            (
+                "availability",
+                report.applicable().then(|| report.availability()),
+            ),
+            ("mean_ttr", report.mean_time_to_reintegration),
+        ],
+    }
+}
+
+fn main() {
+    let args = CampaignArgs::parse(USAGE, true);
+    let sweep = if args.smoke {
+        smoke_sweep()
+    } else {
+        full_sweep()
+    };
+
+    heading(&format!(
+        "{} — recovery & graceful degradation: transient faults vs. restart policies",
+        sweep.experiment
+    ));
+    println!(
+        "{} randomized trials per cell; 4-node cluster, {} slots per trial, \
+         faults transient ({} slots).",
+        sweep.trials, sweep.slots, sweep.fault_duration
+    );
+    println!(
+        "cell format: availability = mean fraction of slots at full healthy strength\n\
+         (includes each trial's startup transient), with permanent losses or mean\n\
+         freeze-to-reintegration latency in parentheses.\n"
+    );
+
+    let mut cells = Vec::new();
+    for &scenario in &sweep.scenarios {
+        let mut header = vec!["restart policy".to_string()];
+        header.extend(sweep.configs.iter().map(|c| c.0.to_string()));
+        let mut table = Table::new(header);
+        for &policy in &sweep.policies {
+            let mut row = vec![policy.to_string()];
+            for config in &sweep.configs {
+                let report = run_cell(&sweep, config, scenario, policy, args.threads);
+                row.push(table_cell(&report));
+                cells.push(json_cell(&report));
+            }
+            table.row(row);
+        }
+        println!("--- {scenario} ---");
+        println!("{table}");
+    }
+
+    println!("reading the tables:");
+    println!(" * reshaping authorities (small/full shifting) repair SOS frames in flight —");
+    println!("   nothing healthy ever freezes, so every restart-policy row agrees.");
+    println!(" * weaker authority (bus, passive hub, time windows) lets a transient SOS");
+    println!("   sender freeze healthy peers; the full-shifting replay does the same from");
+    println!("   the other end of the spectrum. Under `never` (the paper's absorbing freeze)");
+    println!("   those disturbances outlive the fault: permanent losses.");
+    println!(" * unlimited restarting (immediate, watchdog) turns every such trial into a");
+    println!("   bounded-TTR recovery once the fault clears; the watchdog pays its silence");
+    println!("   threshold in detection latency.");
+    println!(" * a bounded retry budget the fault window outlasts (retry max 3, backoff 4");
+    println!("   against a 60-slot fault) burns out mid-transient and degenerates to");
+    println!("   `never` — the budget must be sized to the transients it rides out.");
+    println!(" * coupler silence is contained everywhere by channel redundancy; the");
+    println!("   restart policy never even fires.");
+
+    let json = CampaignJson {
+        experiment: sweep.experiment.to_string(),
+        trials: sweep.trials,
+        cells,
+    };
+    let rendered = json.render();
+    if args.json {
+        match &args.json_path {
+            Some(path) => {
+                std::fs::write(path, &rendered).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+                println!("\nwrote {}", path.display());
+            }
+            None => print!("\n{rendered}"),
+        }
+    }
+    if let Some(golden) = &args.check {
+        if !tta_bench::check_against_golden(golden, &rendered) {
+            std::process::exit(1);
+        }
+    }
+}

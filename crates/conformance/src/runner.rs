@@ -11,7 +11,8 @@
 //!    rendered report against the golden fixture, if one is named; when
 //!    the scenario sets `expect.liveness`, the weak-fairness liveness
 //!    checker (`listening ~> integrated` per node) runs too and its
-//!    verdict is diffed.
+//!    verdict is diffed; `expect.recovery` does the same for the
+//!    recovery checker (`frozen ~> integrated` under restart fairness).
 //! 2. **Simulator phase** (skipped with a visible reason when the fault
 //!    plan is not physically executable, e.g. an `out_of_slot` replay on
 //!    a passive star): the traced run's disturbance outcome against
@@ -27,7 +28,9 @@ use crate::scenario::{ExpectedVerdict, Scenario, ScenarioError};
 use crate::snapshot::{compare_golden, render_verification, verdict_name};
 use std::fmt::Write as _;
 use std::path::Path;
-use tta_core::{verify_cluster, verify_cluster_liveness, ClusterModel, Verdict};
+use tta_core::{
+    verify_cluster, verify_cluster_liveness, verify_cluster_recovery, ClusterModel, Verdict,
+};
 
 /// The outcome of running one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,6 +137,32 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 r.text,
                 "[liveness] fair lasso: node {} starved, stem {} + cycle {} slots{}",
                 liveness
+                    .violating_node
+                    .map_or_else(|| "?".to_string(), |n| n.to_string()),
+                lasso.stem_len(),
+                lasso.cycle_len(),
+                if lasso.is_stutter() { " (stutter)" } else { "" }
+            );
+        }
+    }
+
+    // Phase 1c: the recovery checker, when the scenario expects a
+    // recovery verdict — `frozen ~> integrated` under restart fairness,
+    // on the same fair reachable graph construction as phase 1b.
+    if let Some(expected) = scenario.expect.recovery {
+        let recovery = verify_cluster_recovery(&config);
+        r.check(
+            verdict_matches(recovery.verdict, expected),
+            format!(
+                "[recovery] frozen ~> integrated under restart fairness: {} (expected {expected})",
+                verdict_name(recovery.verdict)
+            ),
+        );
+        if let Some(lasso) = &recovery.lasso {
+            let _ = writeln!(
+                r.text,
+                "[recovery] fair lasso: node {} never reintegrates, stem {} + cycle {} slots{}",
+                recovery
                     .violating_node
                     .map_or_else(|| "?".to_string(), |n| n.to_string()),
                 lasso.stem_len(),

@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 use tta_core::{ClusterConfig, ClusterModel, FaultBudget};
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
 use tta_protocol::HostChoices;
-use tta_sim::{CouplerFaultEvent, FaultPlan, SimBuilder, Topology};
+use tta_sim::{CouplerFaultEvent, FaultPersistence, FaultPlan, SimBuilder, Topology};
 
 /// The verdict a scenario expects from the bounded checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +63,9 @@ pub struct Expectations {
     /// Expected verdict for the liveness checker: per-node
     /// `listening ~> integrated` under weak startup fairness.
     pub liveness: Option<ExpectedVerdict>,
+    /// Expected verdict for the recovery checker: per-node
+    /// `frozen ~> integrated` under restart fairness.
+    pub recovery: Option<ExpectedVerdict>,
     /// Expected counterexample length in transitions.
     pub trace_len: Option<usize>,
     /// Whether the simulated run should be disturbed (a healthy node
@@ -241,33 +244,27 @@ impl Scenario {
             &[
                 "verdict",
                 "liveness",
+                "recovery",
                 "trace_len",
                 "sim_disturbed",
                 "oracle",
                 "golden",
             ],
         )?;
+        let verdict_key = |key: &str| -> Result<Option<ExpectedVerdict>, ScenarioError> {
+            match get_str(expect_table, key, "expect")? {
+                None => Ok(None),
+                Some("holds") => Ok(Some(ExpectedVerdict::Holds)),
+                Some("violated") => Ok(Some(ExpectedVerdict::Violated)),
+                Some(other) => Err(ScenarioError::new(format!(
+                    "expect.{key} `{other}` (expected holds | violated)"
+                ))),
+            }
+        };
         let expect = Expectations {
-            verdict: match get_str(expect_table, "verdict", "expect")? {
-                None => None,
-                Some("holds") => Some(ExpectedVerdict::Holds),
-                Some("violated") => Some(ExpectedVerdict::Violated),
-                Some(other) => {
-                    return Err(ScenarioError::new(format!(
-                        "expect.verdict `{other}` (expected holds | violated)"
-                    )))
-                }
-            },
-            liveness: match get_str(expect_table, "liveness", "expect")? {
-                None => None,
-                Some("holds") => Some(ExpectedVerdict::Holds),
-                Some("violated") => Some(ExpectedVerdict::Violated),
-                Some(other) => {
-                    return Err(ScenarioError::new(format!(
-                        "expect.liveness `{other}` (expected holds | violated)"
-                    )))
-                }
-            },
+            verdict: verdict_key("verdict")?,
+            liveness: verdict_key("liveness")?,
+            recovery: verdict_key("recovery")?,
             trace_len: get_int(expect_table, "trace_len", "expect")?
                 .map(|n| {
                     usize::try_from(n)
@@ -477,6 +474,7 @@ fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError
         mode,
         from_slot,
         to_slot,
+        persistence: FaultPersistence::Transient,
     })
 }
 

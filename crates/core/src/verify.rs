@@ -205,6 +205,32 @@ pub fn node_integration_property(node: usize) -> Property<ClusterState> {
     )
 }
 
+/// The per-node recovery property:
+/// `frozen(node) ~> integrated(node)` — whenever the node is frozen,
+/// it eventually attains active membership again.
+///
+/// Checked under the same weak fairness as the startup check
+/// ([`cluster_startup_fairness`]): its `freeze → init` actions are
+/// exactly *restart fairness* — a frozen host that is allowed to power
+/// its controller back up eventually does. Every node starts frozen, so
+/// this subsumes the integration property; it additionally demands that
+/// any *later* freeze leads back to membership. In this model a node
+/// frozen after integration (a freeze-out victim) has no restart
+/// transition at all — post-integration freeze is absorbing, matching
+/// the simulator's `RestartPolicy::Never` — so a reachable freeze-out
+/// is a fair stutter cycle that violates recovery, and a full-shifting
+/// coupler's replay starvation violates it already from the initial
+/// frozen state.
+#[must_use]
+pub fn node_recovery_property(node: usize) -> Property<ClusterState> {
+    Property::leads_to(
+        format!("node {node} frozen"),
+        move |s: &ClusterState| s.nodes()[node].protocol_state() == ProtocolState::Freeze,
+        format!("node {node} integrated"),
+        move |s: &ClusterState| s.nodes()[node].protocol_state() == ProtocolState::Active,
+    )
+}
+
 /// Verifies integration liveness — *every correct node's listening
 /// leads to integration* — for all nodes of the configured cluster,
 /// under the weak startup fairness of [`cluster_startup_fairness`].
@@ -224,6 +250,33 @@ pub fn verify_cluster_liveness(config: &ClusterConfig) -> LivenessReport {
 /// downgraded to `BudgetExhausted`.
 #[must_use]
 pub fn verify_cluster_liveness_with(config: &ClusterConfig, max_states: u64) -> LivenessReport {
+    verify_each_node_with(config, max_states, node_integration_property)
+}
+
+/// Verifies recovery liveness — *every node's freeze leads back to
+/// integration* ([`node_recovery_property`]) — for all nodes of the
+/// configured cluster, under restart fairness
+/// ([`cluster_startup_fairness`]).
+#[must_use]
+pub fn verify_cluster_recovery(config: &ClusterConfig) -> LivenessReport {
+    verify_cluster_recovery_with(config, DEFAULT_MAX_STATES)
+}
+
+/// [`verify_cluster_recovery`] with an explicit state budget. A
+/// violation found on a truncated graph is still sound; a clean pass is
+/// downgraded to `BudgetExhausted`.
+#[must_use]
+pub fn verify_cluster_recovery_with(config: &ClusterConfig, max_states: u64) -> LivenessReport {
+    verify_each_node_with(config, max_states, node_recovery_property)
+}
+
+/// Shared engine for the per-node leads-to checks: builds the fair
+/// reachable graph once and checks `property_for(node)` for each node.
+fn verify_each_node_with(
+    config: &ClusterConfig,
+    max_states: u64,
+    property_for: impl Fn(usize) -> Property<ClusterState>,
+) -> LivenessReport {
     let model = ClusterModel::new(*config);
     let codec = ClusterCodec::new(config);
     let fairness = cluster_startup_fairness(config.nodes);
@@ -234,7 +287,7 @@ pub fn verify_cluster_liveness_with(config: &ClusterConfig, max_states: u64) -> 
     let mut lasso = None;
     let mut stats: Option<LivenessStats> = None;
     for node in 0..config.nodes {
-        let outcome = graph.check(&node_integration_property(node));
+        let outcome = graph.check(&property_for(node));
         if outcome.verdict == Verdict::Violated && violating_node.is_none() {
             violating_node = Some(NodeId::new(node as u8));
             lasso = outcome.lasso;

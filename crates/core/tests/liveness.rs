@@ -3,8 +3,8 @@
 //! node exactly when the star coupler cannot source replayed frames.
 
 use tta_core::{
-    cluster_startup_fairness, node_integration_property, verify_cluster_liveness, ClusterConfig,
-    ClusterModel, Verdict,
+    cluster_startup_fairness, node_integration_property, node_recovery_property,
+    verify_cluster_liveness, verify_cluster_recovery, ClusterConfig, ClusterModel, Verdict,
 };
 use tta_guardian::CouplerAuthority;
 use tta_modelcheck::TransitionSystem;
@@ -58,6 +58,47 @@ fn full_shifting_replay_denies_integration_forever() {
     );
 }
 
+/// Recovery (`frozen(i) ~> integrated(i)` under restart fairness) holds
+/// for the restrained authorities: no healthy node can be frozen out,
+/// so the only frozen states are pre-startup ones that fairness drives
+/// to integration.
+#[test]
+fn restrained_authorities_recover_under_restart_fairness() {
+    for authority in [
+        CouplerAuthority::Passive,
+        CouplerAuthority::TimeWindows,
+        CouplerAuthority::SmallShifting,
+    ] {
+        let report = verify_cluster_recovery(&ClusterConfig::paper(authority));
+        assert_eq!(report.verdict, Verdict::Holds, "{authority}");
+        assert!(
+            report.per_node.iter().all(|v| *v == Verdict::Holds),
+            "{authority}: {:?}",
+            report.per_node
+        );
+        assert!(!report.stats.truncated, "{authority}");
+    }
+}
+
+/// Under full-shifting replay, recovery fails: the victim is frozen
+/// (initially, or frozen out — post-integration freeze is absorbing,
+/// the model's `RestartPolicy::Never`) and the replay-starvation cycle
+/// then denies it active membership forever.
+#[test]
+fn full_shifting_freeze_out_is_a_permanent_loss_in_the_model() {
+    let report = verify_cluster_recovery(&ClusterConfig::paper_trace_cold_start());
+    assert_eq!(report.verdict, Verdict::Violated);
+    let victim = report.violating_node.expect("a violation names its node");
+    let lasso = report.lasso.expect("a violation carries its lasso");
+    for (i, state) in lasso.cycle().iter().enumerate() {
+        assert_ne!(
+            state.nodes()[victim.as_usize()].protocol_state(),
+            tta_protocol::ProtocolState::Active,
+            "cycle state {i} lets victim {victim} back to active membership"
+        );
+    }
+}
+
 /// The fairness constraints and property labels render as documented —
 /// these names appear in narrated reports and must stay stable.
 #[test]
@@ -68,5 +109,9 @@ fn fairness_and_property_labels_are_stable() {
     assert_eq!(
         node_integration_property(1).to_string(),
         "node 1 listening ~> node 1 integrated"
+    );
+    assert_eq!(
+        node_recovery_property(1).to_string(),
+        "node 1 frozen ~> node 1 integrated"
     );
 }

@@ -43,6 +43,7 @@ mod controller;
 pub mod host;
 pub mod membership;
 mod observation;
+pub mod restart;
 mod state;
 
 pub use clique::{CliqueCounters, CliqueVerdict};
@@ -51,4 +52,5 @@ pub use controller::{
 };
 pub use host::{DelayedStartPolicy, EagerStartPolicy, HostChoices, HostPolicy};
 pub use observation::{ChannelObservation, ChannelView, Judgment};
+pub use restart::{RestartPolicy, RestartSupervisor};
 pub use state::ProtocolState;

@@ -7,8 +7,8 @@
 //! `exp_fault_injection` uses this to regenerate the bus-vs-star
 //! containment comparison (experiment E9).
 
-use crate::inject::{CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind};
-use crate::report::SimReport;
+use crate::inject::{CouplerFaultEvent, FaultPersistence, FaultPlan, NodeFault, NodeFaultKind};
+use crate::report::{SimReport, SteadyState};
 use crate::sim::SimBuilder;
 use crate::topology::Topology;
 use rand::rngs::StdRng;
@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use tta_guardian::sos::SosDomain;
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+use tta_protocol::RestartPolicy;
 use tta_types::NodeId;
 
 /// The fault scenario a campaign injects.
@@ -108,6 +109,60 @@ impl Outcome {
     }
 }
 
+/// Classification of one trial in a recovery-aware campaign: where the
+/// binary propagated/contained verdict of [`Outcome`] stops, this asks
+/// what the cluster looked like *after* the fault and the restart policy
+/// had fought it out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryOutcome {
+    /// No healthy node ever froze and the cluster ended fully up.
+    Contained,
+    /// Healthy nodes froze but every one of them was integrated again by
+    /// the end of the run.
+    Recovered,
+    /// The cluster ended short of full strength, but no healthy node is
+    /// beyond saving (the policy could still restart everyone frozen).
+    DegradedStable,
+    /// At least one healthy node is frozen with the restart policy out
+    /// of restarts — lost for the remaining life of the system.
+    PermanentLoss,
+}
+
+impl RecoveryOutcome {
+    /// Classifies a finished run.
+    #[must_use]
+    pub fn classify(report: &SimReport) -> RecoveryOutcome {
+        if !report.permanently_lost().is_empty() {
+            return RecoveryOutcome::PermanentLoss;
+        }
+        let fully_up = report.steady_state() == SteadyState::FullyUp;
+        if report.healthy_frozen().is_empty() {
+            if report.cluster_started() && fully_up {
+                RecoveryOutcome::Contained
+            } else {
+                // Never reached (or held) full strength without anyone
+                // freezing — e.g. startup starved past the horizon.
+                RecoveryOutcome::DegradedStable
+            }
+        } else if fully_up {
+            RecoveryOutcome::Recovered
+        } else {
+            RecoveryOutcome::DegradedStable
+        }
+    }
+}
+
+impl fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryOutcome::Contained => "contained",
+            RecoveryOutcome::Recovered => "recovered",
+            RecoveryOutcome::DegradedStable => "degraded-stable",
+            RecoveryOutcome::PermanentLoss => "permanent-loss",
+        })
+    }
+}
+
 /// Aggregated results of one campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -164,6 +219,75 @@ impl fmt::Display for CampaignReport {
     }
 }
 
+/// Aggregated results of one recovery-aware campaign (experiment E10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Scenario injected.
+    pub scenario: Scenario,
+    /// Topology under test.
+    pub topology: Topology,
+    /// Central-guardian authority (star) / irrelevant for bus.
+    pub authority: CouplerAuthority,
+    /// The hosts' restart policy.
+    pub policy: RestartPolicy,
+    /// Trials actually run (0 if the scenario is inapplicable).
+    pub trials: u32,
+    /// Trials classified [`RecoveryOutcome::Contained`].
+    pub contained: u32,
+    /// Trials classified [`RecoveryOutcome::Recovered`].
+    pub recovered: u32,
+    /// Trials classified [`RecoveryOutcome::DegradedStable`].
+    pub degraded: u32,
+    /// Trials classified [`RecoveryOutcome::PermanentLoss`].
+    pub permanent_loss: u32,
+    /// Mean fraction of slots with fewer than all healthy nodes
+    /// integrated (includes the startup transient of every trial).
+    pub mean_unavailability: f64,
+    /// Mean worst-case freeze-to-reintegration latency in slots, over
+    /// the trials in which something recovered.
+    pub mean_time_to_reintegration: Option<f64>,
+}
+
+impl RecoveryReport {
+    /// Whether the scenario could be injected at all.
+    #[must_use]
+    pub fn applicable(&self) -> bool {
+        self.trials > 0
+    }
+
+    /// Mean fraction of slots at full healthy strength.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        1.0 - self.mean_unavailability
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.applicable() {
+            return write!(f, "{} on {}: not applicable", self.scenario, self.topology);
+        }
+        write!(
+            f,
+            "{} on {} ({}, {}): {} contained, {} recovered, {} degraded, {} lost; \
+             availability {:.3}",
+            self.scenario,
+            self.topology,
+            self.authority,
+            self.policy,
+            self.contained,
+            self.recovered,
+            self.degraded,
+            self.permanent_loss,
+            self.availability(),
+        )?;
+        if let Some(ttr) = self.mean_time_to_reintegration {
+            write!(f, ", mean TTR {ttr:.1} slots")?;
+        }
+        Ok(())
+    }
+}
+
 /// A randomized fault-injection campaign.
 #[derive(Debug, Clone, Copy)]
 pub struct Campaign {
@@ -174,6 +298,8 @@ pub struct Campaign {
     slots: u64,
     seed: u64,
     threads: usize,
+    restart_policy: RestartPolicy,
+    fault_duration: Option<u64>,
 }
 
 /// SplitMix64 finalizer: decorrelates the per-trial seeds derived from
@@ -202,6 +328,8 @@ impl Campaign {
             slots: 400,
             seed: 0xDB5_2004,
             threads: std::thread::available_parallelism().map_or(1, usize::from),
+            restart_policy: RestartPolicy::Never,
+            fault_duration: None,
         }
     }
 
@@ -241,6 +369,25 @@ impl Campaign {
         self
     }
 
+    /// Sets the hosts' restart policy for every trial (default
+    /// [`RestartPolicy::Never`], which leaves the classic [`Self::run`]
+    /// campaign untouched).
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
+    /// Limits every injected fault to `duration` slots after its onset,
+    /// making it transient. By default faults persist to the end of the
+    /// run — the seed behavior, under which recovery is impossible while
+    /// the fault holds the channel.
+    #[must_use]
+    pub fn fault_duration(mut self, duration: u64) -> Self {
+        self.fault_duration = Some(duration);
+        self
+    }
+
     /// The RNG seed of one trial, independent of every other trial.
     fn trial_seed(&self, scenario: Scenario, index: u32) -> u64 {
         mix(self.seed ^ mix((scenario as u64) << 32 | u64::from(index)))
@@ -272,27 +419,7 @@ impl Campaign {
                 .collect()
         };
 
-        let threads = self.threads.min(self.trials.max(1) as usize);
-        let outcomes: Vec<Outcome> = if threads <= 1 {
-            run_range(0..self.trials)
-        } else {
-            let chunk = self.trials.div_ceil(threads as u32);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.trials)
-                    .step_by(chunk as usize)
-                    .map(|start| {
-                        let range = start..(start + chunk).min(self.trials);
-                        scope.spawn(move || run_range(range))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("campaign worker panicked"))
-                    .collect()
-            })
-        };
-
-        for outcome in outcomes {
+        for outcome in self.dispatch(run_range) {
             report.trials += 1;
             match outcome {
                 Outcome::Contained => report.contained += 1,
@@ -309,9 +436,104 @@ impl Campaign {
         Scenario::all().into_iter().map(|s| self.run(s)).collect()
     }
 
+    /// Runs one scenario with recovery-aware classification: the same
+    /// derived-seed trials as [`Self::run`], but each trial is judged by
+    /// [`RecoveryOutcome`] and contributes its unavailability and
+    /// time-to-reintegration to the aggregate (experiment E10).
+    #[must_use]
+    pub fn run_recovery(&self, scenario: Scenario) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            scenario,
+            topology: self.topology,
+            authority: self.authority,
+            policy: self.restart_policy,
+            trials: 0,
+            contained: 0,
+            recovered: 0,
+            degraded: 0,
+            permanent_loss: 0,
+            mean_unavailability: 0.0,
+            mean_time_to_reintegration: None,
+        };
+        if !scenario.applicable(self.topology, self.authority) {
+            return report;
+        }
+
+        let run_range = |range: std::ops::Range<u32>| -> Vec<(RecoveryOutcome, f64, Option<u64>)> {
+            range
+                .map(|index| {
+                    let mut rng = StdRng::seed_from_u64(self.trial_seed(scenario, index));
+                    let sim = self.trial(scenario, &mut rng);
+                    let quorum = (self.nodes - sim.faulty_nodes().len()) as u32;
+                    (
+                        RecoveryOutcome::classify(&sim),
+                        sim.unavailability(quorum),
+                        sim.time_to_reintegration(),
+                    )
+                })
+                .collect()
+        };
+
+        let results = self.dispatch(run_range);
+
+        let mut unavailability_sum = 0.0;
+        let mut ttr_sum = 0u64;
+        let mut ttr_count = 0u32;
+        // Sums run in trial-index order so results are identical for
+        // every thread count.
+        for (outcome, unavailability, ttr) in results {
+            report.trials += 1;
+            match outcome {
+                RecoveryOutcome::Contained => report.contained += 1,
+                RecoveryOutcome::Recovered => report.recovered += 1,
+                RecoveryOutcome::DegradedStable => report.degraded += 1,
+                RecoveryOutcome::PermanentLoss => report.permanent_loss += 1,
+            }
+            unavailability_sum += unavailability;
+            if let Some(t) = ttr {
+                ttr_sum += t;
+                ttr_count += 1;
+            }
+        }
+        if report.trials > 0 {
+            report.mean_unavailability = unavailability_sum / f64::from(report.trials);
+        }
+        if ttr_count > 0 {
+            report.mean_time_to_reintegration = Some(ttr_sum as f64 / f64::from(ttr_count));
+        }
+        report
+    }
+
+    /// Runs `run_range` over all trial indices, across the configured
+    /// worker threads, preserving trial order in the result.
+    fn dispatch<T: Send>(
+        &self,
+        run_range: impl Fn(std::ops::Range<u32>) -> Vec<T> + Sync,
+    ) -> Vec<T> {
+        let threads = self.threads.min(self.trials.max(1) as usize);
+        if threads <= 1 {
+            return run_range(0..self.trials);
+        }
+        let chunk = self.trials.div_ceil(threads as u32);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.trials)
+                .step_by(chunk as usize)
+                .map(|start| {
+                    let range = start..(start + chunk).min(self.trials);
+                    scope.spawn(|| run_range(range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+    }
+
     fn trial(&self, scenario: Scenario, rng: &mut StdRng) -> SimReport {
         let node = NodeId::new(rng.gen_range(0..self.nodes) as u8);
         let onset = rng.gen_range(0..(3 * self.nodes as u64));
+        let until = |from: u64| self.fault_duration.map_or(self.slots, |d| from + d);
         let wrong_slot = {
             let own = u16::from(node.index()) + 1;
             let mut claimed = rng.gen_range(1..=self.nodes as u16);
@@ -335,7 +557,8 @@ impl Campaign {
                 // SOS senders misbehave after startup, as in the
                 // motivating experiments.
                 from_slot: 10 * self.nodes as u64 + onset,
-                to_slot: self.slots,
+                to_slot: until(10 * self.nodes as u64 + onset),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::MasqueradeColdStart => FaultPlan::none().with_node_fault(NodeFault {
                 node,
@@ -343,7 +566,8 @@ impl Campaign {
                     claimed_slot: wrong_slot,
                 },
                 from_slot: onset,
-                to_slot: self.slots,
+                to_slot: until(onset),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::InvalidCState => FaultPlan::none().with_node_fault(NodeFault {
                 node,
@@ -351,31 +575,36 @@ impl Campaign {
                     claimed_slot: wrong_slot,
                 },
                 from_slot: onset,
-                to_slot: self.slots,
+                to_slot: until(onset),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::Babbling => FaultPlan::none().with_node_fault(NodeFault {
                 node,
                 kind: NodeFaultKind::Babbling,
                 from_slot: onset,
-                to_slot: self.slots,
+                to_slot: until(onset),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::CouplerReplay => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
                 channel: rng.gen_range(0..2),
                 mode: CouplerFaultMode::OutOfSlot,
                 from_slot: onset + 2,
-                to_slot: self.slots,
+                to_slot: until(onset + 2),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::CouplerSilence => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
                 channel: rng.gen_range(0..2),
                 mode: CouplerFaultMode::Silence,
                 from_slot: onset,
-                to_slot: self.slots,
+                to_slot: until(onset),
+                persistence: FaultPersistence::Transient,
             }),
             Scenario::CouplerNoise => FaultPlan::none().with_coupler_fault(CouplerFaultEvent {
                 channel: rng.gen_range(0..2),
                 mode: CouplerFaultMode::BadFrame,
                 from_slot: onset,
-                to_slot: self.slots,
+                to_slot: until(onset),
+                persistence: FaultPersistence::Transient,
             }),
         };
         let delays = (0..self.nodes)
@@ -386,6 +615,7 @@ impl Campaign {
             .authority(self.authority)
             .slots(self.slots)
             .start_delays(delays)
+            .restart_policy(self.restart_policy)
             .plan(plan)
             .build()
             .run()
@@ -473,5 +703,55 @@ mod tests {
     fn report_display_summarizes() {
         let report = campaign(Topology::Bus, CouplerAuthority::Passive).run(Scenario::FaultFree);
         assert!(report.to_string().contains("contained"));
+    }
+
+    #[test]
+    fn recovery_campaign_is_reproducible_across_thread_counts() {
+        let base = campaign(Topology::Star, CouplerAuthority::FullShifting)
+            .fault_duration(60)
+            .restart_policy(RestartPolicy::Watchdog { silence_slots: 8 });
+        let sequential = base.threads(1).run_recovery(Scenario::CouplerReplay);
+        for threads in 2..=4 {
+            let parallel = base.threads(threads).run_recovery(Scenario::CouplerReplay);
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn transient_replay_with_watchdog_recovers() {
+        let report = campaign(Topology::Star, CouplerAuthority::FullShifting)
+            .fault_duration(60)
+            .restart_policy(RestartPolicy::Watchdog { silence_slots: 8 })
+            .run_recovery(Scenario::CouplerReplay);
+        assert_eq!(report.permanent_loss, 0, "{report}");
+        assert!(report.recovered > 0, "{report}");
+        assert!(report.mean_time_to_reintegration.is_some(), "{report}");
+    }
+
+    #[test]
+    fn transient_replay_without_restarts_admits_permanent_loss() {
+        let report = campaign(Topology::Star, CouplerAuthority::FullShifting)
+            .fault_duration(60)
+            .run_recovery(Scenario::CouplerReplay);
+        assert!(report.permanent_loss > 0, "{report}");
+        assert_eq!(report.recovered, 0, "never restarts: {report}");
+        assert!(report.mean_time_to_reintegration.is_none(), "{report}");
+    }
+
+    #[test]
+    fn recovery_report_handles_inapplicable_scenarios() {
+        let report = campaign(Topology::Bus, CouplerAuthority::Passive)
+            .run_recovery(Scenario::CouplerReplay);
+        assert!(!report.applicable());
+        assert!(report.to_string().contains("not applicable"));
+    }
+
+    #[test]
+    fn fault_free_recovery_runs_are_contained() {
+        let report = campaign(Topology::Star, CouplerAuthority::SmallShifting)
+            .restart_policy(RestartPolicy::Immediate)
+            .run_recovery(Scenario::FaultFree);
+        assert_eq!(report.contained, report.trials, "{report}");
+        assert!(report.availability() > 0.5, "{report}");
     }
 }

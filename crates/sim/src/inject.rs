@@ -56,6 +56,82 @@ impl fmt::Display for NodeFaultKind {
     }
 }
 
+/// How long an injected fault persists relative to its
+/// `[from_slot, to_slot)` window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultPersistence {
+    /// Active throughout the window, then gone for good — the default,
+    /// so every pre-existing plan literal behaves exactly as before.
+    #[default]
+    Transient,
+    /// Recurring bursts inside the window: within `[from_slot, to_slot)`
+    /// the fault is active for the first `duty` slots of every
+    /// `period`-slot cycle, counted from `from_slot`.
+    Intermittent {
+        /// Cycle length in slots (> 0).
+        period: u64,
+        /// Active slots at the start of each cycle (`1..=period`).
+        duty: u64,
+    },
+    /// Active from `from_slot` onward; `to_slot` is ignored.
+    Permanent,
+}
+
+impl FaultPersistence {
+    /// Whether a fault with this persistence and window is active at
+    /// absolute slot `t`.
+    #[must_use]
+    pub fn active_at(&self, from_slot: u64, to_slot: u64, t: u64) -> bool {
+        match *self {
+            FaultPersistence::Transient => (from_slot..to_slot).contains(&t),
+            FaultPersistence::Intermittent { period, duty } => {
+                (from_slot..to_slot).contains(&t) && (t - from_slot) % period < duty
+            }
+            FaultPersistence::Permanent => t >= from_slot,
+        }
+    }
+
+    /// First slot at which the fault can never be active again
+    /// (`u64::MAX` for permanent faults) — the fault's *envelope* end,
+    /// used by the single-faulty-coupler overlap check.
+    #[must_use]
+    pub fn envelope_end(&self, to_slot: u64) -> u64 {
+        match self {
+            FaultPersistence::Permanent => u64::MAX,
+            FaultPersistence::Transient | FaultPersistence::Intermittent { .. } => to_slot,
+        }
+    }
+
+    fn validate(&self, from_slot: u64, to_slot: u64) {
+        match *self {
+            FaultPersistence::Permanent => {}
+            FaultPersistence::Transient => {
+                assert!(from_slot < to_slot, "empty fault window");
+            }
+            FaultPersistence::Intermittent { period, duty } => {
+                assert!(from_slot < to_slot, "empty fault window");
+                assert!(period > 0, "intermittent fault needs a positive period");
+                assert!(
+                    (1..=period).contains(&duty),
+                    "intermittent duty must be in 1..=period"
+                );
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultPersistence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPersistence::Transient => f.write_str("transient"),
+            FaultPersistence::Intermittent { period, duty } => {
+                write!(f, "intermittent(period {period}, duty {duty})")
+            }
+            FaultPersistence::Permanent => f.write_str("permanent"),
+        }
+    }
+}
+
 /// A node fault active during `[from_slot, to_slot)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeFault {
@@ -65,15 +141,19 @@ pub struct NodeFault {
     pub kind: NodeFaultKind,
     /// First absolute slot at which the fault is active.
     pub from_slot: u64,
-    /// First absolute slot at which it is no longer active.
+    /// First absolute slot at which it is no longer active (ignored for
+    /// [`FaultPersistence::Permanent`]).
     pub to_slot: u64,
+    /// How the fault persists over the window.
+    #[serde(default)]
+    pub persistence: FaultPersistence,
 }
 
 impl NodeFault {
     /// Whether the fault is active at absolute slot `t`.
     #[must_use]
     pub fn active_at(&self, t: u64) -> bool {
-        (self.from_slot..self.to_slot).contains(&t)
+        self.persistence.active_at(self.from_slot, self.to_slot, t)
     }
 }
 
@@ -86,15 +166,25 @@ pub struct CouplerFaultEvent {
     pub mode: CouplerFaultMode,
     /// First absolute slot at which the fault is active.
     pub from_slot: u64,
-    /// First absolute slot at which it is no longer active.
+    /// First absolute slot at which it is no longer active (ignored for
+    /// [`FaultPersistence::Permanent`]).
     pub to_slot: u64,
+    /// How the fault persists over the window.
+    #[serde(default)]
+    pub persistence: FaultPersistence,
 }
 
 impl CouplerFaultEvent {
     /// Whether the fault is active at absolute slot `t`.
     #[must_use]
     pub fn active_at(&self, t: u64) -> bool {
-        (self.from_slot..self.to_slot).contains(&t)
+        self.persistence.active_at(self.from_slot, self.to_slot, t)
+    }
+
+    /// First slot at which the event can never be active again.
+    #[must_use]
+    pub fn envelope_end(&self) -> u64 {
+        self.persistence.envelope_end(self.to_slot)
     }
 }
 
@@ -107,15 +197,19 @@ pub struct GuardianFaultEvent {
     pub mode: LocalGuardianFault,
     /// First absolute slot at which the fault is active.
     pub from_slot: u64,
-    /// First absolute slot at which it is no longer active.
+    /// First absolute slot at which it is no longer active (ignored for
+    /// [`FaultPersistence::Permanent`]).
     pub to_slot: u64,
+    /// How the fault persists over the window.
+    #[serde(default)]
+    pub persistence: FaultPersistence,
 }
 
 impl GuardianFaultEvent {
     /// Whether the fault is active at absolute slot `t`.
     #[must_use]
     pub fn active_at(&self, t: u64) -> bool {
-        (self.from_slot..self.to_slot).contains(&t)
+        self.persistence.active_at(self.from_slot, self.to_slot, t)
     }
 }
 
@@ -137,7 +231,7 @@ impl FaultPlan {
     /// Adds a node fault.
     #[must_use]
     pub fn with_node_fault(mut self, fault: NodeFault) -> Self {
-        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        fault.persistence.validate(fault.from_slot, fault.to_slot);
         self.node_faults.push(fault);
         self
     }
@@ -146,11 +240,26 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if the channel index is not 0 or 1 or the window is empty.
+    /// Panics if the channel index is not 0 or 1, the window is empty, or
+    /// the event overlaps an already-added event on the *other* channel.
+    /// The paper's single-faulty-coupler hypothesis (and our guardian
+    /// model) assumes at most one coupler misbehaves at a time; two
+    /// events on different channels with intersecting envelopes would
+    /// silently simulate a double failure, so they are a construction
+    /// error. Abutting windows (`a.to_slot == b.from_slot`) are legal.
     #[must_use]
     pub fn with_coupler_fault(mut self, fault: CouplerFaultEvent) -> Self {
         assert!(fault.channel < 2, "channels are 0 and 1");
-        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        fault.persistence.validate(fault.from_slot, fault.to_slot);
+        for other in &self.coupler_faults {
+            assert!(
+                other.channel == fault.channel
+                    || fault.from_slot >= other.envelope_end()
+                    || other.from_slot >= fault.envelope_end(),
+                "single-faulty-coupler hypothesis violated: coupler fault \
+                 windows on both channels overlap"
+            );
+        }
         self.coupler_faults.push(fault);
         self
     }
@@ -158,7 +267,7 @@ impl FaultPlan {
     /// Adds a local-guardian fault.
     #[must_use]
     pub fn with_guardian_fault(mut self, fault: GuardianFaultEvent) -> Self {
-        assert!(fault.from_slot < fault.to_slot, "empty fault window");
+        fault.persistence.validate(fault.from_slot, fault.to_slot);
         self.guardian_faults.push(fault);
         self
     }
@@ -221,6 +330,7 @@ mod tests {
             kind: NodeFaultKind::Mute,
             from_slot: 10,
             to_slot: 20,
+            persistence: FaultPersistence::Transient,
         };
         assert!(!f.active_at(9));
         assert!(f.active_at(10));
@@ -235,6 +345,7 @@ mod tests {
             kind: NodeFaultKind::Babbling,
             from_slot: 5,
             to_slot: 8,
+            persistence: FaultPersistence::Transient,
         });
         assert!(plan.node_fault_at(NodeId::new(2), 6).is_some());
         assert!(plan.node_fault_at(NodeId::new(2), 8).is_none());
@@ -248,6 +359,7 @@ mod tests {
             mode: CouplerFaultMode::Silence,
             from_slot: 0,
             to_slot: 4,
+            persistence: FaultPersistence::Transient,
         });
         assert_eq!(plan.coupler_fault_at(0, 2), CouplerFaultMode::Silence);
         assert_eq!(plan.coupler_fault_at(1, 2), CouplerFaultMode::None);
@@ -261,6 +373,7 @@ mod tests {
             mode: LocalGuardianFault::StuckOpen,
             from_slot: 0,
             to_slot: 100,
+            persistence: FaultPersistence::Transient,
         });
         assert_eq!(
             plan.guardian_fault_at(NodeId::new(1), 50),
@@ -280,12 +393,14 @@ mod tests {
                 kind: NodeFaultKind::Mute,
                 from_slot: 0,
                 to_slot: 1,
+                persistence: FaultPersistence::Transient,
             })
             .with_node_fault(NodeFault {
                 node: NodeId::new(3),
                 kind: NodeFaultKind::Babbling,
                 from_slot: 5,
                 to_slot: 6,
+                persistence: FaultPersistence::Transient,
             });
         assert_eq!(plan.faulty_nodes(), [NodeId::new(3)]);
     }
@@ -298,6 +413,7 @@ mod tests {
             mode: CouplerFaultMode::Silence,
             from_slot: 0,
             to_slot: 1,
+            persistence: FaultPersistence::Transient,
         });
     }
 
@@ -309,7 +425,130 @@ mod tests {
             kind: NodeFaultKind::Mute,
             from_slot: 5,
             to_slot: 5,
+            persistence: FaultPersistence::Transient,
         });
+    }
+
+    fn coupler_event(channel: usize, from_slot: u64, to_slot: u64) -> CouplerFaultEvent {
+        CouplerFaultEvent {
+            channel,
+            mode: CouplerFaultMode::Silence,
+            from_slot,
+            to_slot,
+            persistence: FaultPersistence::Transient,
+        }
+    }
+
+    #[test]
+    fn default_persistence_is_transient() {
+        assert_eq!(FaultPersistence::default(), FaultPersistence::Transient);
+    }
+
+    #[test]
+    fn permanent_fault_ignores_window_end() {
+        let f = NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Mute,
+            from_slot: 10,
+            to_slot: 20,
+            persistence: FaultPersistence::Permanent,
+        };
+        assert!(!f.active_at(9));
+        assert!(f.active_at(10));
+        assert!(f.active_at(20));
+        assert!(f.active_at(u64::MAX));
+        // A permanent fault may even have an empty nominal window.
+        let plan = FaultPlan::none().with_node_fault(NodeFault { to_slot: 10, ..f });
+        assert!(plan.node_fault_at(NodeId::new(0), 500).is_some());
+    }
+
+    #[test]
+    fn intermittent_fault_pulses_with_its_duty_cycle() {
+        let f = NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Babbling,
+            from_slot: 10,
+            to_slot: 30,
+            persistence: FaultPersistence::Intermittent { period: 5, duty: 2 },
+        };
+        for t in [10, 11, 15, 16, 25] {
+            assert!(f.active_at(t), "slot {t} is in a burst");
+        }
+        for t in [9, 12, 14, 19, 30, 31] {
+            assert!(!f.active_at(t), "slot {t} is between bursts or outside");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "intermittent duty must be in 1..=period")]
+    fn intermittent_zero_duty_is_rejected() {
+        let _ = FaultPlan::none().with_node_fault(NodeFault {
+            node: NodeId::new(0),
+            kind: NodeFaultKind::Mute,
+            from_slot: 0,
+            to_slot: 10,
+            persistence: FaultPersistence::Intermittent { period: 5, duty: 0 },
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "single-faulty-coupler hypothesis violated")]
+    fn overlapping_dual_channel_coupler_faults_are_rejected() {
+        let _ = FaultPlan::none()
+            .with_coupler_fault(coupler_event(0, 10, 20))
+            .with_coupler_fault(coupler_event(1, 19, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-faulty-coupler hypothesis violated")]
+    fn permanent_coupler_fault_blocks_the_other_channel_forever() {
+        let perm = CouplerFaultEvent {
+            persistence: FaultPersistence::Permanent,
+            ..coupler_event(0, 10, 20)
+        };
+        // Starts long after the nominal window end, but a permanent
+        // fault's envelope never closes.
+        let _ = FaultPlan::none()
+            .with_coupler_fault(perm)
+            .with_coupler_fault(coupler_event(1, 1000, 2000));
+    }
+
+    #[test]
+    fn abutting_dual_channel_coupler_faults_are_legal() {
+        // a.to == b.from is the exact boundary: handover, not overlap.
+        let plan = FaultPlan::none()
+            .with_coupler_fault(coupler_event(0, 10, 20))
+            .with_coupler_fault(coupler_event(1, 20, 30));
+        assert_eq!(plan.coupler_fault_at(0, 19), CouplerFaultMode::Silence);
+        assert_eq!(plan.coupler_fault_at(1, 19), CouplerFaultMode::None);
+        assert_eq!(plan.coupler_fault_at(1, 20), CouplerFaultMode::Silence);
+        // The same holds with the order of insertion reversed.
+        let _ = FaultPlan::none()
+            .with_coupler_fault(coupler_event(1, 20, 30))
+            .with_coupler_fault(coupler_event(0, 10, 20));
+    }
+
+    #[test]
+    fn same_channel_coupler_faults_may_overlap() {
+        let plan = FaultPlan::none()
+            .with_coupler_fault(coupler_event(0, 10, 30))
+            .with_coupler_fault(CouplerFaultEvent {
+                mode: CouplerFaultMode::BadFrame,
+                ..coupler_event(0, 20, 40)
+            });
+        // First match wins inside the overlap.
+        assert_eq!(plan.coupler_fault_at(0, 25), CouplerFaultMode::Silence);
+        assert_eq!(plan.coupler_fault_at(0, 35), CouplerFaultMode::BadFrame);
+    }
+
+    #[test]
+    fn persistence_display_is_informative() {
+        assert_eq!(FaultPersistence::Transient.to_string(), "transient");
+        assert_eq!(FaultPersistence::Permanent.to_string(), "permanent");
+        assert_eq!(
+            FaultPersistence::Intermittent { period: 8, duty: 3 }.to_string(),
+            "intermittent(period 8, duty 3)"
+        );
     }
 
     #[test]

@@ -50,12 +50,14 @@ mod sim;
 mod topology;
 mod trace;
 
-pub use campaign::{Campaign, CampaignReport, Outcome, Scenario};
+pub use campaign::{Campaign, CampaignReport, Outcome, RecoveryOutcome, RecoveryReport, Scenario};
 pub use drift::{DriftExperiment, DriftReport};
-pub use inject::{CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind};
+pub use inject::{
+    CouplerFaultEvent, FaultPersistence, FaultPlan, GuardianFaultEvent, NodeFault, NodeFaultKind,
+};
 pub use log::{SlotEvent, SlotLog};
-pub use metrics::TimeSeries;
-pub use report::SimReport;
+pub use metrics::{TimeSeries, TimeSeriesError};
+pub use report::{RecoveryEpisode, SimReport, SteadyState};
 pub use sim::{SimBuilder, Simulation};
 pub use topology::Topology;
 pub use trace::ClusterSnapshot;

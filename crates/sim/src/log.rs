@@ -48,6 +48,18 @@ pub enum SlotEvent {
         /// The victim.
         node: NodeId,
     },
+    /// The host restarted a frozen controller.
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+        /// How many restarts this node has had, counting this one.
+        attempt: u32,
+    },
+    /// A restarted node reintegrated (reached active or passive again).
+    NodeReintegrated {
+        /// The recovered node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for SlotEvent {
@@ -70,6 +82,10 @@ impl fmt::Display for SlotEvent {
                 write!(f, "coupler replayed a frame on channel {channel}")
             }
             SlotEvent::HealthyNodeFroze { node } => write!(f, "healthy node {node} froze"),
+            SlotEvent::NodeRestarted { node, attempt } => {
+                write!(f, "host restarted {node} (attempt {attempt})")
+            }
+            SlotEvent::NodeReintegrated { node } => write!(f, "{node} reintegrated"),
         }
     }
 }
@@ -166,5 +182,14 @@ mod tests {
             rejected: 2,
         };
         assert!(e.to_string().contains("SOS disagreement"));
+        let e = SlotEvent::NodeRestarted {
+            node: NodeId::new(1),
+            attempt: 2,
+        };
+        assert_eq!(e.to_string(), "host restarted B (attempt 2)");
+        let e = SlotEvent::NodeReintegrated {
+            node: NodeId::new(1),
+        };
+        assert_eq!(e.to_string(), "B reintegrated");
     }
 }

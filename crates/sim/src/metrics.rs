@@ -11,27 +11,60 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use tta_protocol::ProtocolState;
 
+/// Why a log could not be turned into per-slot series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeSeriesError {
+    /// The log references a slot at or beyond the claimed horizon — the
+    /// log and the `slots` argument describe different runs.
+    SlotBeyondHorizon {
+        /// The offending slot in the log.
+        slot: u64,
+        /// The claimed run length.
+        slots: u64,
+    },
+}
+
+impl fmt::Display for TimeSeriesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeSeriesError::SlotBeyondHorizon { slot, slots } => {
+                write!(f, "log references slot {slot} beyond horizon {slots}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeSeriesError {}
+
 /// Per-slot series reconstructed from a run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeSeries {
     integrated: Vec<u32>,
     frozen_events: Vec<u64>,
     guardian_interventions: Vec<u64>,
+    restarts: Vec<u64>,
 }
 
 impl TimeSeries {
     /// Reconstructs the series for a run of `slots` slots over `nodes`
     /// nodes, all of which started in `freeze`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the log references slots at or beyond `slots`.
-    #[must_use]
-    pub fn from_log(log: &SlotLog, nodes: usize, slots: u64) -> Self {
+    /// Returns [`TimeSeriesError::SlotBeyondHorizon`] if the log
+    /// references a slot at or beyond `slots` — e.g. a full-length log
+    /// paired with a truncated horizon. (Earlier versions silently
+    /// dropped such entries while claiming to panic; a mismatched pair
+    /// is a caller bug either way, but now a recoverable one.)
+    pub fn from_log(log: &SlotLog, nodes: usize, slots: u64) -> Result<Self, TimeSeriesError> {
+        if let Some(&(slot, _)) = log.entries().iter().find(|(s, _)| *s >= slots) {
+            return Err(TimeSeriesError::SlotBeyondHorizon { slot, slots });
+        }
         let mut states = vec![ProtocolState::Freeze; nodes];
         let mut integrated = Vec::with_capacity(slots as usize);
         let mut frozen_events = Vec::new();
         let mut guardian_interventions = Vec::new();
+        let mut restarts = Vec::new();
 
         let mut cursor = 0usize;
         let entries = log.entries();
@@ -39,7 +72,6 @@ impl TimeSeries {
             while cursor < entries.len() && entries[cursor].0 == t {
                 match &entries[cursor].1 {
                     SlotEvent::StateChange { node, to, .. } => {
-                        assert!(t < slots, "log references slot {t} beyond horizon {slots}");
                         states[node.as_usize()] = *to;
                         if *to == ProtocolState::Freeze {
                             frozen_events.push(t);
@@ -48,17 +80,21 @@ impl TimeSeries {
                     SlotEvent::GuardianBlocked { .. } | SlotEvent::GuardianReshaped { .. } => {
                         guardian_interventions.push(t);
                     }
+                    SlotEvent::NodeRestarted { .. } => {
+                        restarts.push(t);
+                    }
                     _ => {}
                 }
                 cursor += 1;
             }
             integrated.push(states.iter().filter(|s| s.is_integrated()).count() as u32);
         }
-        TimeSeries {
+        Ok(TimeSeries {
             integrated,
             frozen_events,
             guardian_interventions,
-        }
+            restarts,
+        })
     }
 
     /// Number of integrated nodes at the end of each slot.
@@ -77,6 +113,12 @@ impl TimeSeries {
     #[must_use]
     pub fn guardian_intervention_slots(&self) -> &[u64] {
         &self.guardian_interventions
+    }
+
+    /// Slots at which a host restarted a frozen controller.
+    #[must_use]
+    pub fn restart_slots(&self) -> &[u64] {
+        &self.restarts
     }
 
     /// First slot at which at least `n` nodes were integrated.
@@ -127,10 +169,11 @@ impl fmt::Display for TimeSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inject::{CouplerFaultEvent, FaultPlan};
+    use crate::inject::{CouplerFaultEvent, FaultPersistence, FaultPlan};
     use crate::sim::SimBuilder;
     use crate::topology::Topology;
     use tta_guardian::{CouplerAuthority, CouplerFaultMode};
+    use tta_types::NodeId;
 
     fn golden_series() -> TimeSeries {
         let report = SimBuilder::new(4)
@@ -139,7 +182,7 @@ mod tests {
             .plan(FaultPlan::none())
             .build()
             .run();
-        TimeSeries::from_log(report.log(), 4, report.slots_run())
+        TimeSeries::from_log(report.log(), 4, report.slots_run()).unwrap()
     }
 
     #[test]
@@ -163,9 +206,54 @@ mod tests {
             .plan(FaultPlan::none())
             .build()
             .run();
-        let series = TimeSeries::from_log(report.log(), 4, report.slots_run());
+        let series = TimeSeries::from_log(report.log(), 4, report.slots_run()).unwrap();
         assert_eq!(series.first_slot_with_integrated(4), report.startup_slot());
         assert!(series.freeze_slots().is_empty());
+        assert!(series.restart_slots().is_empty());
+    }
+
+    #[test]
+    fn truncated_horizon_is_an_error_not_an_abort() {
+        // Regression: a log referencing slots ≥ the claimed horizon used
+        // to be silently mis-reconstructed (a dead in-loop assert never
+        // fired). It must surface as a recoverable error.
+        let report = SimBuilder::new(4)
+            .topology(Topology::Star)
+            .slots(200)
+            .plan(FaultPlan::none())
+            .build()
+            .run();
+        let last_event_slot = report.log().entries().last().unwrap().0;
+        let err = TimeSeries::from_log(report.log(), 4, last_event_slot).unwrap_err();
+        assert_eq!(
+            err,
+            TimeSeriesError::SlotBeyondHorizon {
+                slot: last_event_slot,
+                slots: last_event_slot,
+            }
+        );
+        assert!(err.to_string().contains("beyond horizon"));
+    }
+
+    #[test]
+    fn restart_events_land_in_the_restart_series() {
+        let mut log = SlotLog::new();
+        log.record(
+            3,
+            SlotEvent::NodeRestarted {
+                node: NodeId::new(0),
+                attempt: 1,
+            },
+        );
+        log.record(
+            9,
+            SlotEvent::NodeRestarted {
+                node: NodeId::new(2),
+                attempt: 1,
+            },
+        );
+        let series = TimeSeries::from_log(&log, 4, 20).unwrap();
+        assert_eq!(series.restart_slots(), [3, 9]);
     }
 
     #[test]
@@ -175,6 +263,7 @@ mod tests {
             mode: CouplerFaultMode::OutOfSlot,
             from_slot: 12,
             to_slot: 300,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -183,7 +272,7 @@ mod tests {
             .plan(plan)
             .build()
             .run();
-        let series = TimeSeries::from_log(report.log(), 4, report.slots_run());
+        let series = TimeSeries::from_log(report.log(), 4, report.slots_run()).unwrap();
         if !report.healthy_frozen().is_empty() {
             assert!(!series.freeze_slots().is_empty());
         }

@@ -27,7 +27,7 @@
 
 use crate::inject::{FaultPlan, NodeFaultKind};
 use crate::log::{SlotEvent, SlotLog};
-use crate::report::SimReport;
+use crate::report::{RecoveryEpisode, SimReport};
 use crate::topology::Topology;
 use crate::trace::ClusterSnapshot;
 use tta_guardian::local::LocalGuardianFault;
@@ -36,8 +36,8 @@ use tta_guardian::BufferedFrame;
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
 use tta_protocol::membership::MembershipService;
 use tta_protocol::{
-    ChannelObservation, ChannelView, Controller, DelayedStartPolicy, HostChoices, Judgment,
-    ProtocolState, SendIntent,
+    ChannelObservation, ChannelView, Controller, DelayedStartPolicy, EagerStartPolicy, HostChoices,
+    Judgment, ProtocolState, RestartPolicy, RestartSupervisor, SendIntent,
 };
 use tta_types::{FrameKind, MembershipVector, NodeId};
 
@@ -69,6 +69,7 @@ pub struct SimBuilder {
     start_delays: Vec<u32>,
     tolerances: Vec<ReceiverTolerance>,
     plan: FaultPlan,
+    restart_policy: RestartPolicy,
 }
 
 impl SimBuilder {
@@ -103,6 +104,7 @@ impl SimBuilder {
             start_delays,
             tolerances,
             plan: FaultPlan::none(),
+            restart_policy: RestartPolicy::Never,
         }
     }
 
@@ -149,6 +151,15 @@ impl SimBuilder {
         self
     }
 
+    /// The hosts' restart policy for controllers that freeze after
+    /// having started (default [`RestartPolicy::Never`]: freeze stays
+    /// absorbing, the paper's semantics).
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> Self {
+        self.restart_policy = policy;
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -173,6 +184,10 @@ impl SimBuilder {
             plan: self.plan,
             buffers: [None, None],
             last_admitted: vec![None; self.nodes],
+            ever_started: vec![false; self.nodes],
+            supervisors: vec![RestartSupervisor::new(self.restart_policy); self.nodes],
+            restart_policy: self.restart_policy,
+            episodes: Vec::new(),
             t: 0,
             log: SlotLog::new(),
             healthy_frozen: Vec::new(),
@@ -196,6 +211,10 @@ pub struct Simulation {
     plan: FaultPlan,
     buffers: [Option<Transmission>; 2],
     last_admitted: Vec<Option<u64>>,
+    ever_started: Vec<bool>,
+    supervisors: Vec<RestartSupervisor>,
+    restart_policy: RestartPolicy,
+    episodes: Vec<RecoveryEpisode>,
     t: u64,
     log: SlotLog,
     healthy_frozen: Vec<NodeId>,
@@ -275,6 +294,8 @@ impl Simulation {
             self.healthy_frozen,
             self.plan.faulty_nodes(),
             self.startup_slot,
+            self.restart_policy,
+            self.episodes,
             self.log,
         )
     }
@@ -311,6 +332,18 @@ impl Simulation {
         // 5. Per-receiver observation and controller stepping.
         let before: Vec<Controller> = self.controllers.clone();
         for i in 0..self.controllers.len() {
+            // A controller frozen after having started is out of the
+            // protocol's hands: only the host's restart policy can bring
+            // it back. (The initial cold-start dwell in freeze is the
+            // start-delay policy's business and takes the normal path.)
+            if self.controllers[i].protocol_state() == ProtocolState::Freeze && self.ever_started[i]
+            {
+                if self.supervisors[i].restart_due(t) {
+                    self.restart_node(i, t);
+                }
+                continue;
+            }
+            self.ever_started[i] |= self.controllers[i].protocol_state() != ProtocolState::Freeze;
             let receiver = NodeId::new(i as u8);
             let view = ChannelView::new(
                 self.observe(receiver, channels[0]),
@@ -361,6 +394,30 @@ impl Simulation {
                     self.healthy_frozen.push(node);
                     self.log.record(t, SlotEvent::HealthyNodeFroze { node });
                 }
+                // Recovery bookkeeping. A freeze after the first start
+                // opens an episode and arms the supervisor; a restarted
+                // node reaching active/passive closes its episode.
+                if next.protocol_state() == ProtocolState::Freeze && self.ever_started[i] {
+                    self.supervisors[i].on_freeze(t);
+                    self.episodes.push(RecoveryEpisode {
+                        node,
+                        freeze_slot: t,
+                        restart_slot: None,
+                        reintegration_slot: None,
+                    });
+                }
+                if next.is_integrated() && !prev.is_integrated() {
+                    if let Some(episode) = self
+                        .episodes
+                        .iter_mut()
+                        .rev()
+                        .find(|e| e.node == node && e.reintegration_slot.is_none())
+                        .filter(|e| e.restart_slot.is_some())
+                    {
+                        episode.reintegration_slot = Some(t);
+                        self.log.record(t, SlotEvent::NodeReintegrated { node });
+                    }
+                }
             }
         }
 
@@ -379,6 +436,33 @@ impl Simulation {
         }
 
         self.t += 1;
+    }
+
+    /// Power-cycles a frozen controller: fresh membership, back to
+    /// `init` through the model's own freeze → init host transition.
+    fn restart_node(&mut self, i: usize, t: u64) {
+        let node = NodeId::new(i as u8);
+        self.memberships[i] = MembershipService::new(self.controllers.len(), 1);
+        self.supervisors[i].on_restart();
+        let next =
+            self.controllers[i].step(&ChannelView::silent(), &self.choices, &mut EagerStartPolicy);
+        debug_assert_eq!(next.protocol_state(), ProtocolState::Init);
+        self.controllers[i] = next;
+        self.log.record(
+            t,
+            SlotEvent::NodeRestarted {
+                node,
+                attempt: self.supervisors[i].restarts(),
+            },
+        );
+        if let Some(episode) = self
+            .episodes
+            .iter_mut()
+            .rev()
+            .find(|e| e.node == node && e.restart_slot.is_none())
+        {
+            episode.restart_slot = Some(t);
+        }
     }
 
     /// The transmission a node attempts this slot, after node faults.
@@ -706,7 +790,7 @@ fn adopted_membership(channels: &[ChannelContent; 2]) -> Option<MembershipVector
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::inject::{CouplerFaultEvent, NodeFault};
+    use crate::inject::{CouplerFaultEvent, FaultPersistence, NodeFault};
 
     fn golden(topology: Topology, authority: CouplerAuthority) -> SimReport {
         SimBuilder::new(4)
@@ -753,6 +837,7 @@ mod tests {
             },
             from_slot: 60,
             to_slot: 300,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Bus)
@@ -780,6 +865,7 @@ mod tests {
             },
             from_slot: 60,
             to_slot: 300,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -811,6 +897,7 @@ mod tests {
             kind: NodeFaultKind::MasqueradeColdStart { claimed_slot: 2 },
             from_slot: 0,
             to_slot: 300,
+            persistence: FaultPersistence::Transient,
         });
         let bus = SimBuilder::new(4)
             .topology(Topology::Bus)
@@ -856,6 +943,7 @@ mod tests {
             kind: NodeFaultKind::InvalidCState { claimed_slot: 1 },
             from_slot: 0,
             to_slot: 400,
+            persistence: FaultPersistence::Transient,
         });
         let star = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -882,6 +970,7 @@ mod tests {
             mode: CouplerFaultMode::OutOfSlot,
             from_slot: 12,
             to_slot: 340,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -915,6 +1004,7 @@ mod tests {
                 mode,
                 from_slot: 0,
                 to_slot: 400,
+                persistence: FaultPersistence::Transient,
             });
             let report = SimBuilder::new(4)
                 .topology(Topology::Star)
@@ -935,6 +1025,7 @@ mod tests {
             kind: NodeFaultKind::Babbling,
             from_slot: 0,
             to_slot: 400,
+            persistence: FaultPersistence::Transient,
         });
         for topology in [Topology::Bus, Topology::Star] {
             let report = SimBuilder::new(4)
@@ -956,6 +1047,7 @@ mod tests {
             kind: NodeFaultKind::Mute,
             from_slot: 0,
             to_slot: 400,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -1009,12 +1101,14 @@ mod tests {
                 mode: CouplerFaultMode::OutOfSlot,
                 from_slot: 2,
                 to_slot: 4,
+                persistence: FaultPersistence::Transient,
             })
             .with_coupler_fault(CouplerFaultEvent {
                 channel: 0,
                 mode: CouplerFaultMode::OutOfSlot,
                 from_slot: 12,
                 to_slot: 40,
+                persistence: FaultPersistence::Transient,
             });
         let (report, snapshots) = SimBuilder::new(4)
             .topology(Topology::Star)

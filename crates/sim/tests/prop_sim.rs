@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use tta_guardian::sos::{ReceiverTolerance, SosDomain};
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
-use tta_sim::{CouplerFaultEvent, FaultPlan, NodeFault, NodeFaultKind, SimBuilder, Topology};
+use tta_sim::{
+    CouplerFaultEvent, FaultPersistence, FaultPlan, NodeFault, NodeFaultKind, SimBuilder, Topology,
+};
 use tta_types::NodeId;
 
 const SLOTS: u64 = 320;
@@ -74,6 +76,7 @@ proptest! {
             },
             from_slot: onset,
             to_slot: SLOTS,
+            persistence: FaultPersistence::Transient,
         });
         let build = || {
             SimBuilder::new(4)
@@ -109,6 +112,7 @@ proptest! {
             },
             from_slot: onset,
             to_slot: SLOTS,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -137,6 +141,7 @@ proptest! {
             mode: if silence { CouplerFaultMode::Silence } else { CouplerFaultMode::BadFrame },
             from_slot: from,
             to_slot: SLOTS,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(topology)
@@ -173,6 +178,7 @@ proptest! {
             kind,
             from_slot: onset,
             to_slot: SLOTS,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -202,6 +208,7 @@ fn founder_content_fault_recovers() {
         kind: NodeFaultKind::InvalidCState { claimed_slot: 2 },
         from_slot: 13,
         to_slot: SLOTS,
+        persistence: FaultPersistence::Transient,
     });
     let report = SimBuilder::new(4)
         .topology(Topology::Star)

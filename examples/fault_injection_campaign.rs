@@ -12,7 +12,8 @@
 use tta::guardian::sos::SosDomain;
 use tta::guardian::CouplerAuthority;
 use tta::sim::{
-    Campaign, FaultPlan, NodeFault, NodeFaultKind, Scenario, SimBuilder, SlotEvent, Topology,
+    Campaign, FaultPersistence, FaultPlan, NodeFault, NodeFaultKind, Scenario, SimBuilder,
+    SlotEvent, Topology,
 };
 use tta::types::NodeId;
 
@@ -50,6 +51,7 @@ fn main() {
         },
         from_slot: 60,
         to_slot: 300,
+        persistence: FaultPersistence::Transient,
     });
     let report = SimBuilder::new(4)
         .topology(Topology::Bus)

@@ -11,7 +11,7 @@
 
 use tta::core::{narrate_compressed, verify_cluster, ClusterConfig, ClusterModel, Verdict};
 use tta::guardian::{CouplerAuthority, CouplerFaultMode};
-use tta::sim::{CouplerFaultEvent, FaultPlan, SimBuilder, SlotEvent, Topology};
+use tta::sim::{CouplerFaultEvent, FaultPersistence, FaultPlan, SimBuilder, SlotEvent, Topology};
 
 fn main() {
     // --- 1. The model checker finds the failure and narrates it.
@@ -36,6 +36,7 @@ fn main() {
         mode: CouplerFaultMode::OutOfSlot,
         from_slot: 12,
         to_slot: 200,
+        persistence: FaultPersistence::Transient,
     });
     let sim_report = SimBuilder::new(4)
         .topology(Topology::Star)

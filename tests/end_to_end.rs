@@ -4,7 +4,9 @@
 use tta::analysis;
 use tta::core::{verify_cluster, ClusterConfig, Verdict};
 use tta::guardian::{buffer, CouplerAuthority, CouplerFaultMode};
-use tta::sim::{Campaign, CouplerFaultEvent, FaultPlan, Scenario, SimBuilder, Topology};
+use tta::sim::{
+    Campaign, CouplerFaultEvent, FaultPersistence, FaultPlan, Scenario, SimBuilder, Topology,
+};
 use tta::types::constants::{LINE_ENCODING_BITS, N_FRAME_MIN_BITS};
 
 /// The formal model's verdicts and the simulator's observations agree on
@@ -24,6 +26,7 @@ fn checker_and_simulator_agree_on_passive_faults() {
             mode,
             from_slot: 0,
             to_slot: 400,
+            persistence: FaultPersistence::Transient,
         });
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
@@ -49,6 +52,7 @@ fn checker_violation_has_a_concrete_execution() {
         mode: CouplerFaultMode::OutOfSlot,
         from_slot: 12,
         to_slot: 400,
+        persistence: FaultPersistence::Transient,
     });
     let report = SimBuilder::new(4)
         .topology(Topology::Star)

@@ -91,3 +91,38 @@ fn campaign_reports_round_trip_through_serde() {
     let back: CampaignReport = json_roundtrip(&report);
     assert_eq!(back, report);
 }
+
+#[test]
+#[ignore = "requires a real serde_json; the offline stub cannot round-trip"]
+fn restart_policies_and_persistence_round_trip_through_serde() {
+    for policy in [
+        tta::protocol::RestartPolicy::Never,
+        tta::protocol::RestartPolicy::Immediate,
+        tta::protocol::RestartPolicy::BoundedRetry {
+            max_restarts: 3,
+            backoff_slots: 4,
+        },
+        tta::protocol::RestartPolicy::Watchdog { silence_slots: 8 },
+    ] {
+        assert_eq!(json_roundtrip(&policy), policy);
+    }
+    for persistence in [
+        tta::sim::FaultPersistence::Transient,
+        tta::sim::FaultPersistence::Intermittent { period: 6, duty: 2 },
+        tta::sim::FaultPersistence::Permanent,
+    ] {
+        assert_eq!(json_roundtrip(&persistence), persistence);
+    }
+}
+
+#[test]
+#[ignore = "requires a real serde_json; the offline stub cannot round-trip"]
+fn recovery_reports_round_trip_through_serde() {
+    let report = Campaign::new(4, Topology::Star, CouplerAuthority::FullShifting)
+        .trials(4)
+        .restart_policy(tta::protocol::RestartPolicy::Immediate)
+        .fault_duration(40)
+        .run_recovery(Scenario::CouplerReplay);
+    let back: tta::sim::RecoveryReport = json_roundtrip(&report);
+    assert_eq!(back, report);
+}
