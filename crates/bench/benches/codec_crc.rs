@@ -48,7 +48,7 @@ fn bench_encode_decode(c: &mut Criterion) {
         .build()
         .expect("valid frame");
     group.bench_function("encode_xframe_max", |b| {
-        b.iter(|| black_box(xframe.encode()))
+        b.iter(|| black_box(xframe.encode()));
     });
     let bits = xframe.encode();
     group.bench_function("decode_xframe_max", |b| {

@@ -35,8 +35,7 @@ fn main() {
     heading("paper spot check");
     let ratio_128 = clock_ratio_limit(128, 128, le).expect("feasible");
     println!(
-        "f_max = f_min = 128 bits → ratio = 128 / (1 + le) = {:.1} (paper: \"f_max / 5 = 25\")",
-        ratio_128
+        "f_max = f_min = 128 bits → ratio = 128 / (1 + le) = {ratio_128:.1} (paper: \"f_max / 5 = 25\")"
     );
     println!(
         "The 1 + le term caps the ratio even with zero frame-size range — \"a significant\n\
@@ -85,8 +84,5 @@ fn ascii_curve(f_max: u32, le: u32) {
         println!("|{line}");
     }
     println!("+{}", "-".repeat(COLS + 1));
-    println!(
-        " f_min = {}  …  f_min = f_max = {}",
-        N_FRAME_MIN_BITS, f_max
-    );
+    println!(" f_min = {N_FRAME_MIN_BITS}  …  f_min = f_max = {f_max}");
 }

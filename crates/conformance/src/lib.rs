@@ -30,5 +30,7 @@ pub mod toml;
 pub use lift::{lift_snapshot, lift_trace};
 pub use oracle::{check_trace, Conformance, Divergence, NearMiss};
 pub use runner::{run_scenario, run_scenario_file, ScenarioOutcome};
-pub use scenario::{Expectations, ExpectedVerdict, Scenario, ScenarioError};
+pub use scenario::{
+    Expectations, ExpectedVerdict, PropertyKind, PropertySpec, Scenario, ScenarioError,
+};
 pub use snapshot::{compare_golden, diff_lines, render_verification, verdict_name};

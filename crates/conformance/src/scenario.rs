@@ -84,6 +84,52 @@ pub struct Expectations {
     pub golden: Option<String>,
 }
 
+/// The temporal shape of a declared [`PropertySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// `G(predicate)` — the predicate holds on every reachable state.
+    Invariant,
+    /// `F(predicate)` — the predicate eventually holds on every fair path.
+    Eventually,
+    /// `GF(predicate)` — the predicate holds infinitely often.
+    AlwaysEventually,
+    /// `antecedent ~> consequent` — every antecedent state is fairly
+    /// followed by a consequent state.
+    LeadsTo,
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PropertyKind::Invariant => "invariant",
+            PropertyKind::Eventually => "eventually",
+            PropertyKind::AlwaysEventually => "always_eventually",
+            PropertyKind::LeadsTo => "leads_to",
+        })
+    }
+}
+
+/// A named temporal property declared in a `[[property]]` section.
+///
+/// Predicates are referenced by name from the shared predicate catalog
+/// (see `tta-modellint`); the conformance layer stores the names verbatim
+/// and leaves resolution to consumers, so a scenario with properties
+/// still parses without the lint engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertySpec {
+    /// Short identifier used in diagnostics.
+    pub name: String,
+    /// Temporal shape.
+    pub kind: PropertyKind,
+    /// The predicate (invariant / eventually / always_eventually), or
+    /// the antecedent (leads_to).
+    pub predicate: String,
+    /// The consequent (leads_to only).
+    pub consequent: Option<String>,
+    /// 1-based line of the `[[property]]` header.
+    pub line: usize,
+}
+
 /// One parsed conformance scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -107,6 +153,9 @@ pub struct Scenario {
     pub forbid_cold_start_replay: bool,
     /// Coupler faults injected into the simulated run.
     pub coupler_faults: Vec<CouplerFaultEvent>,
+    /// Additional named temporal properties (`[[property]]` sections),
+    /// checked for non-vacuity by the lint engine.
+    pub properties: Vec<PropertySpec>,
     /// Expected outcomes.
     pub expect: Expectations,
     /// Directory of the scenario file (fixture paths resolve against it).
@@ -146,8 +195,25 @@ impl Scenario {
     pub fn parse(text: &str, base_dir: &Path) -> Result<Self, ScenarioError> {
         let doc = Document::parse(text).map_err(|e| ScenarioError::new(e.to_string()))?;
         for path in doc.paths() {
-            if !KNOWN_SECTIONS.contains(&path) && path != "fault.coupler" {
+            if !KNOWN_SECTIONS.contains(&path) && path != "fault.coupler" && path != "property" {
                 return Err(ScenarioError::new(format!("unknown section [{path}]")));
+            }
+        }
+        // The TOML layer rejects a repeated `[section]` header, but a
+        // repeated `[[section]]` header is legal syntax (it is how
+        // fault.coupler lists are written). For singleton sections that
+        // would silently drop the later block: `Document::table` returns
+        // the first match. Reject the repetition instead.
+        for section in KNOWN_SECTIONS {
+            if section.is_empty() {
+                continue;
+            }
+            let count = doc.tables(section).count();
+            if count > 1 {
+                return Err(ScenarioError::new(format!(
+                    "section [{section}] declared {count} times — only fault.coupler \
+                     and property may repeat"
+                )));
             }
         }
         if let Some(root) = doc.table("") {
@@ -238,6 +304,11 @@ impl Scenario {
             coupler_faults.push(parse_coupler_fault(table)?);
         }
 
+        let mut properties = Vec::new();
+        for table in doc.tables("property") {
+            properties.push(parse_property(table)?);
+        }
+
         let expect_table = doc.table("expect");
         check_keys(
             expect_table,
@@ -296,6 +367,7 @@ impl Scenario {
             out_of_slot_budget,
             forbid_cold_start_replay,
             coupler_faults,
+            properties,
             expect,
             base_dir: base_dir.to_path_buf(),
         })
@@ -439,7 +511,18 @@ fn parse_authority(text: &str) -> Result<CouplerAuthority, ScenarioError> {
 }
 
 fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError> {
-    check_keys(Some(table), &["channel", "mode", "from_slot", "to_slot"])?;
+    check_keys(
+        Some(table),
+        &[
+            "channel",
+            "mode",
+            "from_slot",
+            "to_slot",
+            "persistence",
+            "period",
+            "duty",
+        ],
+    )?;
     let where_ = format!("fault.coupler (line {})", table.line);
     let channel = get_int(Some(table), "channel", &where_)?
         .filter(|c| (0..=1).contains(c))
@@ -469,12 +552,104 @@ fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError
             "{where_}: empty window {from_slot}..{to_slot}"
         )));
     }
+    let period = get_int(Some(table), "period", &where_)?;
+    let duty = get_int(Some(table), "duty", &where_)?;
+    let persistence = match get_str(Some(table), "persistence", &where_)? {
+        None | Some("transient") => {
+            if period.is_some() || duty.is_some() {
+                return Err(ScenarioError::new(format!(
+                    "{where_}: period/duty are only valid with persistence = \"intermittent\""
+                )));
+            }
+            FaultPersistence::Transient
+        }
+        Some("permanent") => {
+            if period.is_some() || duty.is_some() {
+                return Err(ScenarioError::new(format!(
+                    "{where_}: period/duty are only valid with persistence = \"intermittent\""
+                )));
+            }
+            FaultPersistence::Permanent
+        }
+        Some("intermittent") => {
+            let period = period
+                .filter(|p| *p > 0)
+                .ok_or_else(|| ScenarioError::new(format!("{where_}: period must be positive")))?
+                as u64;
+            let duty = duty
+                .filter(|d| (1..=period as i64).contains(d))
+                .ok_or_else(|| {
+                    ScenarioError::new(format!("{where_}: duty must be in 1..=period"))
+                })? as u64;
+            FaultPersistence::Intermittent { period, duty }
+        }
+        Some(other) => {
+            return Err(ScenarioError::new(format!(
+                "{where_}: persistence `{other}` (expected transient | intermittent | permanent)"
+            )))
+        }
+    };
     Ok(CouplerFaultEvent {
         channel,
         mode,
         from_slot,
         to_slot,
-        persistence: FaultPersistence::Transient,
+        persistence,
+    })
+}
+
+fn parse_property(table: &Table) -> Result<PropertySpec, ScenarioError> {
+    check_keys(
+        Some(table),
+        &["name", "kind", "predicate", "antecedent", "consequent"],
+    )?;
+    let where_ = format!("property (line {})", table.line);
+    let name = get_str(Some(table), "name", &where_)?
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: name is required")))?
+        .to_string();
+    let kind = match get_str(Some(table), "kind", &where_)? {
+        Some("invariant") => PropertyKind::Invariant,
+        Some("eventually") => PropertyKind::Eventually,
+        Some("always_eventually") => PropertyKind::AlwaysEventually,
+        Some("leads_to") => PropertyKind::LeadsTo,
+        other => {
+            return Err(ScenarioError::new(format!(
+                "{where_}: kind `{}` (expected invariant | eventually | \
+                 always_eventually | leads_to)",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    };
+    let predicate = get_str(Some(table), "predicate", &where_)?;
+    let antecedent = get_str(Some(table), "antecedent", &where_)?;
+    let consequent = get_str(Some(table), "consequent", &where_)?;
+    let (predicate, consequent) = if kind == PropertyKind::LeadsTo {
+        if predicate.is_some() {
+            return Err(ScenarioError::new(format!(
+                "{where_}: leads_to takes antecedent/consequent, not predicate"
+            )));
+        }
+        let ant = antecedent
+            .ok_or_else(|| ScenarioError::new(format!("{where_}: antecedent is required")))?;
+        let con = consequent
+            .ok_or_else(|| ScenarioError::new(format!("{where_}: consequent is required")))?;
+        (ant.to_string(), Some(con.to_string()))
+    } else {
+        if antecedent.is_some() || consequent.is_some() {
+            return Err(ScenarioError::new(format!(
+                "{where_}: antecedent/consequent are only valid for kind = \"leads_to\""
+            )));
+        }
+        let pred = predicate
+            .ok_or_else(|| ScenarioError::new(format!("{where_}: predicate is required")))?;
+        (pred.to_string(), None)
+    };
+    Ok(PropertySpec {
+        name,
+        kind,
+        predicate,
+        consequent,
+        line: table.line,
     })
 }
 
@@ -611,6 +786,65 @@ sim_disturbed = true
         let s = Scenario::parse(&text, Path::new(".")).unwrap();
         let why = s.oracle_applicable().unwrap_err();
         assert!(why.contains("single-fault"), "{why}");
+    }
+
+    #[test]
+    fn duplicated_expect_block_is_rejected() {
+        // A second [[expect]] used to be silently ignored:
+        // `Document::table` returned the first match, so the author's
+        // override never took effect. Both spellings are now errors.
+        let text = format!("{COLDSTART}\n[[expect]]\nverdict = \"holds\"\n");
+        let err = Scenario::parse(&text, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("expect"), "{err}");
+
+        let text = "[cluster]\nnodes = 4\n\
+                    [[expect]]\nverdict = \"holds\"\n\
+                    [[expect]]\nverdict = \"violated\"\n";
+        let err = Scenario::parse(text, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("declared 2 times"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_persistence() {
+        let text = "[cluster]\nnodes = 4\nauthority = \"passive\"\n\
+                    [[fault.coupler]]\nchannel = 0\nmode = \"silence\"\n\
+                    from_slot = 10\nto_slot = 50\npersistence = \"intermittent\"\n\
+                    period = 8\nduty = 2\n";
+        let s = Scenario::parse(text, Path::new(".")).unwrap();
+        assert_eq!(
+            s.coupler_faults[0].persistence,
+            FaultPersistence::Intermittent { period: 8, duty: 2 }
+        );
+
+        let bad = text.replace("duty = 2", "duty = 9");
+        let err = Scenario::parse(&bad, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("duty"), "{err}");
+
+        let bad = text.replace("persistence = \"intermittent\"", "");
+        let err = Scenario::parse(&bad, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("period/duty"), "{err}");
+    }
+
+    #[test]
+    fn parses_property_sections() {
+        let text = "[cluster]\nnodes = 4\n\
+                    [[property]]\nname = \"startup\"\nkind = \"leads_to\"\n\
+                    antecedent = \"any_listening\"\nconsequent = \"any_integrated\"\n\
+                    [[property]]\nname = \"safe\"\nkind = \"invariant\"\n\
+                    predicate = \"no_victim\"\n";
+        let s = Scenario::parse(text, Path::new(".")).unwrap();
+        assert_eq!(s.properties.len(), 2);
+        assert_eq!(s.properties[0].kind, PropertyKind::LeadsTo);
+        assert_eq!(s.properties[0].predicate, "any_listening");
+        assert_eq!(
+            s.properties[0].consequent.as_deref(),
+            Some("any_integrated")
+        );
+        assert_eq!(s.properties[1].kind, PropertyKind::Invariant);
+        assert_eq!(s.properties[1].consequent, None);
+
+        let bad = text.replace("predicate = \"no_victim\"", "antecedent = \"x\"");
+        assert!(Scenario::parse(&bad, Path::new(".")).is_err());
     }
 
     #[test]

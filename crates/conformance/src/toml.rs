@@ -97,6 +97,11 @@ impl Document {
             line: 0,
             entries: Vec::new(),
         }];
+        // Paths already declared with a `[path]` (singleton) header: a
+        // later `[[path]]` would silently shadow or be shadowed by it,
+        // depending on which accessor the consumer uses, so both
+        // mixings are hard errors.
+        let mut singleton_paths: Vec<String> = Vec::new();
         for (index, raw) in text.lines().enumerate() {
             let line_no = index + 1;
             let line = strip_comment(raw).trim();
@@ -109,6 +114,13 @@ impl Document {
                     .ok_or_else(|| ParseError::new(line_no, "unterminated [[table]] header"))?
                     .trim();
                 validate_path(path, line_no)?;
+                if singleton_paths.iter().any(|p| p == path) {
+                    return Err(ParseError::with_kind(
+                        line_no,
+                        ParseErrorKind::DuplicateTable,
+                        format!("[[{path}]] conflicts with earlier [{path}] header"),
+                    ));
+                }
                 tables.push(Table {
                     path: path.to_string(),
                     line: line_no,
@@ -121,11 +133,13 @@ impl Document {
                     .trim();
                 validate_path(path, line_no)?;
                 if tables.iter().any(|t| t.path == path) {
-                    return Err(ParseError::new(
+                    return Err(ParseError::with_kind(
                         line_no,
+                        ParseErrorKind::DuplicateTable,
                         format!("table [{path}] defined twice (use [[{path}]] for lists)"),
                     ));
                 }
+                singleton_paths.push(path.to_string());
                 tables.push(Table {
                     path: path.to_string(),
                     line: line_no,
@@ -140,7 +154,11 @@ impl Document {
                 let value = parse_value(value.trim(), line_no)?;
                 let table = tables.last_mut().expect("root table always present");
                 if table.get(key).is_some() {
-                    return Err(ParseError::new(line_no, format!("duplicate key `{key}`")));
+                    return Err(ParseError::with_kind(
+                        line_no,
+                        ParseErrorKind::DuplicateKey,
+                        format!("duplicate key `{key}`"),
+                    ));
                 }
                 table.entries.push((key.to_string(), value));
             }
@@ -169,19 +187,40 @@ impl Document {
     }
 }
 
+/// Broad classification of a [`ParseError`], so tools layered on top of
+/// the parser (the lint engine in particular) can map duplication errors
+/// to a dedicated lint code without string-matching the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The same key appeared twice in one table.
+    DuplicateKey,
+    /// A table path was declared twice, or `[path]` and `[[path]]`
+    /// headers were mixed for the same path.
+    DuplicateTable,
+    /// Any other syntax error.
+    Syntax,
+}
+
 /// A syntax error with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line of the offending input (0 for end-of-input errors).
     pub line: usize,
+    /// Broad error class (duplication vs. plain syntax).
+    pub kind: ParseErrorKind,
     /// What went wrong.
     pub message: String,
 }
 
 impl ParseError {
     fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError::with_kind(line, ParseErrorKind::Syntax, message)
+    }
+
+    fn with_kind(line: usize, kind: ParseErrorKind, message: impl Into<String>) -> Self {
         ParseError {
             line,
+            kind,
             message: message.into(),
         }
     }
@@ -351,8 +390,25 @@ mod tests {
 
     #[test]
     fn duplicate_tables_and_keys_are_rejected() {
-        assert!(Document::parse("[a]\n[a]\n").is_err());
-        assert!(Document::parse("[a]\nk = 1\nk = 2\n").is_err());
+        let err = Document::parse("[a]\n[a]\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateTable);
+        let err = Document::parse("[a]\nk = 1\nk = 2\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateKey);
+        let err = Document::parse("x 1\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::Syntax);
+    }
+
+    #[test]
+    fn mixing_singleton_and_array_headers_is_rejected() {
+        // `[a]` followed by `[[a]]`: previously the second header was
+        // silently accepted and `Document::table` returned whichever
+        // came first.
+        let err = Document::parse("[a]\nk = 1\n[[a]]\nk = 2\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateTable);
+        assert_eq!(err.line, 3);
+        // `[[a]]` followed by `[a]` hits the existing defined-twice check.
+        let err = Document::parse("[[a]]\nk = 1\n[a]\nk = 2\n").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::DuplicateTable);
     }
 
     #[test]

@@ -30,6 +30,19 @@ use std::fmt;
 use std::time::{Duration, Instant};
 use tta_modelcheck::{Interned, StateArena, StateCodec, TransitionSystem, NO_PARENT};
 
+/// How often one registered fairness action is actually exercised in a
+/// built [`FairGraph`] (see [`FairGraph::action_usage`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionUsage {
+    /// The action's name, as registered.
+    pub name: String,
+    /// States whose enabledness mask includes this action (counted over
+    /// all generated edges, so sound under truncation).
+    pub enabled_states: u64,
+    /// Stored edges labeled with this action.
+    pub labeled_edges: u64,
+}
+
 /// The reachable state graph of a [`TransitionSystem`], interned through
 /// a [`StateCodec`], labeled with weak-fairness actions.
 pub struct FairGraph<'c, C: StateCodec> {
@@ -266,20 +279,75 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
                 + self.deadlock.capacity()) as u64
     }
 
-    // ── internals shared with the property algorithms (check.rs) ──
-
     /// Outgoing `(target, label)` pairs of `v`, stutter loop included.
-    pub(crate) fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+    ///
+    /// The label is the bitmask of fairness actions the edge takes, in
+    /// [`Self::action_names`] bit order (0 for the synthetic stutter
+    /// loop). Public so graph consumers beyond the property algorithms —
+    /// the vacuity and coverage analyses in `tta-modellint` — can walk
+    /// the labeled adjacency without rebuilding the space.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
         let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
         range
             .clone()
             .map(move |i| (self.targets[i], self.labels[i]))
     }
 
-    /// Actions enabled in `v` (derived over all generated edges).
-    pub(crate) fn enabled_mask(&self, v: u32) -> u32 {
+    /// Actions enabled in `v`, as a bitmask in [`Self::action_names`]
+    /// bit order. Derived over **all generated edges**, including edges
+    /// dropped by the `max_states` budget, so a zero bit is never a
+    /// truncation artifact.
+    #[must_use]
+    pub fn enabled_mask(&self, v: u32) -> u32 {
         self.enabled[v as usize]
     }
+
+    /// Per-action usage statistics over the kept graph: for each
+    /// registered fairness action, the number of states where it is
+    /// enabled and the number of stored edges labeled with it.
+    ///
+    /// A fairness constraint whose labeled-edge count is zero constrains
+    /// nothing — every fair cycle trivially satisfies it — which is the
+    /// `ML04-unused-fairness` lint in `tta-modellint`.
+    #[must_use]
+    pub fn action_usage(&self) -> Vec<ActionUsage> {
+        let mut usage: Vec<ActionUsage> = self
+            .action_names
+            .iter()
+            .map(|name| ActionUsage {
+                name: name.clone(),
+                enabled_states: 0,
+                labeled_edges: 0,
+            })
+            .collect();
+        for &mask in &self.enabled {
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                usage[i].enabled_states += 1;
+                bits &= bits - 1;
+            }
+        }
+        for &label in &self.labels {
+            let mut bits = label;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                usage[i].labeled_edges += 1;
+                bits &= bits - 1;
+            }
+        }
+        usage
+    }
+
+    /// BFS depth of `v`: the length in transitions of the shortest
+    /// stem from an initial state (0 for initial states). Used by the
+    /// vacuity analyses to report how deep the first witness lies.
+    #[must_use]
+    pub fn bfs_depth(&self, v: u32) -> usize {
+        self.stem_ids_to(v).len() - 1
+    }
+
+    // ── internals shared with the property algorithms (check.rs) ──
 
     /// Bitmask covering every registered action.
     pub(crate) fn all_actions(&self) -> u32 {
@@ -367,6 +435,23 @@ mod tests {
         assert_eq!(g.all_actions(), 1);
         let labels: Vec<u32> = g.neighbors(id1).map(|(_, l)| l).collect();
         assert_eq!(labels, [1]);
+    }
+
+    #[test]
+    fn action_usage_counts_states_and_edges() {
+        let forward = FairAction::new("forward", |a: &u32, b: &u32| b > a);
+        let never = FairAction::new("never", |_: &u32, _: &u32| false);
+        let g = build(&[forward, never], 1 << 20);
+        let usage = g.action_usage();
+        assert_eq!(usage.len(), 2);
+        // "forward" is taken on 0→1, 0→3 and 1→2: enabled at states
+        // 0 and 1, labeling three stored edges.
+        assert_eq!(usage[0].name, "forward");
+        assert_eq!(usage[0].enabled_states, 2);
+        assert_eq!(usage[0].labeled_edges, 3);
+        assert_eq!(usage[1].name, "never");
+        assert_eq!(usage[1].enabled_states, 0);
+        assert_eq!(usage[1].labeled_edges, 0);
     }
 
     #[test]

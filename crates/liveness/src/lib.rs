@@ -65,7 +65,7 @@ mod scc;
 
 pub use check::{LivenessChecker, LivenessOutcome, LivenessStats};
 pub use fairness::{FairAction, MAX_FAIR_ACTIONS};
-pub use graph::FairGraph;
+pub use graph::{ActionUsage, FairGraph};
 pub use lasso::Lasso;
 pub use property::{Property, StatePredicate};
 pub use scc::{strongly_connected_components, tarjan_csr, SccDecomposition, NO_COMPONENT};

@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn truncation_is_visible_in_dot() {
         let graph = StateGraph::explore(&Ring(50), 3);
-        let dot = graph.to_dot("big", |s| s.to_string(), |_| false);
+        let dot = graph.to_dot("big", std::string::ToString::to_string, |_| false);
         assert!(dot.contains("truncated"));
     }
 

@@ -481,6 +481,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "interpreted grid too slow; wide_fanout covers the threaded path"
+    )]
     fn explores_whole_space_in_parallel() {
         let outcome = ParallelExplorer::new()
             .threads(4)
@@ -490,6 +494,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "interpreted grid too slow; wide_fanout covers the threaded path"
+    )]
     fn finds_minimal_depth_counterexample() {
         let outcome = ParallelExplorer::new()
             .threads(4)
@@ -544,6 +552,33 @@ mod tests {
                 "{threads} threads"
             );
         }
+    }
+
+    /// A single root fanning out to 200 leaves: the proposal count
+    /// crosses `SPAWN_THRESHOLD_PER_WORKER` with two workers, so the
+    /// scoped expand/merge threads really spawn — while staying small
+    /// enough for miri, which interprets this test as its UB check of
+    /// the sharded layer-merge handshake (arena inserts + codec decode
+    /// under the shared atomic budget).
+    #[test]
+    fn wide_fanout_exercises_threaded_merge() {
+        struct Fan;
+        impl TransitionSystem for Fan {
+            type State = u32;
+            fn initial_states(&self) -> Vec<u32> {
+                vec![0]
+            }
+            fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+                if *s == 0 {
+                    out.extend(1..=200);
+                }
+            }
+        }
+        let outcome = ParallelExplorer::new()
+            .threads(2)
+            .check(&Fan, |_: &u32| true);
+        assert_eq!(outcome.verdict, Verdict::Holds);
+        assert_eq!(outcome.stats.states_explored, 201);
     }
 
     #[test]

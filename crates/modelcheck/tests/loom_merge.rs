@@ -1,0 +1,109 @@
+//! Loom model of the parallel explorer's merge-phase handshake.
+//!
+//! `ParallelExplorer::check_with_codec` phase 2 gives each merge worker
+//! exclusive `&mut` access to a contiguous range of visited-set shards;
+//! the only *shared* mutable state is the `AtomicU64` exploration
+//! budget, claimed with an optimistic `fetch_add` and rolled back with
+//! `fetch_sub` on overshoot (see `merge_shard_group` in
+//! `src/parallel.rs`). This test re-states that handshake as a loom
+//! model and checks, for every explored interleaving:
+//!
+//! * the counter never drifts: its final value equals the number of
+//!   states actually accepted (every overshoot is rolled back);
+//! * the budget is a hard cap, and any worker reporting `budget_hit`
+//!   implies the cap was genuinely exhausted (no false cut-offs from
+//!   a neighbor's in-flight overshoot);
+//! * shard ownership keeps accepted global ids disjoint across workers.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p tta-modelcheck
+//! --test loom_merge`. Under the vendored offline stub this runs once
+//! on plain threads; with the real loom it explores all interleavings.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+const SHARD_BITS: u32 = 4;
+
+/// The merge loop of `merge_shard_group`, reduced to its shared-state
+/// essence: claim one budget slot per proposal, roll back and stop on
+/// overshoot, record accepted ids for the worker's own shard.
+fn merge_worker(
+    shard: u32,
+    proposals: u32,
+    explored: &AtomicU64,
+    max_states: u64,
+) -> (Vec<u32>, bool) {
+    let mut next = Vec::new();
+    let mut budget_hit = false;
+    for local in 0..proposals {
+        if explored.fetch_add(1, Ordering::Relaxed) >= max_states {
+            explored.fetch_sub(1, Ordering::Relaxed);
+            budget_hit = true;
+            break;
+        }
+        next.push((local << SHARD_BITS) | shard);
+    }
+    (next, budget_hit)
+}
+
+fn run_model(proposals: [u32; 2], max_states: u64) {
+    loom::model(move || {
+        let explored = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = proposals
+            .iter()
+            .enumerate()
+            .map(|(shard, &n)| {
+                let explored = Arc::clone(&explored);
+                thread::spawn(move || merge_worker(shard as u32, n, &explored, max_states))
+            })
+            .collect();
+        let results: Vec<(Vec<u32>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let accepted: u64 = results.iter().map(|(next, _)| next.len() as u64).sum();
+        let any_hit = results.iter().any(|&(_, hit)| hit);
+        let offered: u64 = proposals.iter().map(|&n| u64::from(n)).sum();
+
+        // Rollbacks leave no residue: the counter is exactly the
+        // number of accepted states.
+        assert_eq!(explored.load(Ordering::Relaxed), accepted);
+        // The budget is a hard cap...
+        assert!(accepted <= max_states, "budget exceeded: {accepted}");
+        // ...and a reported hit is never a false cut-off: the first
+        // overshoot in any interleaving observes real accepts, so a
+        // hit implies the cap was fully used.
+        if any_hit {
+            assert_eq!(accepted, max_states, "worker cut off below budget");
+        } else {
+            assert_eq!(accepted, offered, "states lost without a budget hit");
+        }
+        // Shard ownership keeps global ids disjoint across workers.
+        let mut ids: Vec<u32> = results.iter().flat_map(|(next, _)| next.clone()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, accepted, "duplicate global id");
+    });
+}
+
+#[test]
+fn merge_budget_handshake_under_contention() {
+    // 6 proposals against a budget of 4: some interleaving order must
+    // lose, and every one of them must cut off exactly at the cap.
+    run_model([3, 3], 4);
+}
+
+#[test]
+fn merge_budget_handshake_under_budget() {
+    // 4 proposals against a budget of 8: nothing may be dropped and no
+    // worker may report a budget hit.
+    run_model([2, 2], 8);
+}
+
+#[test]
+fn merge_budget_handshake_exact_fit() {
+    // Offered == budget: all accepted; a hit report would be a false
+    // cut-off unless the cap is genuinely consumed (it is, exactly).
+    run_model([2, 2], 4);
+}

@@ -1,0 +1,351 @@
+//! Diagnostics: severities, rendered and JSON output, deny/allow gates.
+//!
+//! The shapes deliberately mirror `rustc`: a diagnostic has a stable
+//! code, a severity, a primary message anchored to a file (and line,
+//! when the source construct has one), and attached `note:`/`help:`
+//! lines. Rendering is deterministic — no timings, no hash-ordered
+//! maps — so the JSON form can be pinned as a golden fixture.
+
+use crate::catalog::LintCode;
+use std::fmt;
+
+/// Diagnostic severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: coverage evidence, degenerate-but-harmless
+    /// parameters. Never denied by `--deny warnings`.
+    Note,
+    /// Probably a mistake: a vacuous property, a shadowed event.
+    Warning,
+    /// Definitely broken: a file that does not parse.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in rendered and JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a lint target.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable lint code this finding instantiates.
+    pub code: &'static LintCode,
+    /// Severity after any catalog default (gates may deny on top, they
+    /// do not rewrite the severity).
+    pub severity: Severity,
+    /// The lint target, e.g. a scenario path or `builtin:s4`.
+    pub target: String,
+    /// 1-based line within the target, when the construct has one.
+    pub line: Option<usize>,
+    /// Primary message.
+    pub message: String,
+    /// Attached `= note:` lines (witness evidence goes here).
+    pub notes: Vec<String>,
+    /// Attached `= help:` line.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic at the code's default severity.
+    #[must_use]
+    pub fn new(
+        code: &'static LintCode,
+        target: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity,
+            target: target.into(),
+            line: None,
+            message: message.into(),
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Overrides the default severity.
+    #[must_use]
+    pub fn severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Anchors the diagnostic to a 1-based line.
+    #[must_use]
+    pub fn line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches a `= note:` line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches the `= help:` line.
+    #[must_use]
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the diagnostic in the rustc style:
+    ///
+    /// ```text
+    /// warning[ML01-vacuous-property]: antecedent `replay_used` ...
+    ///   --> scenarios/lint_fixtures/vacuous.toml:18
+    ///   = note: search exhausted the full reachable space ...
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity,
+            self.code.full_name(),
+            self.message
+        );
+        match self.line {
+            Some(line) => out.push_str(&format!("  --> {}:{line}\n", self.target)),
+            None => out.push_str(&format!("  --> {}\n", self.target)),
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  = help: {help}\n"));
+        }
+        out
+    }
+
+    /// Renders the diagnostic as one deterministic JSON object (one
+    /// line, keys in fixed order). The vendored serde stub does not
+    /// serialize, so this is hand-rolled like `tta-bench`'s campaign
+    /// JSON.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_string(self.code.id)));
+        out.push_str(&format!(",\"slug\":{}", json_string(self.code.slug)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_string(self.severity.name())
+        ));
+        out.push_str(&format!(",\"target\":{}", json_string(&self.target)));
+        match self.line {
+            Some(line) => out.push_str(&format!(",\"line\":{line}")),
+            None => out.push_str(",\"line\":null"),
+        }
+        out.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        out.push_str(",\"notes\":[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push(']');
+        match &self.help {
+            Some(help) => out.push_str(&format!(",\"help\":{}", json_string(help))),
+            None => out.push_str(",\"help\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes `text` as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which diagnostics fail the run: `--deny` / `--allow` gates.
+///
+/// `allow` wins over `deny` for specific codes; `deny_warnings` denies
+/// every non-allowed diagnostic at warning severity or above. Errors
+/// are always denied — a file that does not parse cannot be waved
+/// through.
+#[derive(Debug, Clone, Default)]
+pub struct Gate {
+    /// Deny every warning-or-worse diagnostic (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Codes denied regardless of severity (`--deny ML31`).
+    pub deny_codes: Vec<String>,
+    /// Codes never denied (`--allow ML32`). Wins over `deny`.
+    pub allow_codes: Vec<String>,
+}
+
+impl Gate {
+    /// Whether `diag` fails the run under this gate.
+    #[must_use]
+    pub fn denies(&self, diag: &Diagnostic) -> bool {
+        let code = diag.code.id;
+        if self
+            .allow_codes
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(code) && diag.severity != Severity::Error)
+        {
+            return false;
+        }
+        if diag.severity == Severity::Error {
+            return true;
+        }
+        if self.deny_codes.iter().any(|c| c.eq_ignore_ascii_case(code)) {
+            return true;
+        }
+        self.deny_warnings && diag.severity >= Severity::Warning
+    }
+}
+
+/// The result of a full lint run: every diagnostic, in deterministic
+/// target-then-discovery order.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Diagnostics failing under `gate`.
+    pub fn denied<'a>(&'a self, gate: &'a Gate) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| gate.denies(d))
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Renders every diagnostic plus a one-line summary.
+    #[must_use]
+    pub fn render(&self, gate: &Gate) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&diag.render());
+            out.push('\n');
+        }
+        let denied = self.denied(gate).count();
+        out.push_str(&format!(
+            "lint summary: {} error(s), {} warning(s), {} note(s); {} denied\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            denied
+        ));
+        out
+    }
+
+    /// Renders the whole report as line-oriented JSON: one object per
+    /// diagnostic, then a summary object.
+    #[must_use]
+    pub fn render_json(&self, gate: &Gate) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&diag.render_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"summary\":{{\"errors\":{},\"warnings\":{},\"notes\":{},\"denied\":{}}}}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            self.denied(gate).count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn render_includes_code_target_and_notes() {
+        let diag = Diagnostic::new(catalog::ML01, "x.toml", "antecedent `p` never enabled")
+            .line(7)
+            .note("0 of 100 reachable states");
+        let text = diag.render();
+        assert!(
+            text.starts_with("warning[ML01-vacuous-property]:"),
+            "{text}"
+        );
+        assert!(text.contains("--> x.toml:7"), "{text}");
+        assert!(text.contains("= note: 0 of 100"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_and_orders_keys() {
+        let diag = Diagnostic::new(catalog::ML20, "a\"b.toml", "dup \"key\"");
+        let json = diag.render_json();
+        assert!(json.starts_with("{\"code\":\"ML20\""), "{json}");
+        assert!(json.contains("\"target\":\"a\\\"b.toml\""), "{json}");
+        assert!(json.contains("\"line\":null"), "{json}");
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let warn = Diagnostic::new(catalog::ML01, "x", "w");
+        let note = Diagnostic::new(catalog::ML11, "x", "n");
+        let err = Diagnostic::new(catalog::ML21, "x", "e");
+        assert_eq!(note.severity, Severity::Note);
+
+        let gate = Gate::default();
+        assert!(!gate.denies(&warn));
+        assert!(gate.denies(&err), "errors are always denied");
+
+        let gate = Gate {
+            deny_warnings: true,
+            ..Gate::default()
+        };
+        assert!(gate.denies(&warn));
+        assert!(!gate.denies(&note), "notes survive --deny warnings");
+
+        let gate = Gate {
+            deny_codes: vec!["ml11".into()],
+            ..Gate::default()
+        };
+        assert!(gate.denies(&note), "--deny CODE denies notes too");
+
+        let gate = Gate {
+            deny_warnings: true,
+            allow_codes: vec!["ML01".into()],
+            ..Gate::default()
+        };
+        assert!(!gate.denies(&warn), "--allow wins over --deny warnings");
+    }
+}

@@ -1,0 +1,256 @@
+//! The lint engine: expands targets, runs the analysis families, and
+//! assembles a deterministic [`LintReport`].
+//!
+//! Targets run in parallel (one worker per thread, atomic work index),
+//! but every diagnostic is produced single-threadedly *within* its
+//! target and the final report concatenates per-target results in
+//! target order — so the output is byte-identical for every `--threads`
+//! value. A proptest in `tests/` pins that claim.
+
+use crate::diag::{Diagnostic, LintReport};
+use crate::model_analysis::{analyze_config, AnalysisOptions, TargetEvidence};
+use crate::plan_lints::lint_plan;
+use crate::{catalog, diag::Severity};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tta_conformance::toml::{Document, ParseErrorKind};
+use tta_conformance::{Expectations, ExpectedVerdict, Scenario};
+use tta_core::ClusterConfig;
+use tta_guardian::CouplerAuthority;
+
+/// Options for a full lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Reachable-space analysis tunables.
+    pub analysis: AnalysisOptions,
+    /// Worker threads (0 = one per target, capped at the host's
+    /// available parallelism).
+    pub threads: usize,
+    /// Also lint the built-in S4 property set: the per-node
+    /// integration-liveness and recovery properties across all four
+    /// authority levels of the paper's 4-node cluster.
+    pub include_s4: bool,
+}
+
+/// The outcome of a lint run: diagnostics plus per-target evidence.
+#[derive(Debug, Clone, Default)]
+pub struct LintRun {
+    /// All diagnostics, in target order.
+    pub report: LintReport,
+    /// Reachable-space evidence per analyzed target, in target order.
+    pub evidence: Vec<TargetEvidence>,
+}
+
+/// What linting one target yields: its diagnostics plus, when the
+/// reachable-space analysis ran, the evidence it gathered.
+type TargetOutcome = (Vec<Diagnostic>, Option<TargetEvidence>);
+
+enum Target {
+    Scenario(PathBuf),
+    S4(CouplerAuthority),
+}
+
+impl Target {
+    fn name(&self) -> String {
+        match self {
+            Target::Scenario(path) => path.display().to_string(),
+            Target::S4(authority) => format!("builtin:s4/{authority}"),
+        }
+    }
+}
+
+/// Expands `paths` (files or directories; directories contribute their
+/// `*.toml` entries sorted by name) and runs every lint family over
+/// each target, plus the built-in S4 set when requested.
+#[must_use]
+pub fn lint(paths: &[PathBuf], opts: &LintOptions) -> LintRun {
+    let mut targets: Vec<Target> = Vec::new();
+    let mut diags_front: Vec<Diagnostic> = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut entries: Vec<PathBuf> = match std::fs::read_dir(path) {
+                Ok(dir) => dir
+                    .filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "toml"))
+                    .collect(),
+                Err(e) => {
+                    diags_front.push(Diagnostic::new(
+                        catalog::ML21,
+                        path.display().to_string(),
+                        format!("cannot read directory: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            entries.sort();
+            targets.extend(entries.into_iter().map(Target::Scenario));
+        } else if path.is_file() {
+            targets.push(Target::Scenario(path.clone()));
+        } else {
+            diags_front.push(Diagnostic::new(
+                catalog::ML21,
+                path.display().to_string(),
+                "no such file or directory",
+            ));
+        }
+    }
+    if opts.include_s4 {
+        targets.extend(CouplerAuthority::all().into_iter().map(Target::S4));
+    }
+
+    let results = run_targets(&targets, opts);
+
+    let mut run = LintRun::default();
+    run.report.diagnostics = diags_front;
+    for (diags, evidence) in results {
+        run.report.diagnostics.extend(diags);
+        if let Some(evidence) = evidence {
+            run.evidence.push(evidence);
+        }
+    }
+    run
+}
+
+/// Runs the targets on a small worker pool and returns per-target
+/// results **in target order** regardless of completion order.
+fn run_targets(targets: &[Target], opts: &LintOptions) -> Vec<TargetOutcome> {
+    let threads = effective_threads(opts.threads, targets.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<TargetOutcome>>> =
+        Mutex::new((0..targets.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(target) = targets.get(index) else {
+                    return;
+                };
+                let outcome = run_target(target, opts);
+                results.lock().expect("no poisoned worker")[index] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every target processed"))
+        .collect()
+}
+
+fn effective_threads(requested: usize, targets: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = if requested == 0 {
+        targets.min(available)
+    } else {
+        requested
+    };
+    threads.clamp(1, targets.max(1))
+}
+
+fn run_target(target: &Target, opts: &LintOptions) -> TargetOutcome {
+    match target {
+        Target::Scenario(path) => lint_scenario_file(path, &opts.analysis),
+        Target::S4(authority) => {
+            let name = target.name();
+            let config = ClusterConfig::paper(*authority);
+            let expect = Expectations {
+                liveness: Some(ExpectedVerdict::Holds),
+                recovery: Some(ExpectedVerdict::Holds),
+                ..Expectations::default()
+            };
+            let (diags, evidence) =
+                analyze_config(&name, &config, &[], Some(&expect), &opts.analysis);
+            (diags, Some(evidence))
+        }
+    }
+}
+
+/// Lints one scenario file: syntax (ML20/ML21), plan lints, and the
+/// reachable-space analyses over the scenario's checker configuration.
+#[must_use]
+pub fn lint_scenario_file(path: &Path, analysis: &AnalysisOptions) -> TargetOutcome {
+    let target = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            return (
+                vec![Diagnostic::new(
+                    catalog::ML21,
+                    target,
+                    format!("cannot read: {e}"),
+                )],
+                None,
+            )
+        }
+    };
+    // The raw TOML layer first, so duplication gets its dedicated code.
+    if let Err(e) = Document::parse(&text) {
+        let code = match e.kind {
+            ParseErrorKind::DuplicateKey | ParseErrorKind::DuplicateTable => catalog::ML20,
+            ParseErrorKind::Syntax => catalog::ML21,
+        };
+        let mut diag = Diagnostic::new(code, target, e.message.clone());
+        if e.line > 0 {
+            diag = diag.line(e.line);
+        }
+        return (vec![diag], None);
+    }
+    let scenario = match Scenario::load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                vec![Diagnostic::new(catalog::ML21, target, e.to_string())],
+                None,
+            );
+        }
+    };
+
+    let mut diags = lint_plan(&target, &scenario);
+    // A declared-twice section never reaches here (hard parse error),
+    // so every surviving scenario has one checker configuration.
+    let (model_diags, evidence) = analyze_config(
+        &target,
+        &scenario.checker_config(),
+        &scenario.properties,
+        Some(&scenario.expect),
+        analysis,
+    );
+    diags.extend(model_diags);
+    (diags, Some(evidence))
+}
+
+/// `true` when the report holds any error-severity diagnostic.
+#[must_use]
+pub fn has_errors(report: &LintReport) -> bool {
+    report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_path_is_an_error_diagnostic() {
+        let run = lint(
+            &[PathBuf::from("/nonexistent/zebra.toml")],
+            &LintOptions::default(),
+        );
+        assert_eq!(run.report.diagnostics.len(), 1);
+        assert_eq!(run.report.diagnostics[0].code.id, "ML21");
+        assert!(has_errors(&run.report));
+    }
+
+    #[test]
+    fn effective_threads_is_clamped() {
+        assert_eq!(effective_threads(8, 2), 2);
+        assert_eq!(effective_threads(1, 5), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+        assert!(effective_threads(0, 3) >= 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Static scenario and fault-plan lints (no state-space needed):
+//! horizon checks (ML30), shadowing under the simulator's
+//! first-match-wins dispatch (ML31), degenerate intermittent parameters
+//! (ML32) and expectations that can never be checked (ML33).
+//!
+//! Shadowing is decided by *replaying the dispatch rule*, not by
+//! interval algebra: `FaultPlan::coupler_fault_at` walks the event list
+//! in declaration order and returns the first active match, so an event
+//! is shadowed iff there is no slot in the horizon at which it is that
+//! first match. Replaying slot-by-slot keeps the lint exactly as
+//! precise as the simulator, intermittent duty cycles and all.
+
+use crate::catalog;
+use crate::diag::Diagnostic;
+use tta_conformance::Scenario;
+use tta_sim::{CouplerFaultEvent, FaultPersistence};
+
+/// Runs every plan-level lint for a parsed scenario.
+#[must_use]
+pub fn lint_plan(target: &str, scenario: &Scenario) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let horizon = scenario.slots;
+    let events = &scenario.coupler_faults;
+
+    for (index, event) in events.iter().enumerate() {
+        let where_ = format!("fault.coupler #{}", index + 1);
+
+        // ── ML30: windows beyond the horizon ───────────────────────
+        if event.from_slot >= horizon {
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML30,
+                    target,
+                    format!(
+                        "{where_}: window starts at slot {} but the simulation ends \
+                         at slot {horizon} — the fault never fires",
+                        event.from_slot
+                    ),
+                )
+                .help("shrink from_slot or raise sim.slots"),
+            );
+        } else if event.persistence != FaultPersistence::Permanent && event.to_slot > horizon {
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML30,
+                    target,
+                    format!(
+                        "{where_}: window {}..{} extends past the {horizon}-slot \
+                         horizon — slots {horizon}..{} never fire",
+                        event.from_slot, event.to_slot, event.to_slot
+                    ),
+                )
+                .severity(crate::diag::Severity::Note),
+            );
+        }
+
+        // ── ML32: degenerate intermittent parameters ───────────────
+        if let FaultPersistence::Intermittent { period, duty } = event.persistence {
+            if duty == period {
+                diags.push(Diagnostic::new(
+                    catalog::ML32,
+                    target,
+                    format!(
+                        "{where_}: duty {duty} equals period {period} — the fault \
+                             is active every slot of its window, equivalent to \
+                             persistence = \"transient\""
+                    ),
+                ));
+            } else if event.from_slot < horizon
+                && period >= event.to_slot.saturating_sub(event.from_slot)
+            {
+                diags.push(Diagnostic::new(
+                    catalog::ML32,
+                    target,
+                    format!(
+                        "{where_}: period {period} is at least the window length \
+                             {} — the fault never recurs, only the initial burst of \
+                             {duty} slot(s) fires",
+                        event.to_slot - event.from_slot
+                    ),
+                ));
+            }
+        }
+    }
+
+    // ── ML31: events shadowed by first-match-wins dispatch ─────────
+    for (index, event) in events.iter().enumerate() {
+        if event.from_slot >= horizon {
+            continue; // already ML30 — never active at all
+        }
+        let wins = (0..horizon).any(|t| first_active(events, event.channel, t) == Some(index));
+        if !wins {
+            let earlier: Vec<String> = events[..index]
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.channel == event.channel)
+                .map(|(i, _)| format!("#{}", i + 1))
+                .collect();
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML31,
+                    target,
+                    format!(
+                        "fault.coupler #{}: never the first active match on channel \
+                         {} at any slot in 0..{horizon} — first-match-wins dispatch \
+                         means it never takes effect",
+                        index + 1,
+                        event.channel
+                    ),
+                )
+                .note(format!(
+                    "every active slot is claimed by earlier event(s) {}",
+                    earlier.join(", ")
+                ))
+                .help("reorder the events or disjoin their windows"),
+            );
+        }
+    }
+
+    // ── ML33: expectations that can never be checked ───────────────
+    let expect = &scenario.expect;
+    if expect.sim_disturbed.is_some() {
+        if let Err(why) = scenario.sim_applicable() {
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML33,
+                    target,
+                    "expect.sim_disturbed is declared but the simulator phase is \
+                     skipped for this scenario — the expectation is never checked",
+                )
+                .note(why),
+            );
+        }
+    }
+    if expect.oracle_conforms.is_some() {
+        if let Err(why) = scenario.oracle_applicable() {
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML33,
+                    target,
+                    "expect.oracle is declared but the trace-replay oracle is \
+                     skipped for this scenario — the expectation is never checked",
+                )
+                .note(why),
+            );
+        }
+    }
+    if expect.verdict == Some(tta_conformance::ExpectedVerdict::Holds) {
+        if expect.trace_len.is_some() {
+            diags.push(Diagnostic::new(
+                catalog::ML33,
+                target,
+                "expect.trace_len is declared but expect.verdict is `holds` — a \
+                 holding property has no counterexample to measure",
+            ));
+        }
+        if expect.golden.is_some() {
+            diags.push(Diagnostic::new(
+                catalog::ML33,
+                target,
+                "expect.golden is declared but expect.verdict is `holds` — a \
+                 holding property renders no counterexample to pin",
+            ));
+        }
+    }
+
+    diags
+}
+
+/// Index of the first event active on `channel` at slot `t`, mirroring
+/// `FaultPlan::coupler_fault_at`'s dispatch order.
+fn first_active(events: &[CouplerFaultEvent], channel: usize, t: u64) -> Option<usize> {
+    events
+        .iter()
+        .position(|e| e.channel == channel && e.active_at(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn scenario(faults: &str, extra: &str) -> Scenario {
+        let text = format!(
+            "[cluster]\nnodes = 4\nauthority = \"passive\"\n[sim]\nslots = 100\n{faults}{extra}"
+        );
+        Scenario::parse(&text, Path::new(".")).unwrap()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.id).collect()
+    }
+
+    #[test]
+    fn window_beyond_horizon_is_flagged() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 150\nto_slot = 160\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML30"), "{diags:?}");
+        // A never-active event must not also be reported as shadowed.
+        assert!(!codes(&diags).contains(&"ML31"), "{diags:?}");
+    }
+
+    #[test]
+    fn partially_clipped_window_is_a_note() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 50\nto_slot = 160\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        let ml30 = diags.iter().find(|d| d.code.id == "ML30").unwrap();
+        assert_eq!(ml30.severity, crate::diag::Severity::Note);
+    }
+
+    #[test]
+    fn fully_covered_event_is_shadowed() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 90\n\
+             [[fault.coupler]]\nchannel = 0\nmode = \"bad_frame\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML31"), "{diags:?}");
+    }
+
+    #[test]
+    fn intermittent_gaps_unshadow_a_covered_event() {
+        // The earlier event is intermittent with gaps; the later
+        // transient event wins dispatch in the off-slots, so it is NOT
+        // shadowed even though the windows nest.
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 90\n\
+             persistence = \"intermittent\"\nperiod = 10\nduty = 5\n\
+             [[fault.coupler]]\nchannel = 0\nmode = \"bad_frame\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        assert!(!codes(&diags).contains(&"ML31"), "{diags:?}");
+    }
+
+    #[test]
+    fn other_channel_does_not_shadow() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 90\n\
+             [[fault.coupler]]\nchannel = 1\nmode = \"silence\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        // (Dual-channel overlap defeats the oracle, but dispatch is
+        // per-channel: no shadowing here.)
+        let diags = lint_plan("t", &s);
+        assert!(!codes(&diags).contains(&"ML31"), "{diags:?}");
+    }
+
+    #[test]
+    fn degenerate_intermittent_parameters_are_noted() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 20\n\
+             persistence = \"intermittent\"\nperiod = 50\nduty = 3\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        let ml32 = diags.iter().find(|d| d.code.id == "ML32").unwrap();
+        assert!(ml32.message.contains("never recurs"), "{}", ml32.message);
+
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 20\n\
+             persistence = \"intermittent\"\nperiod = 4\nduty = 4\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        let ml32 = diags.iter().find(|d| d.code.id == "ML32").unwrap();
+        assert!(ml32.message.contains("transient"), "{}", ml32.message);
+    }
+
+    #[test]
+    fn unheckable_expectations_are_flagged() {
+        // An out_of_slot plan on a passive coupler skips the simulator
+        // phase; expecting sim_disturbed can then never be checked.
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"out_of_slot\"\nfrom_slot = 10\nto_slot = 20\n",
+            "[expect]\nsim_disturbed = true\n",
+        );
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML33"), "{diags:?}");
+
+        let s = scenario("", "[expect]\nverdict = \"holds\"\ntrace_len = 5\n");
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML33"), "{diags:?}");
+    }
+
+    #[test]
+    fn clean_plan_produces_no_diagnostics() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 50\n",
+            "[expect]\nverdict = \"holds\"\nsim_disturbed = false\n",
+        );
+        assert!(lint_plan("t", &s).is_empty());
+    }
+}

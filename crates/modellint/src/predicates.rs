@@ -1,0 +1,134 @@
+//! The named predicate catalog scenario `[[property]]` sections draw
+//! from.
+//!
+//! Scenario files reference predicates by name; this module resolves a
+//! name to a closure over [`ClusterState`]. Names are deliberately
+//! cluster-level (`any_*` / `all_*`) rather than node-indexed: the lint
+//! engine checks *non-triviality* of properties, and quantified forms
+//! keep fixtures independent of the cluster size. A `node<i>_<shape>`
+//! form (e.g. `node0_listening`) is accepted for targeted fixtures.
+
+use tta_core::ClusterState;
+use tta_protocol::ProtocolState;
+
+/// A resolved named predicate.
+pub type Predicate = Box<dyn Fn(&ClusterState) -> bool + Send + Sync>;
+
+/// The catalog's fixed (non-indexed) names, with a one-line meaning
+/// each. Used for diagnostics when resolution fails.
+pub static NAMES: &[(&str, &str)] = &[
+    ("any_listening", "some node is in the listen state"),
+    ("all_listening", "every node is in the listen state"),
+    ("any_cold_start", "some node is cold-starting"),
+    (
+        "any_integrated",
+        "some node is integrated (active or passive)",
+    ),
+    (
+        "all_integrated",
+        "every node is integrated (active or passive)",
+    ),
+    ("any_active", "some node holds active membership"),
+    ("all_active", "every node holds active membership"),
+    ("any_frozen", "some node is frozen"),
+    ("all_frozen", "every node is frozen"),
+    (
+        "no_victim",
+        "the safety monitor has not latched a frozen victim",
+    ),
+    (
+        "victim_latched",
+        "the safety monitor has latched a frozen victim",
+    ),
+    (
+        "replay_used",
+        "at least one out-of-slot replay has occurred",
+    ),
+    (
+        "buffer_occupied",
+        "a coupler holds a replayable buffered frame",
+    ),
+];
+
+fn state_pred(shape: &str) -> Option<fn(ProtocolState) -> bool> {
+    Some(match shape {
+        "listening" => |s| s == ProtocolState::Listen,
+        "cold_start" => |s| s == ProtocolState::ColdStart,
+        "integrated" => ProtocolState::is_integrated,
+        "active" => |s| s == ProtocolState::Active,
+        "frozen" => |s| s == ProtocolState::Freeze,
+        _ => return None,
+    })
+}
+
+/// Resolves `name` to a predicate over clusters of `nodes` nodes.
+/// Returns `None` for names outside the catalog (lint `ML22`).
+#[must_use]
+pub fn resolve(name: &str, nodes: usize) -> Option<Predicate> {
+    // Quantified protocol-state forms.
+    if let Some(shape) = name.strip_prefix("any_") {
+        if let Some(test) = state_pred(shape) {
+            return Some(Box::new(move |s: &ClusterState| {
+                s.nodes().iter().any(|n| test(n.protocol_state()))
+            }));
+        }
+    }
+    if let Some(shape) = name.strip_prefix("all_") {
+        if let Some(test) = state_pred(shape) {
+            return Some(Box::new(move |s: &ClusterState| {
+                s.nodes().iter().all(|n| test(n.protocol_state()))
+            }));
+        }
+    }
+    // Node-indexed forms: node3_frozen.
+    if let Some(rest) = name.strip_prefix("node") {
+        if let Some((index, shape)) = rest.split_once('_') {
+            if let (Ok(i), Some(test)) = (index.parse::<usize>(), state_pred(shape)) {
+                if i < nodes {
+                    return Some(Box::new(move |s: &ClusterState| {
+                        test(s.nodes()[i].protocol_state())
+                    }));
+                }
+                return None;
+            }
+        }
+    }
+    match name {
+        "no_victim" => Some(Box::new(|s: &ClusterState| s.frozen_victim().is_none())),
+        "victim_latched" => Some(Box::new(|s: &ClusterState| s.frozen_victim().is_some())),
+        "replay_used" => Some(Box::new(|s: &ClusterState| s.out_of_slot_used() > 0)),
+        "buffer_occupied" => Some(Box::new(|s: &ClusterState| {
+            s.coupler_buffers().iter().any(|b| b.is_replayable())
+        })),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_core::{ClusterConfig, ClusterModel};
+    use tta_guardian::CouplerAuthority;
+
+    #[test]
+    fn catalog_names_all_resolve() {
+        for (name, _) in NAMES {
+            assert!(resolve(name, 4).is_some(), "{name} must resolve");
+        }
+        assert!(resolve("node0_frozen", 4).is_some());
+        assert!(resolve("node3_active", 4).is_some());
+        assert!(resolve("node4_active", 4).is_none(), "index out of range");
+        assert!(resolve("any_confused", 4).is_none());
+        assert!(resolve("zebra", 4).is_none());
+    }
+
+    #[test]
+    fn predicates_evaluate_on_the_initial_state() {
+        let model = ClusterModel::new(ClusterConfig::paper(CouplerAuthority::Passive));
+        let init = model.initial_state();
+        assert!(resolve("all_frozen", 4).unwrap()(&init));
+        assert!(resolve("no_victim", 4).unwrap()(&init));
+        assert!(!resolve("any_integrated", 4).unwrap()(&init));
+        assert!(!resolve("replay_used", 4).unwrap()(&init));
+    }
+}

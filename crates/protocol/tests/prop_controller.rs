@@ -151,7 +151,7 @@ proptest! {
                 tta_protocol::SendIntent::ColdStart { id }
                 | tta_protocol::SendIntent::CStateFrame { id } => {
                     prop_assert_eq!(id, state.own_slot());
-                    prop_assert_eq!(state.slot().map(|s| s.get()), Some(id));
+                    prop_assert_eq!(state.slot().map(tta_types::SlotIndex::get), Some(id));
                     prop_assert!(state.protocol_state().may_transmit());
                 }
             }
@@ -183,7 +183,7 @@ proptest! {
         for t in &after_second {
             prop_assert_eq!(t.next.protocol_state(), ProtocolState::Passive);
             let expected = if id == SLOTS { 1 } else { id + 1 };
-            prop_assert_eq!(t.next.slot().map(|s| s.get()), Some(expected));
+            prop_assert_eq!(t.next.slot().map(tta_types::SlotIndex::get), Some(expected));
         }
     }
 

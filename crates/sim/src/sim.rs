@@ -710,7 +710,7 @@ impl Simulation {
                         if attached_cmp != expected {
                             let believed = self.controllers[receiver.as_usize()]
                                 .slot()
-                                .map_or(tx.id, |s| s.get());
+                                .map_or(tx.id, tta_types::SlotIndex::get);
                             let wrong = (believed % self.controllers.len() as u16) + 1;
                             let wrong = if wrong == tx.id && wrong == believed {
                                 (wrong % self.controllers.len() as u16) + 1

@@ -64,7 +64,10 @@ fn watchdog_recovers_the_same_transient_replay_with_bounded_ttr() {
     assert!(!report.healthy_frozen().is_empty(), "{report}");
     assert!(report.permanently_lost().is_empty(), "{report}");
     assert!(
-        report.recovery().iter().all(|e| e.recovered()),
+        report
+            .recovery()
+            .iter()
+            .all(tta_sim::RecoveryEpisode::recovered),
         "every episode reintegrates:\n{report}"
     );
     // Bounded time to repair: the watchdog waits its silence threshold,

@@ -1,0 +1,40 @@
+//! Offline vendored stub of [loom](https://crates.io/crates/loom) 0.7.
+//!
+//! The real loom exhaustively explores thread interleavings of a
+//! bounded concurrent model under the C11 memory model. This stub
+//! keeps the same module surface (`loom::model`, `loom::thread`,
+//! `loom::sync`, `loom::sync::atomic`) but re-exports the plain `std`
+//! primitives and runs the model closure **once**, so `--cfg loom`
+//! tests still execute as ordinary concurrent smoke tests offline.
+//! Swapping in the real loom (delete the `[patch.crates-io]` entry and
+//! this directory) upgrades them to exhaustive interleaving checks
+//! with no source changes.
+
+/// Runs `model` once on plain threads. The real loom runs it for every
+/// distinguishable interleaving; keep closures `Fn` (re-runnable) so
+/// they stay compatible with the real implementation.
+pub fn model<F>(model: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    model();
+}
+
+/// `std::thread` stand-ins (`loom::thread::spawn` etc.).
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// `std::sync` stand-ins (`loom::sync::Arc`, mutexes, atomics).
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// `std::sync::atomic` stand-ins. The real loom intercepts every
+    /// access to explore reorderings; the stub inherits `std`'s
+    /// whole-program sequential consistency on the host.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
