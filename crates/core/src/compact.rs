@@ -52,6 +52,26 @@ const SHARED_WORD: usize = 8;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompactState([u64; WORDS]);
 
+/// Exposes the packed words to the delta-encoding visited set
+/// ([`tta_modelcheck::DeltaArena`]): a cluster step touches one or two
+/// of the nine words, so xor-deltas against the BFS parent store a
+/// fraction of the 72-byte full width.
+impl tta_modelcheck::WordEncoded for CompactState {
+    const WORDS: usize = WORDS;
+
+    #[inline]
+    fn write_words(&self, out: &mut [u64]) {
+        out.copy_from_slice(&self.0);
+    }
+
+    #[inline]
+    fn from_words(words: &[u64]) -> Self {
+        let mut packed = [0u64; WORDS];
+        packed.copy_from_slice(words);
+        CompactState(packed)
+    }
+}
+
 /// The [`StateCodec`] between [`ClusterState`] and [`CompactState`].
 ///
 /// Holds the [`ClusterConfig`] so decoding can restore the static

@@ -24,8 +24,10 @@ use std::fmt;
 /// weak-fairness constraints per check are rejected at graph build.
 pub const MAX_FAIR_ACTIONS: usize = 32;
 
-/// The boxed transition judgment backing a [`FairAction`].
-type TakenFn<S> = Box<dyn Fn(&S, &S) -> bool>;
+/// The boxed transition judgment backing a [`FairAction`]. `Send +
+/// Sync` so the chunked graph builder can evaluate labels from worker
+/// threads ([`crate::FairGraph::build_with_threads`]).
+type TakenFn<S> = Box<dyn Fn(&S, &S) -> bool + Send + Sync>;
 
 /// A named action subject to weak fairness.
 pub struct FairAction<S> {
@@ -35,7 +37,10 @@ pub struct FairAction<S> {
 
 impl<S> FairAction<S> {
     /// Wraps a transition judgment as a named fair action.
-    pub fn new(name: impl Into<String>, taken: impl Fn(&S, &S) -> bool + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        taken: impl Fn(&S, &S) -> bool + Send + Sync + 'static,
+    ) -> Self {
         FairAction {
             name: name.into(),
             taken: Box::new(taken),

@@ -28,7 +28,33 @@
 use crate::fairness::{FairAction, MAX_FAIR_ACTIONS};
 use std::fmt;
 use std::time::{Duration, Instant};
-use tta_modelcheck::{Interned, StateArena, StateCodec, TransitionSystem, NO_PARENT};
+use tta_modelcheck::hashing::fx_hash;
+use tta_modelcheck::{map_chunks, Interned, StateArena, StateCodec, TransitionSystem, NO_PARENT};
+
+/// Arena ids per stolen chunk in [`FairGraph::build_with_threads`].
+/// Graph construction decodes, expands and re-encodes per state — far
+/// more work than the safety explorer's successor step — so chunks can
+/// be smaller before claim-counter contention shows.
+const BUILD_CHUNK_STATES: usize = 512;
+
+/// A worker's resolution of one generated edge target against the
+/// wave-start arena snapshot. `Existing` ids are final (the arena only
+/// grows); proposals are re-resolved against the live arena at merge,
+/// where states inserted earlier in the same wave become visible.
+enum EdgeTarget<E> {
+    Existing(u32),
+    Proposal { hash: u64, encoded: E },
+}
+
+/// Everything a worker computed for one scanned state: labeled edges
+/// with snapshot-resolved targets, the enabledness mask over *all*
+/// generated successors, and the generated-edge count.
+struct NodeExpansion<E> {
+    edges: Vec<(EdgeTarget<E>, u32)>,
+    mask: u32,
+    deadlock: bool,
+    generated: u64,
+}
 
 /// How often one registered fairness action is actually exercised in a
 /// built [`FairGraph`] (see [`FairGraph::action_usage`]).
@@ -90,31 +116,13 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
     where
         T: TransitionSystem<State = C::State>,
     {
-        assert!(
-            fairness.len() <= MAX_FAIR_ACTIONS,
-            "at most {MAX_FAIR_ACTIONS} weak-fairness constraints per graph (got {})",
-            fairness.len()
-        );
         let start = Instant::now();
-        let max_states = max_states.min(u64::from(u32::MAX - 1));
-
-        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        let (max_states, mut arena, initial, mut truncated) =
+            Self::seed(system, codec, fairness, max_states);
         let mut edges: Vec<(u32, u32, u32)> = Vec::new();
         let mut enabled: Vec<u32> = Vec::new();
         let mut deadlock: Vec<bool> = Vec::new();
-        let mut initial: Vec<u32> = Vec::new();
-        let mut truncated = false;
         let mut edges_generated = 0u64;
-
-        for init in system.initial_states() {
-            if (arena.len() as u64) >= max_states {
-                truncated = true;
-                break;
-            }
-            if let Interned::New(id) = arena.insert_if_absent(codec.encode(&init), NO_PARENT) {
-                initial.push(id);
-            }
-        }
 
         // Arena ids are assigned in insertion order, so scanning them in
         // order with new states appended at the tail is exactly BFS, and
@@ -137,22 +145,15 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
             }
             for succ in &succs {
                 edges_generated += 1;
-                let mut label = 0u32;
-                for (i, action) in fairness.iter().enumerate() {
-                    if action.taken(&state, succ) {
-                        label |= 1 << i;
-                    }
-                }
+                let label = edge_label(fairness, &state, succ);
                 // Enabledness counts every generated edge, kept or not.
                 mask |= label;
                 let encoded = codec.encode(succ);
-                let target = match arena.lookup(&encoded) {
+                let hash = fx_hash(&encoded);
+                let target = match arena.lookup_hashed(hash, &encoded) {
                     Some(t) => Some(t),
                     None if (arena.len() as u64) < max_states => {
-                        match arena.insert_if_absent(encoded, id) {
-                            Interned::New(t) => Some(t),
-                            Interned::Present(t) => Some(t),
-                        }
+                        Some(arena.insert_new_hashed(hash, encoded, id))
                     }
                     None => {
                         truncated = true;
@@ -167,10 +168,173 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
             deadlock.push(false);
         }
 
-        // Counting sort into CSR, labels carried alongside.
+        Self::assemble(
+            codec,
+            arena,
+            &edges,
+            enabled,
+            deadlock,
+            initial,
+            fairness,
+            truncated,
+            edges_generated,
+            start,
+        )
+    }
+
+    /// [`Self::build`] with `threads` worker threads expanding each BFS
+    /// wave in parallel.
+    ///
+    /// The scan processes one *wave* at a time — the arena ids appended
+    /// since the previous wave. Workers steal fixed-size chunks of the
+    /// wave, expand and label each state, and resolve edge targets
+    /// against the wave-start arena snapshot; unresolved targets come
+    /// back as proposals (hash + encoding). The merge then replays the
+    /// chunks in wave order against the live arena, so inserts happen in
+    /// exactly the sequential scan's order: states, ids, parents, edges,
+    /// labels and the truncation flag are bit-identical to
+    /// [`Self::build`] at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, plus everything [`Self::build`]
+    /// panics on.
+    #[must_use]
+    pub fn build_with_threads<T>(
+        system: &T,
+        codec: &'c C,
+        fairness: &[FairAction<C::State>],
+        max_states: u64,
+        threads: usize,
+    ) -> Self
+    where
+        T: TransitionSystem<State = C::State> + Sync,
+        C: Sync,
+        C::Encoded: Send + Sync,
+    {
+        assert!(threads >= 1, "at least one worker thread is required");
+        if threads == 1 {
+            return Self::build(system, codec, fairness, max_states);
+        }
+        let start = Instant::now();
+        let (max_states, mut arena, initial, mut truncated) =
+            Self::seed(system, codec, fairness, max_states);
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        let mut enabled: Vec<u32> = Vec::new();
+        let mut deadlock: Vec<bool> = Vec::new();
+        let mut edges_generated = 0u64;
+
+        let mut wave_start = 0u32;
+        while (wave_start as usize) < arena.len() {
+            let wave_end = arena.len() as u32;
+            let wave: Vec<u32> = (wave_start..wave_end).collect();
+            let expansions = {
+                let shared: &StateArena<C::Encoded> = &arena;
+                map_chunks(&wave, BUILD_CHUNK_STATES, threads, &|_, ids: &[u32]| {
+                    expand_wave_chunk(system, codec, shared, fairness, ids)
+                })
+            };
+            let mut id = wave_start;
+            wave_start = wave_end;
+            for node in expansions.into_iter().flatten() {
+                if node.deadlock {
+                    edges.push((id, id, 0));
+                    enabled.push(0);
+                    deadlock.push(true);
+                    id += 1;
+                    continue;
+                }
+                edges_generated += node.generated;
+                for (target, label) in node.edges {
+                    let resolved = match target {
+                        EdgeTarget::Existing(t) => Some(t),
+                        EdgeTarget::Proposal { hash, encoded } => {
+                            match arena.lookup_hashed(hash, &encoded) {
+                                Some(t) => Some(t),
+                                None if (arena.len() as u64) < max_states => {
+                                    Some(arena.insert_new_hashed(hash, encoded, id))
+                                }
+                                None => {
+                                    truncated = true;
+                                    None
+                                }
+                            }
+                        }
+                    };
+                    if let Some(t) = resolved {
+                        edges.push((id, t, label));
+                    }
+                }
+                enabled.push(node.mask);
+                deadlock.push(false);
+                id += 1;
+            }
+        }
+
+        Self::assemble(
+            codec,
+            arena,
+            &edges,
+            enabled,
+            deadlock,
+            initial,
+            fairness,
+            truncated,
+            edges_generated,
+            start,
+        )
+    }
+
+    /// Shared prologue: validate the fairness set, clamp the budget to
+    /// `u32` addressing and intern the initial states.
+    fn seed<T>(
+        system: &T,
+        codec: &C,
+        fairness: &[FairAction<C::State>],
+        max_states: u64,
+    ) -> (u64, StateArena<C::Encoded>, Vec<u32>, bool)
+    where
+        T: TransitionSystem<State = C::State>,
+    {
+        assert!(
+            fairness.len() <= MAX_FAIR_ACTIONS,
+            "at most {MAX_FAIR_ACTIONS} weak-fairness constraints per graph (got {})",
+            fairness.len()
+        );
+        let max_states = max_states.min(u64::from(u32::MAX - 1));
+        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        let mut initial: Vec<u32> = Vec::new();
+        let mut truncated = false;
+        for init in system.initial_states() {
+            if (arena.len() as u64) >= max_states {
+                truncated = true;
+                break;
+            }
+            if let Interned::New(id) = arena.insert_if_absent(codec.encode(&init), NO_PARENT) {
+                initial.push(id);
+            }
+        }
+        (max_states, arena, initial, truncated)
+    }
+
+    /// Shared epilogue: counting-sort the edge list into CSR (labels
+    /// carried alongside) and assemble the graph.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        codec: &'c C,
+        arena: StateArena<C::Encoded>,
+        edges: &[(u32, u32, u32)],
+        enabled: Vec<u32>,
+        deadlock: Vec<bool>,
+        initial: Vec<u32>,
+        fairness: &[FairAction<C::State>],
+        truncated: bool,
+        edges_generated: u64,
+        start: Instant,
+    ) -> Self {
         let n = arena.len();
         let mut offsets = vec![0usize; n + 1];
-        for &(from, _, _) in &edges {
+        for &(from, _, _) in edges {
             offsets[from as usize + 1] += 1;
         }
         for i in 0..n {
@@ -179,7 +343,7 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
         let mut fill = offsets.clone();
         let mut targets = vec![0u32; edges.len()];
         let mut labels = vec![0u32; edges.len()];
-        for &(from, to, label) in &edges {
+        for &(from, to, label) in edges {
             let slot = fill[from as usize];
             targets[slot] = to;
             labels[slot] = label;
@@ -379,6 +543,68 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
     }
 }
 
+/// The fairness-action bitmask of one transition.
+fn edge_label<S>(fairness: &[FairAction<S>], from: &S, to: &S) -> u32 {
+    let mut label = 0u32;
+    for (i, action) in fairness.iter().enumerate() {
+        if action.taken(from, to) {
+            label |= 1 << i;
+        }
+    }
+    label
+}
+
+/// Worker body for [`FairGraph::build_with_threads`]: expand and label
+/// one stolen chunk of wave ids against the read-only arena snapshot.
+fn expand_wave_chunk<T, C>(
+    system: &T,
+    codec: &C,
+    snapshot: &StateArena<C::Encoded>,
+    fairness: &[FairAction<C::State>],
+    ids: &[u32],
+) -> Vec<NodeExpansion<C::Encoded>>
+where
+    C: StateCodec,
+    T: TransitionSystem<State = C::State>,
+{
+    let mut out = Vec::with_capacity(ids.len());
+    let mut succs: Vec<C::State> = Vec::new();
+    for &id in ids {
+        let state = codec.decode(snapshot.get(id));
+        succs.clear();
+        system.successors(&state, &mut succs);
+        if succs.is_empty() {
+            out.push(NodeExpansion {
+                edges: Vec::new(),
+                mask: 0,
+                deadlock: true,
+                generated: 0,
+            });
+            continue;
+        }
+        let mut mask = 0u32;
+        let mut node_edges = Vec::with_capacity(succs.len());
+        for succ in &succs {
+            let label = edge_label(fairness, &state, succ);
+            mask |= label;
+            let encoded = codec.encode(succ);
+            let hash = fx_hash(&encoded);
+            let target = match snapshot.lookup_hashed(hash, &encoded) {
+                Some(t) => EdgeTarget::Existing(t),
+                None => EdgeTarget::Proposal { hash, encoded },
+            };
+            node_edges.push((target, label));
+        }
+        out.push(NodeExpansion {
+            edges: node_edges,
+            mask,
+            deadlock: false,
+            generated: succs.len() as u64,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,5 +707,85 @@ mod tests {
             .map(|i| FairAction::new(format!("a{i}"), |_: &u32, _: &u32| false))
             .collect();
         let _ = build(&actions, 1 << 20);
+    }
+
+    /// A fan wide enough to split into several stolen chunks per wave:
+    /// 0 → 1..=1500, each i → a shared child (cross-chunk dedup), the
+    /// children alternate between a back-cycle and a deadlock.
+    struct WideFan;
+    impl TransitionSystem for WideFan {
+        type State = u32;
+        fn initial_states(&self) -> Vec<u32> {
+            vec![0]
+        }
+        fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+            match *s {
+                0 => out.extend(1..=1500),
+                s if (1..=1500).contains(&s) => out.push(1501 + s % 100),
+                s if (1501..1601).contains(&s) && s % 2 == 0 => out.push(0),
+                _ => {}
+            }
+        }
+    }
+
+    fn assert_graphs_identical(
+        seq: &FairGraph<'static, IdentityCodec<u32>>,
+        par: &FairGraph<'static, IdentityCodec<u32>>,
+    ) {
+        assert_eq!(par.state_count(), seq.state_count());
+        assert_eq!(par.edge_count(), seq.edge_count());
+        assert_eq!(par.edges_generated(), seq.edges_generated());
+        assert_eq!(par.is_truncated(), seq.is_truncated());
+        assert_eq!(par.initial(), seq.initial());
+        for v in 0..seq.state_count() as u32 {
+            assert_eq!(par.state(v), seq.state(v), "state {v}");
+            assert_eq!(par.bfs_parent(v), seq.bfs_parent(v), "parent {v}");
+            assert_eq!(par.enabled_mask(v), seq.enabled_mask(v), "mask {v}");
+            assert_eq!(par.is_deadlock(v), seq.is_deadlock(v), "deadlock {v}");
+            assert_eq!(
+                par.neighbors(v).collect::<Vec<_>>(),
+                seq.neighbors(v).collect::<Vec<_>>(),
+                "adjacency {v}"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "spawns real threads over a wide graph")]
+    fn threaded_build_is_bit_identical_to_sequential() {
+        static CODEC: IdentityCodec<u32> = IdentityCodec::new();
+        let forward = || vec![FairAction::new("forward", |a: &u32, b: &u32| b > a)];
+        let seq = FairGraph::build(&WideFan, &CODEC, &forward(), 1 << 20);
+        assert!(seq.state_count() > 2 * BUILD_CHUNK_STATES, "waves split");
+        for threads in [2, 4] {
+            let par = FairGraph::build_with_threads(&WideFan, &CODEC, &forward(), 1 << 20, threads);
+            assert_graphs_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "spawns real threads over a wide graph")]
+    fn threaded_build_matches_sequential_under_truncation() {
+        static CODEC: IdentityCodec<u32> = IdentityCodec::new();
+        let seq = FairGraph::build(&WideFan, &CODEC, &[], 700);
+        assert!(seq.is_truncated());
+        let par = FairGraph::build_with_threads(&WideFan, &CODEC, &[], 700, 3);
+        assert_graphs_identical(&seq, &par);
+    }
+
+    #[test]
+    fn one_thread_delegates_to_the_sequential_build() {
+        static CODEC: IdentityCodec<u32> = IdentityCodec::new();
+        let seq = build(&[], 1 << 20);
+        let par = FairGraph::build_with_threads(&Diamond, &CODEC, &[], 1 << 20, 1);
+        assert_eq!(par.state_count(), seq.state_count());
+        assert_eq!(par.edge_count(), seq.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_threads_are_rejected() {
+        static CODEC: IdentityCodec<u32> = IdentityCodec::new();
+        let _ = FairGraph::build_with_threads(&Diamond, &CODEC, &[], 1 << 20, 0);
     }
 }

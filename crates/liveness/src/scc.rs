@@ -48,13 +48,48 @@ impl SccDecomposition {
 /// Nodes with `active[v] == false` — and every edge touching them — are
 /// ignored; pass `None` to decompose the whole graph.
 ///
+/// The decomposition is the hot inner loop of every liveness check
+/// (each property runs it on a fresh restriction), so the active test
+/// is monomorphized — the full-graph pass carries no mask branch at
+/// all — and each DFS frame caches its CSR end offset instead of
+/// re-reading `offsets[v + 1]` on every edge.
+///
 /// # Panics
 ///
 /// Panics if the CSR arrays are inconsistent (offsets out of bounds).
 #[must_use]
 pub fn tarjan_csr(offsets: &[usize], targets: &[u32], active: Option<&[bool]>) -> SccDecomposition {
+    match active {
+        None => tarjan_impl(offsets, targets, &AllActive),
+        Some(mask) => tarjan_impl(offsets, targets, &MaskActive(mask)),
+    }
+}
+
+/// Monomorphization hook for the active-node restriction.
+trait ActiveSet {
+    fn contains(&self, v: u32) -> bool;
+}
+
+/// The whole-graph decomposition: no mask, no branch.
+struct AllActive;
+impl ActiveSet for AllActive {
+    #[inline(always)]
+    fn contains(&self, _: u32) -> bool {
+        true
+    }
+}
+
+/// An induced-subgraph decomposition over a boolean mask.
+struct MaskActive<'a>(&'a [bool]);
+impl ActiveSet for MaskActive<'_> {
+    #[inline(always)]
+    fn contains(&self, v: u32) -> bool {
+        self.0[v as usize]
+    }
+}
+
+fn tarjan_impl<A: ActiveSet>(offsets: &[usize], targets: &[u32], active: &A) -> SccDecomposition {
     let n = offsets.len().saturating_sub(1);
-    let is_active = |v: u32| active.is_none_or(|a| a[v as usize]);
 
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];
@@ -62,15 +97,15 @@ pub fn tarjan_csr(offsets: &[usize], targets: &[u32], active: Option<&[bool]>) -
     let mut on_stack = vec![false; n];
     let mut component = vec![NO_COMPONENT; n];
     let mut tarjan_stack: Vec<u32> = Vec::new();
-    // Explicit DFS frames: (node, next CSR cursor). This is the entire
-    // recursion state; depth is bounded by the number of nodes, on the
-    // heap, not the thread stack.
-    let mut frames: Vec<(u32, usize)> = Vec::new();
+    // Explicit DFS frames: (node, next CSR cursor, CSR end). This is
+    // the entire recursion state; depth is bounded by the number of
+    // nodes, on the heap, not the thread stack.
+    let mut frames: Vec<(u32, usize, usize)> = Vec::new();
     let mut next_index = 0u32;
     let mut count = 0usize;
 
     for root in 0..n as u32 {
-        if !is_active(root) || index[root as usize] != UNVISITED {
+        if !active.contains(root) || index[root as usize] != UNVISITED {
             continue;
         }
         index[root as usize] = next_index;
@@ -78,13 +113,13 @@ pub fn tarjan_csr(offsets: &[usize], targets: &[u32], active: Option<&[bool]>) -
         next_index += 1;
         on_stack[root as usize] = true;
         tarjan_stack.push(root);
-        frames.push((root, offsets[root as usize]));
+        frames.push((root, offsets[root as usize], offsets[root as usize + 1]));
 
-        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
-            if *cursor < offsets[v as usize + 1] {
+        while let Some(&mut (v, ref mut cursor, end)) = frames.last_mut() {
+            if *cursor < end {
                 let w = targets[*cursor];
                 *cursor += 1;
-                if !is_active(w) {
+                if !active.contains(w) {
                     continue;
                 }
                 if index[w as usize] == UNVISITED {
@@ -93,7 +128,7 @@ pub fn tarjan_csr(offsets: &[usize], targets: &[u32], active: Option<&[bool]>) -
                     next_index += 1;
                     on_stack[w as usize] = true;
                     tarjan_stack.push(w);
-                    frames.push((w, offsets[w as usize]));
+                    frames.push((w, offsets[w as usize], offsets[w as usize + 1]));
                 } else if on_stack[w as usize] {
                     lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
                 }
@@ -111,7 +146,7 @@ pub fn tarjan_csr(offsets: &[usize], targets: &[u32], active: Option<&[bool]>) -
                         }
                     }
                 }
-                if let Some(&(parent, _)) = frames.last() {
+                if let Some(&(parent, _, _)) = frames.last() {
                     lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
             }

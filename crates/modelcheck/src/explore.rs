@@ -18,7 +18,9 @@
 
 use crate::codec::{IdentityCodec, StateCodec};
 use crate::counterexample::Trace;
-use crate::intern::{Interned, StateArena, NO_PARENT};
+use crate::delta::{DeltaArena, WordEncoded};
+use crate::hashing::fx_hash;
+use crate::intern::{StateArena, Visited, NO_PARENT};
 use crate::stats::ExploreStats;
 use crate::system::{Invariant, TransitionSystem};
 use serde::{Deserialize, Serialize};
@@ -116,89 +118,43 @@ impl Explorer {
         C: StateCodec<State = T::State>,
         I: Invariant<T::State>,
     {
-        let start = Instant::now();
-        let mut stats = ExploreStats::default();
         let mut arena: StateArena<C::Encoded> = StateArena::new();
-        let mut layer: Vec<u32> = Vec::new();
-        let mut violation: Option<u32> = None;
-        let mut exhausted = false;
+        drive_sequential(
+            self.max_states,
+            self.max_depth,
+            system,
+            codec,
+            &invariant,
+            &mut arena,
+        )
+    }
 
-        // Layer 0: every distinct initial state.
-        for init in system.initial_states() {
-            if arena.len() as u64 >= self.max_states {
-                exhausted = true;
-                break;
-            }
-            if let Interned::New(id) = arena.insert_if_absent(codec.encode(&init), NO_PARENT) {
-                if violation.is_none() && !invariant.holds(&init) {
-                    violation = Some(id);
-                }
-                layer.push(id);
-            }
-        }
-        stats.frontier_peak = layer.len() as u64;
-
-        let mut depth: u64 = 0;
-        let mut succ_buf: Vec<T::State> = Vec::new();
-        'bfs: while violation.is_none() && !exhausted && !layer.is_empty() && depth < self.max_depth
-        {
-            let mut next_layer: Vec<u32> = Vec::new();
-            for &id in &layer {
-                let state = codec.decode(arena.get(id));
-                succ_buf.clear();
-                system.successors(&state, &mut succ_buf);
-                stats.transitions += succ_buf.len() as u64;
-                for next in succ_buf.drain(..) {
-                    let encoded = codec.encode(&next);
-                    if arena.lookup(&encoded).is_some() {
-                        continue;
-                    }
-                    if arena.len() as u64 >= self.max_states {
-                        exhausted = true;
-                        break 'bfs;
-                    }
-                    let Interned::New(next_id) = arena.insert_if_absent(encoded, id) else {
-                        unreachable!("lookup said absent");
-                    };
-                    // Record the first violation but finish the layer:
-                    // layer membership (and so `states_explored`) stays
-                    // a function of the model, not of scan order.
-                    if violation.is_none() && !invariant.holds(&next) {
-                        violation = Some(next_id);
-                    }
-                    next_layer.push(next_id);
-                }
-            }
-            if !next_layer.is_empty() {
-                depth += 1;
-            }
-            stats.frontier_peak = stats.frontier_peak.max(next_layer.len() as u64);
-            layer = next_layer;
-        }
-
-        stats.depth_reached = depth;
-        stats.states_explored = arena.len() as u64;
-        stats.visited_bytes = arena.approx_bytes();
-        stats.duration = start.elapsed();
-
-        match violation {
-            Some(id) => CheckOutcome {
-                verdict: Verdict::Violated,
-                counterexample: Some(reconstruct(&arena, codec, id)),
-                stats,
-            },
-            None => CheckOutcome {
-                verdict: if exhausted
-                    || (!layer.is_empty() && self.max_depth != u64::MAX && depth >= self.max_depth)
-                {
-                    Verdict::BudgetExhausted
-                } else {
-                    Verdict::Holds
-                },
-                counterexample: None,
-                stats,
-            },
-        }
+    /// Checks `AG p` like [`Self::check_with_codec`], but stores visited
+    /// states as sparse xor-deltas against their BFS parents (see
+    /// [`crate::delta::DeltaArena`]): identical verdicts, ids and
+    /// traces, a fraction of the resident bytes for word-encodable
+    /// state packings.
+    pub fn check_with_delta_codec<T, C, I>(
+        &self,
+        system: &T,
+        codec: &C,
+        invariant: I,
+    ) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem,
+        C: StateCodec<State = T::State>,
+        C::Encoded: WordEncoded,
+        I: Invariant<T::State>,
+    {
+        let mut arena: DeltaArena<C::Encoded> = DeltaArena::new();
+        drive_sequential(
+            self.max_states,
+            self.max_depth,
+            system,
+            codec,
+            &invariant,
+            &mut arena,
+        )
     }
 
     /// Counts the reachable state space without checking a property.
@@ -236,16 +192,163 @@ impl Explorer {
     }
 }
 
+/// Layer 0 of an exploration: interns every distinct initial state,
+/// shared verbatim by the sequential and parallel drivers so their
+/// arenas start bit-identical.
+pub(crate) fn seed_roots<T, C, I, V>(
+    system: &T,
+    codec: &C,
+    invariant: &I,
+    arena: &mut V,
+    max_states: u64,
+) -> (Vec<u32>, Option<u32>, bool)
+where
+    T: TransitionSystem,
+    C: StateCodec<State = T::State>,
+    I: Invariant<T::State>,
+    V: Visited<C::Encoded>,
+{
+    let mut layer = Vec::new();
+    let mut violation = None;
+    let mut exhausted = false;
+    for init in system.initial_states() {
+        if arena.len() as u64 >= max_states {
+            exhausted = true;
+            break;
+        }
+        let encoded = codec.encode(&init);
+        let hash = fx_hash(&encoded);
+        if arena.lookup_hashed(hash, &encoded).is_some() {
+            continue;
+        }
+        let id = arena.insert_new_hashed(hash, encoded, NO_PARENT);
+        if violation.is_none() && !invariant.holds(&init) {
+            violation = Some(id);
+        }
+        layer.push(id);
+    }
+    (layer, violation, exhausted)
+}
+
+/// The sequential BFS driver, generic over visited-set storage: the
+/// engine behind [`Explorer::check_with_codec`] and
+/// [`Explorer::check_with_delta_codec`], and the single-thread path of
+/// the parallel explorer (which therefore matches it bit for bit).
+pub(crate) fn drive_sequential<T, C, I, V>(
+    max_states: u64,
+    max_depth: u64,
+    system: &T,
+    codec: &C,
+    invariant: &I,
+    arena: &mut V,
+) -> CheckOutcome<T::State>
+where
+    T: TransitionSystem,
+    C: StateCodec<State = T::State>,
+    I: Invariant<T::State>,
+    V: Visited<C::Encoded>,
+{
+    let start = Instant::now();
+    let mut stats = ExploreStats::default();
+    let (mut layer, mut violation, mut exhausted) =
+        seed_roots(system, codec, invariant, arena, max_states);
+    stats.frontier_peak = layer.len() as u64;
+
+    let mut depth: u64 = 0;
+    let mut succ_buf: Vec<T::State> = Vec::new();
+    'bfs: while violation.is_none() && !exhausted && !layer.is_empty() && depth < max_depth {
+        let mut next_layer: Vec<u32> = Vec::new();
+        for &id in &layer {
+            let state = arena.with_encoded(id, |e| codec.decode(e));
+            succ_buf.clear();
+            system.successors(&state, &mut succ_buf);
+            stats.transitions += succ_buf.len() as u64;
+            for next in succ_buf.drain(..) {
+                let encoded = codec.encode(&next);
+                let hash = fx_hash(&encoded);
+                if arena.lookup_hashed(hash, &encoded).is_some() {
+                    continue;
+                }
+                if arena.len() as u64 >= max_states {
+                    exhausted = true;
+                    break 'bfs;
+                }
+                let next_id = arena.insert_new_hashed(hash, encoded, id);
+                // Record the first violation but finish the layer:
+                // layer membership (and so `states_explored`) stays
+                // a function of the model, not of scan order.
+                if violation.is_none() && !invariant.holds(&next) {
+                    violation = Some(next_id);
+                }
+                next_layer.push(next_id);
+            }
+        }
+        if !next_layer.is_empty() {
+            depth += 1;
+        }
+        stats.frontier_peak = stats.frontier_peak.max(next_layer.len() as u64);
+        layer = next_layer;
+    }
+
+    finish_outcome(
+        stats, start, depth, max_depth, &layer, violation, exhausted, arena, codec,
+    )
+}
+
+/// Fills the trailing stats and assembles the [`CheckOutcome`]; shared
+/// by the sequential and parallel drivers so verdict/budget semantics
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_outcome<C, V>(
+    mut stats: ExploreStats,
+    start: Instant,
+    depth: u64,
+    max_depth: u64,
+    layer: &[u32],
+    violation: Option<u32>,
+    exhausted: bool,
+    arena: &V,
+    codec: &C,
+) -> CheckOutcome<C::State>
+where
+    C: StateCodec,
+    V: Visited<C::Encoded>,
+{
+    stats.depth_reached = depth;
+    stats.states_explored = arena.len() as u64;
+    stats.visited_bytes = arena.approx_bytes();
+    stats.duration = start.elapsed();
+
+    match violation {
+        Some(id) => CheckOutcome {
+            verdict: Verdict::Violated,
+            counterexample: Some(reconstruct(arena, codec, id)),
+            stats,
+        },
+        None => CheckOutcome {
+            verdict: if exhausted
+                || (!layer.is_empty() && max_depth != u64::MAX && depth >= max_depth)
+            {
+                Verdict::BudgetExhausted
+            } else {
+                Verdict::Holds
+            },
+            counterexample: None,
+            stats,
+        },
+    }
+}
+
 /// Walks parent indices from `id` back to a root and decodes the path.
-fn reconstruct<C: StateCodec>(
-    arena: &StateArena<C::Encoded>,
+pub(crate) fn reconstruct<C: StateCodec, V: Visited<C::Encoded>>(
+    arena: &V,
     codec: &C,
     id: u32,
 ) -> Trace<C::State> {
     let mut path = Vec::new();
     let mut cursor = id;
     loop {
-        path.push(codec.decode(arena.get(cursor)));
+        path.push(arena.with_encoded(cursor, |e| codec.decode(e)));
         let parent = arena.parent(cursor);
         if parent == NO_PARENT {
             break;
@@ -419,5 +522,55 @@ mod tests {
             compact.counterexample.unwrap().transition_count(),
             identity.counterexample.unwrap().transition_count()
         );
+    }
+
+    /// A word-packing codec for `(u32, u32)` states (u64 is
+    /// `WordEncoded`), used to drive the delta arena in tests.
+    #[derive(Debug)]
+    struct PackCodec;
+    impl StateCodec for PackCodec {
+        type State = (u32, u32);
+        type Encoded = u64;
+        fn encode(&self, s: &(u32, u32)) -> u64 {
+            (u64::from(s.0) << 32) | u64::from(s.1)
+        }
+        fn decode(&self, e: &u64) -> (u32, u32) {
+            ((e >> 32) as u32, *e as u32)
+        }
+    }
+
+    /// Delta-arena storage must be observably identical to the plain
+    /// arena: same verdict, same state count, same trace states.
+    #[test]
+    fn delta_codec_matches_plain_arena_bit_for_bit() {
+        let grid = Grid { bound: 9 };
+        let invariant = |s: &(u32, u32)| s.0 + s.1 != 7;
+        let plain = Explorer::new().check_with_codec(&grid, &PackCodec, invariant);
+        let delta = Explorer::new().check_with_delta_codec(&grid, &PackCodec, invariant);
+        assert_eq!(delta.verdict, plain.verdict);
+        assert_eq!(delta.stats.states_explored, plain.stats.states_explored);
+        assert_eq!(delta.stats.depth_reached, plain.stats.depth_reached);
+        assert_eq!(
+            delta.counterexample.unwrap().states(),
+            plain.counterexample.unwrap().states()
+        );
+    }
+
+    #[test]
+    fn delta_codec_respects_budgets() {
+        let exhausted = Explorer::new().max_states(10).check_with_delta_codec(
+            &Grid { bound: 100 },
+            &PackCodec,
+            |_: &(u32, u32)| true,
+        );
+        assert_eq!(exhausted.verdict, Verdict::BudgetExhausted);
+        assert!(exhausted.stats.states_explored <= 10);
+        let depth = Explorer::new().max_depth(3).check_with_delta_codec(
+            &Grid { bound: 100 },
+            &PackCodec,
+            |_: &(u32, u32)| true,
+        );
+        assert_eq!(depth.verdict, Verdict::BudgetExhausted);
+        assert_eq!(depth.stats.states_explored, 10);
     }
 }

@@ -28,11 +28,48 @@ pub enum Interned {
 }
 
 /// Hash-bucket entry: almost every hash maps to a single state, so the
-/// common case stays allocation-free.
+/// common case stays allocation-free. Shared with the delta arena
+/// ([`crate::delta::DeltaArena`]), which keys the same way.
 #[derive(Debug, Clone)]
-enum Bucket {
+pub(crate) enum Bucket {
     One(u32),
     Many(Vec<u32>),
+}
+
+/// The visited-set interface both explorers drive, implemented by the
+/// plain [`StateArena`] and the delta-encoding
+/// [`crate::delta::DeltaArena`].
+///
+/// All methods take a caller-computed Fx hash so the hot loop hashes
+/// each encoding exactly once (the hash must be `fx_hash(&encoded)` —
+/// see [`crate::hashing::fx_hash`]). `insert_new_hashed` requires the
+/// caller to have just confirmed absence via `lookup_hashed` with the
+/// same hash; inserting a present state wastes storage and may shadow
+/// the original in later lookups.
+pub trait Visited<E> {
+    /// Number of interned states.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The parent index recorded for `id` ([`NO_PARENT`] for roots).
+    fn parent(&self, id: u32) -> u32;
+
+    /// Looks up an encoded state by its precomputed hash.
+    fn lookup_hashed(&self, hash: u64, encoded: &E) -> Option<u32>;
+
+    /// Interns a state known to be absent, returning its new id.
+    fn insert_new_hashed(&mut self, hash: u64, encoded: E, parent: u32) -> u32;
+
+    /// Calls `f` with the encoded state stored at `id` (materializing it
+    /// first if the storage is not full-width).
+    fn with_encoded<R>(&self, id: u32, f: impl FnOnce(&E) -> R) -> R;
+
+    /// Approximate resident bytes of the visited set.
+    fn approx_bytes(&self) -> u64;
 }
 
 /// An interning visited set: flat state storage + `u32` parent links.
@@ -87,13 +124,46 @@ impl<E: Eq + Hash> StateArena<E> {
     /// Looks up an encoded state without inserting.
     #[must_use]
     pub fn lookup(&self, encoded: &E) -> Option<u32> {
-        match self.index.get(&fx_hash(encoded))? {
+        self.lookup_hashed(fx_hash(encoded), encoded)
+    }
+
+    /// [`Self::lookup`] with a caller-precomputed Fx hash, so hot loops
+    /// hash each encoding once across dedup and insert.
+    #[must_use]
+    pub fn lookup_hashed(&self, hash: u64, encoded: &E) -> Option<u32> {
+        match self.index.get(&hash)? {
             Bucket::One(id) => (self.states[*id as usize] == *encoded).then_some(*id),
             Bucket::Many(ids) => ids
                 .iter()
                 .copied()
                 .find(|&id| self.states[id as usize] == *encoded),
         }
+    }
+
+    /// Interns an encoded state the caller has just confirmed absent via
+    /// [`Self::lookup_hashed`] with the same `hash`, skipping the
+    /// equality re-scan [`Self::insert_if_absent`] would do.
+    pub fn insert_new_hashed(&mut self, hash: u64, encoded: E, parent: u32) -> u32 {
+        let next_id = self.states.len() as u32;
+        match self.index.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Bucket::One(next_id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => match slot.get_mut() {
+                Bucket::One(existing) => {
+                    let existing = *existing;
+                    self.collision_slots += 2;
+                    *slot.get_mut() = Bucket::Many(vec![existing, next_id]);
+                }
+                Bucket::Many(ids) => {
+                    self.collision_slots += 1;
+                    ids.push(next_id);
+                }
+            },
+        }
+        self.states.push(encoded);
+        self.parents.push(parent);
+        next_id
     }
 
     /// Interns `encoded` with the given parent index unless it is
@@ -138,6 +208,32 @@ impl<E: Eq + Hash> StateArena<E> {
             self.index.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>());
         let bucket_bytes = self.collision_slots * std::mem::size_of::<u32>();
         (state_bytes + parent_bytes + index_bytes + bucket_bytes) as u64
+    }
+}
+
+impl<E: Eq + Hash> Visited<E> for StateArena<E> {
+    fn len(&self) -> usize {
+        StateArena::len(self)
+    }
+
+    fn parent(&self, id: u32) -> u32 {
+        StateArena::parent(self, id)
+    }
+
+    fn lookup_hashed(&self, hash: u64, encoded: &E) -> Option<u32> {
+        StateArena::lookup_hashed(self, hash, encoded)
+    }
+
+    fn insert_new_hashed(&mut self, hash: u64, encoded: E, parent: u32) -> u32 {
+        StateArena::insert_new_hashed(self, hash, encoded, parent)
+    }
+
+    fn with_encoded<R>(&self, id: u32, f: impl FnOnce(&E) -> R) -> R {
+        f(&self.states[id as usize])
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        StateArena::approx_bytes(self)
     }
 }
 
@@ -194,6 +290,18 @@ mod tests {
             assert_eq!(arena.lookup(&Collide(i)), Some(i));
         }
         assert_eq!(arena.len(), 20);
+    }
+
+    #[test]
+    fn hashed_apis_agree_with_plain_apis() {
+        let mut arena: StateArena<u64> = StateArena::new();
+        let hash = fx_hash(&99u64);
+        assert_eq!(arena.lookup_hashed(hash, &99), None);
+        let id = arena.insert_new_hashed(hash, 99, NO_PARENT);
+        assert_eq!(arena.lookup(&99), Some(id));
+        assert_eq!(arena.lookup_hashed(hash, &99), Some(id));
+        assert_eq!(arena.insert_if_absent(99, NO_PARENT), Interned::Present(id));
+        assert_eq!(arena.len(), 1);
     }
 
     #[test]

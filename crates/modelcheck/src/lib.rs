@@ -13,11 +13,16 @@
 //!   like SMV, it returns the **shortest** counterexample trace when the
 //!   property fails;
 //! * [`BoundedChecker`] — depth-bounded search (a BMC-style ablation);
-//! * [`parallel::ParallelExplorer`] — frontier-parallel BFS over `std`
-//!   scoped threads with sharded, lock-free layer merges;
+//! * [`parallel::ParallelExplorer`] — frontier-parallel BFS: workers
+//!   steal fixed-size frontier chunks off an atomic counter and the
+//!   results merge in chunk order, so every thread count reproduces the
+//!   sequential exploration bit for bit;
 //! * [`StateCodec`] / [`StateArena`] — compact state interning: visited
 //!   sets store fixed-size encodings once, and parent links are `u32`
-//!   arena indices instead of per-state clones.
+//!   arena indices instead of per-state clones;
+//! * [`DeltaArena`] — optional delta-encoded visited-set storage
+//!   (sparse xor-deltas against BFS parents with periodic keyframes),
+//!   behind `check_with_delta_codec` on both explorers.
 //!
 //! # Example
 //!
@@ -44,8 +49,10 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod bounded;
+pub mod chunks;
 pub mod codec;
 mod counterexample;
+pub mod delta;
 mod explore;
 pub mod graph;
 pub mod hashing;
@@ -55,10 +62,12 @@ mod stats;
 mod system;
 
 pub use bounded::{BoundedChecker, BoundedOutcome, BoundedVerdict};
+pub use chunks::map_chunks;
 pub use codec::{IdentityCodec, StateCodec};
 pub use counterexample::Trace;
+pub use delta::{DeltaArena, WordEncoded, KEY_INTERVAL, MAX_WORDS};
 pub use explore::{CheckOutcome, Explorer, Verdict, DEFAULT_MAX_STATES};
 pub use graph::StateGraph;
-pub use intern::{Interned, StateArena, NO_PARENT};
+pub use intern::{Interned, StateArena, Visited, NO_PARENT};
 pub use stats::ExploreStats;
 pub use system::{Invariant, TransitionSystem};

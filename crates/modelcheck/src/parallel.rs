@@ -1,98 +1,76 @@
-//! Frontier-parallel breadth-first exploration.
+//! Frontier-parallel breadth-first exploration over work-stealing
+//! chunks.
 //!
-//! Layer-synchronous BFS with a two-phase, low-contention layer step —
-//! no locks anywhere:
+//! Layer-synchronous BFS with a two-phase layer step built on
+//! [`crate::chunks::map_chunks`]:
 //!
-//! 1. **Expand** — the current layer is split into contiguous chunks,
-//!    one per worker. Each worker decodes its states from the shared
-//!    (read-only) shard arenas, generates successors into a reused
-//!    buffer, dedups them against the global visited set and a
-//!    per-thread local set, and routes survivors into per-shard output
-//!    buckets by the *high* bits of their Fx hash.
-//! 2. **Merge** — shards are partitioned contiguously across workers
-//!    (shard ownership), so every worker gets exclusive `&mut` access
-//!    to its shard arenas and drains the matching buckets from every
-//!    expander in deterministic order: no mutex, no CAS loop, just a
-//!    global atomic counter for the state budget.
+//! 1. **Expand** — the current layer is split into fixed-size chunks
+//!    ([`ParallelExplorer::chunk_states`] states each) that workers
+//!    *steal* off a shared atomic counter. Each worker decodes its
+//!    chunk's states from the shared (read-only) arena, generates
+//!    successors into a reused buffer, encodes and hashes each exactly
+//!    once, pre-filters against the visited set, evaluates the
+//!    invariant, and emits the survivors as a proposal batch.
+//! 2. **Merge** — the calling thread adopts the proposal batches in
+//!    chunk-index order and replays them into the single global arena:
+//!    dedup, budget check, insert, violation recording — the exact
+//!    inner loop of the sequential explorer, minus the re-encode,
+//!    re-hash and invariant work the expand phase already paid for.
 //!
-//! A state's global id is `(local_index << SHARD_BITS) | shard`; parent
-//! links are these `u32` ids, so trace reconstruction walks indices
-//! instead of cloning states. Because a violating layer is always
-//! completed (same as the sequential [`crate::Explorer`]), verdicts,
-//! `states_explored` and counterexample *lengths* are identical across
-//! backends and thread counts; counterexamples are minimal-depth.
+//! Because chunk boundaries depend only on the layer (never the thread
+//! count) and the merge replays proposals in layer order, the arena's
+//! insertion sequence is **identical to the sequential explorer's** —
+//! ids, parents, verdicts, `states_explored` and the counterexample
+//! trace are all bit-for-bit the same at every thread count and chunk
+//! size. One thread short-circuits to the sequential driver itself.
+//!
+//! This replaces the former sharded-visited-set design, whose per-state
+//! atomic budget claims and per-shard hash sets made the parallel
+//! explorer *slower* than the sequential one at every thread count: the
+//! only cross-thread state left is one chunk-claim counter per layer
+//! (modeled under loom in `tests/loom_merge.rs`).
 
+use crate::chunks::map_chunks;
 use crate::codec::{IdentityCodec, StateCodec};
-use crate::counterexample::Trace;
-use crate::explore::{CheckOutcome, Verdict, DEFAULT_MAX_STATES};
-use crate::hashing::{fx_hash, FxHashSet};
-use crate::intern::{Interned, StateArena, NO_PARENT};
+use crate::delta::{DeltaArena, WordEncoded};
+use crate::explore::{
+    drive_sequential, finish_outcome, seed_roots, CheckOutcome, DEFAULT_MAX_STATES,
+};
+use crate::hashing::fx_hash;
+use crate::intern::{StateArena, Visited};
 use crate::stats::ExploreStats;
 use crate::system::{Invariant, TransitionSystem};
-use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// log2 of [`SHARD_COUNT`]; global ids are `(local << SHARD_BITS) | shard`.
-const SHARD_BITS: u32 = 6;
+/// Default states per work-stealing chunk: small enough to balance
+/// skewed successor costs, large enough that one claim (one atomic op)
+/// amortizes over ~10³ states.
+const DEFAULT_CHUNK_STATES: usize = 1024;
 
-/// Number of visited-set shards (and the maximum useful merge fan-out).
-const SHARD_COUNT: usize = 1 << SHARD_BITS;
-
-/// Below this many layer items per worker the phases run inline on the
-/// calling thread (identical partitioning, so results are unchanged —
-/// spawning would cost more than the work).
-const SPAWN_THRESHOLD_PER_WORKER: usize = 32;
-
-/// Shard selector: the **high** bits of the Fx hash. FxHash is a
-/// multiply-xor hash whose final multiplication mixes the low bits
-/// least, so `hash % SHARD_COUNT` (the old selector) correlated with
-/// the low input bits and skewed shard occupancy; the top bits carry
-/// the most-mixed entropy.
-#[inline]
-fn shard_of(hash: u64) -> usize {
-    (hash >> (64 - SHARD_BITS)) as usize
+/// One successor surviving the expand phase's pre-filter: everything
+/// the merge needs, with the encode/hash/invariant work already done.
+struct Proposal<E> {
+    hash: u64,
+    encoded: E,
+    parent: u32,
+    violates: bool,
 }
 
-/// Successors `(encoded, parent id)` one expander routed to one shard.
-type Bucket<E> = Vec<(E, u32)>;
-
-/// Every expander's bucket for one shard, in expander order (the
-/// deterministic merge order).
-type ShardColumn<E> = Vec<Bucket<E>>;
-
-#[inline]
-fn global_id(local: u32, shard: usize) -> u32 {
-    (local << SHARD_BITS) | shard as u32
-}
-
-#[inline]
-fn split_id(id: u32) -> (u32, usize) {
-    (id >> SHARD_BITS, (id & (SHARD_COUNT as u32 - 1)) as usize)
-}
-
-/// Per-expander output: successor proposals routed per shard, plus the
-/// transition count of the chunk.
+/// Per-chunk expand output, adopted by the merge in chunk order.
 struct Expansion<E> {
-    buckets: Vec<Bucket<E>>,
+    proposals: Vec<Proposal<E>>,
     transitions: u64,
-}
-
-/// Per-merger output: the new layer members it interned (global ids, in
-/// deterministic shard-then-proposal order), the first violation it
-/// saw, and whether it hit the state budget.
-struct Merged {
-    next: Vec<u32>,
-    violation: Option<u32>,
-    budget_hit: bool,
 }
 
 /// A parallel explicit-state model checker.
 ///
-/// Requires the system and its states to be shareable across threads.
+/// Requires the system and its encodings to be shareable across
+/// threads. Results are bit-identical to [`crate::Explorer`] for every
+/// thread count and chunk size.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelExplorer {
     threads: usize,
+    chunk_states: usize,
     max_states: u64,
     max_depth: u64,
 }
@@ -105,6 +83,7 @@ impl ParallelExplorer {
         let threads = std::thread::available_parallelism().map_or(4, usize::from);
         ParallelExplorer {
             threads: threads.max(1),
+            chunk_states: DEFAULT_CHUNK_STATES,
             max_states: DEFAULT_MAX_STATES,
             max_depth: u64::MAX,
         }
@@ -119,6 +98,21 @@ impl ParallelExplorer {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "at least one worker thread is required");
         self.threads = threads;
+        self
+    }
+
+    /// Sets the work-stealing granularity: states per frontier chunk.
+    /// Results are identical for every value — this only tunes
+    /// scheduling (smaller chunks balance better, larger ones claim
+    /// less).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_states == 0`.
+    #[must_use]
+    pub fn chunk_states(mut self, chunk_states: usize) -> Self {
+        assert!(chunk_states > 0, "chunks must hold at least one state");
+        self.chunk_states = chunk_states;
         self
     }
 
@@ -137,8 +131,7 @@ impl ParallelExplorer {
     }
 
     /// Checks `AG p` in parallel with the identity codec; same outcome
-    /// shape as [`crate::Explorer::check`], including a minimal-depth
-    /// counterexample on violation.
+    /// as [`crate::Explorer::check`], including the counterexample.
     pub fn check<T, I>(&self, system: &T, invariant: I) -> CheckOutcome<T::State>
     where
         T: TransitionSystem + Sync,
@@ -158,157 +151,105 @@ impl ParallelExplorer {
     ) -> CheckOutcome<T::State>
     where
         T: TransitionSystem + Sync,
-        T::State: Send,
         C: StateCodec<State = T::State> + Sync,
         C::Encoded: Send + Sync,
         I: Invariant<T::State> + Sync,
     {
+        let mut arena: StateArena<C::Encoded> = StateArena::new();
+        self.drive(system, codec, &invariant, &mut arena)
+    }
+
+    /// Checks `AG p` in parallel with delta-encoded visited-set storage
+    /// (see [`crate::Explorer::check_with_delta_codec`]): identical
+    /// results, a fraction of the resident bytes.
+    pub fn check_with_delta_codec<T, C, I>(
+        &self,
+        system: &T,
+        codec: &C,
+        invariant: I,
+    ) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem + Sync,
+        C: StateCodec<State = T::State> + Sync,
+        C::Encoded: WordEncoded + Send + Sync,
+        I: Invariant<T::State> + Sync,
+    {
+        let mut arena: DeltaArena<C::Encoded> = DeltaArena::new();
+        self.drive(system, codec, &invariant, &mut arena)
+    }
+
+    /// The chunked layer loop, generic over visited-set storage.
+    fn drive<T, C, I, V>(
+        &self,
+        system: &T,
+        codec: &C,
+        invariant: &I,
+        arena: &mut V,
+    ) -> CheckOutcome<T::State>
+    where
+        T: TransitionSystem + Sync,
+        C: StateCodec<State = T::State> + Sync,
+        C::Encoded: Send + Sync,
+        I: Invariant<T::State> + Sync,
+        V: Visited<C::Encoded> + Sync,
+    {
+        if self.threads <= 1 {
+            // One worker: the sequential driver *is* the fast path, and
+            // using it directly keeps the single-thread case from
+            // paying for proposal batching it cannot amortize.
+            return drive_sequential(
+                self.max_states,
+                self.max_depth,
+                system,
+                codec,
+                invariant,
+                arena,
+            );
+        }
+
         let start = Instant::now();
         let mut stats = ExploreStats::default();
-        let mut shards: Vec<StateArena<C::Encoded>> =
-            (0..SHARD_COUNT).map(|_| StateArena::new()).collect();
-        let explored = AtomicU64::new(0);
-        let mut layer: Vec<u32> = Vec::new();
-        let mut violation: Option<u32> = None;
-        let mut exhausted = false;
-
-        // Layer 0 on the calling thread: initial-state sets are tiny.
-        for init in system.initial_states() {
-            let encoded = codec.encode(&init);
-            let shard = shard_of(fx_hash(&encoded));
-            if shards[shard].lookup(&encoded).is_some() {
-                continue;
-            }
-            if explored.fetch_add(1, Ordering::Relaxed) >= self.max_states {
-                exhausted = true;
-                break;
-            }
-            let Interned::New(local) = shards[shard].insert_if_absent(encoded, NO_PARENT) else {
-                unreachable!("lookup said absent");
-            };
-            let id = global_id(local, shard);
-            if violation.is_none() && !invariant.holds(&init) {
-                violation = Some(id);
-            }
-            layer.push(id);
-        }
+        let (mut layer, mut violation, mut exhausted) =
+            seed_roots(system, codec, invariant, arena, self.max_states);
         stats.frontier_peak = layer.len() as u64;
 
         let mut depth: u64 = 0;
         while violation.is_none() && !exhausted && !layer.is_empty() && depth < self.max_depth {
-            // Phase 1: expand the layer into per-shard proposal buckets.
-            let chunk_len = layer.len().div_ceil(self.threads).max(1);
-            let spawn =
-                self.threads > 1 && layer.len() >= self.threads * SPAWN_THRESHOLD_PER_WORKER;
-            let expansions: Vec<Expansion<C::Encoded>> = if spawn {
-                std::thread::scope(|scope| {
-                    let shards = &shards;
-                    let handles: Vec<_> = layer
-                        .chunks(chunk_len)
-                        .map(|chunk| {
-                            scope.spawn(move || expand_chunk(system, codec, shards, chunk))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("expand worker panicked"))
-                        .collect()
-                })
-            } else {
-                layer
-                    .chunks(chunk_len)
-                    .map(|chunk| expand_chunk(system, codec, &shards, chunk))
-                    .collect()
-            };
+            // Phase 1: expand stolen chunks against the read-only arena.
+            let shared: &V = arena;
+            let expansions = map_chunks(&layer, self.chunk_states, self.threads, &|_, chunk| {
+                expand_chunk(system, codec, shared, invariant, chunk)
+            });
 
-            let mut proposals = 0usize;
-            for expansion in &expansions {
-                stats.transitions += expansion.transitions;
-                proposals += expansion.buckets.iter().map(Vec::len).sum::<usize>();
-            }
-
-            // Transpose to per-shard columns (bucket per expander, in
-            // expander order — the deterministic merge order).
-            let mut columns: Vec<ShardColumn<C::Encoded>> = (0..SHARD_COUNT)
-                .map(|_| Vec::with_capacity(expansions.len()))
-                .collect();
-            for expansion in expansions {
-                for (shard, bucket) in expansion.buckets.into_iter().enumerate() {
-                    if !bucket.is_empty() {
-                        columns[shard].push(bucket);
-                    }
-                }
-            }
-
-            // Phase 2: merge, each worker owning a contiguous shard range.
-            let group_len = SHARD_COUNT.div_ceil(self.threads);
-            let mut groups: Vec<Vec<ShardColumn<C::Encoded>>> = Vec::new();
-            {
-                let mut iter = columns.into_iter();
-                loop {
-                    let group: Vec<_> = iter.by_ref().take(group_len).collect();
-                    if group.is_empty() {
-                        break;
-                    }
-                    groups.push(group);
-                }
-            }
-            let spawn_merge =
-                self.threads > 1 && proposals >= self.threads * SPAWN_THRESHOLD_PER_WORKER;
-            let merged: Vec<Merged> = if spawn_merge {
-                std::thread::scope(|scope| {
-                    let explored = &explored;
-                    let invariant = &invariant;
-                    let max_states = self.max_states;
-                    let handles: Vec<_> = shards
-                        .chunks_mut(group_len)
-                        .zip(groups)
-                        .enumerate()
-                        .map(|(group_index, (arenas, columns))| {
-                            scope.spawn(move || {
-                                merge_shard_group(
-                                    arenas,
-                                    group_index * group_len,
-                                    columns,
-                                    codec,
-                                    invariant,
-                                    explored,
-                                    max_states,
-                                )
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("merge worker panicked"))
-                        .collect()
-                })
-            } else {
-                shards
-                    .chunks_mut(group_len)
-                    .zip(groups)
-                    .enumerate()
-                    .map(|(group_index, (arenas, columns))| {
-                        merge_shard_group(
-                            arenas,
-                            group_index * group_len,
-                            columns,
-                            codec,
-                            &invariant,
-                            &explored,
-                            self.max_states,
-                        )
-                    })
-                    .collect()
-            };
-
+            // Phase 2: adopt in chunk order — this replays the exact
+            // insertion sequence of the sequential explorer.
             let mut next_layer: Vec<u32> = Vec::new();
-            for part in merged {
-                next_layer.extend(part.next);
-                exhausted |= part.budget_hit;
-                if violation.is_none() {
-                    violation = part.violation;
+            'merge: for expansion in expansions {
+                stats.transitions += expansion.transitions;
+                for proposal in expansion.proposals {
+                    if arena
+                        .lookup_hashed(proposal.hash, &proposal.encoded)
+                        .is_some()
+                    {
+                        continue;
+                    }
+                    if arena.len() as u64 >= self.max_states {
+                        exhausted = true;
+                        break 'merge;
+                    }
+                    let id =
+                        arena.insert_new_hashed(proposal.hash, proposal.encoded, proposal.parent);
+                    if violation.is_none() && proposal.violates {
+                        violation = Some(id);
+                    }
+                    next_layer.push(id);
                 }
+            }
+            if exhausted {
+                // Mirror the sequential driver's mid-layer `break 'bfs`:
+                // the partial layer counts toward neither depth nor the
+                // frontier peak.
+                break;
             }
             if !next_layer.is_empty() {
                 depth += 1;
@@ -317,136 +258,65 @@ impl ParallelExplorer {
             layer = next_layer;
         }
 
-        stats.depth_reached = depth;
-        stats.states_explored = shards.iter().map(|s| s.len() as u64).sum();
-        stats.visited_bytes = shards.iter().map(StateArena::approx_bytes).sum();
-        stats.duration = start.elapsed();
-
-        match violation {
-            Some(id) => {
-                let mut path = Vec::new();
-                let mut cursor = id;
-                loop {
-                    let (local, shard) = split_id(cursor);
-                    path.push(codec.decode(shards[shard].get(local)));
-                    let parent = shards[shard].parent(local);
-                    if parent == NO_PARENT {
-                        break;
-                    }
-                    cursor = parent;
-                }
-                path.reverse();
-                CheckOutcome {
-                    verdict: Verdict::Violated,
-                    counterexample: Some(Trace::new(path)),
-                    stats,
-                }
-            }
-            None => CheckOutcome {
-                verdict: if exhausted
-                    || (!layer.is_empty() && self.max_depth != u64::MAX && depth >= self.max_depth)
-                {
-                    Verdict::BudgetExhausted
-                } else {
-                    Verdict::Holds
-                },
-                counterexample: None,
-                stats,
-            },
-        }
+        finish_outcome(
+            stats,
+            start,
+            depth,
+            self.max_depth,
+            &layer,
+            violation,
+            exhausted,
+            arena,
+            codec,
+        )
     }
 }
 
-/// Phase 1 worker: expands one contiguous chunk of the current layer.
+/// Expand-phase worker: one chunk of the current layer, batched.
 ///
-/// The successor buffer is reused across every state in the chunk, and
-/// a per-thread `local_seen` set drops in-chunk duplicates before they
-/// are routed, so the merge phase sees each proposal at most once per
-/// expander.
-fn expand_chunk<T, C>(
+/// The successor buffer is reused across the chunk; each successor is
+/// encoded and hashed exactly once, pre-filtered against the shared
+/// visited set (read-only — in-layer duplicates are resolved by the
+/// merge), and invariant-checked so the merge never has to decode.
+fn expand_chunk<T, C, I, V>(
     system: &T,
     codec: &C,
-    shards: &[StateArena<C::Encoded>],
+    arena: &V,
+    invariant: &I,
     chunk: &[u32],
 ) -> Expansion<C::Encoded>
 where
     T: TransitionSystem,
     C: StateCodec<State = T::State>,
-    C::Encoded: Clone + Eq + Hash,
+    I: Invariant<T::State>,
+    V: Visited<C::Encoded>,
 {
-    let mut buckets: Vec<Bucket<C::Encoded>> = (0..SHARD_COUNT).map(|_| Vec::new()).collect();
-    let mut local_seen: FxHashSet<C::Encoded> = FxHashSet::default();
+    let mut proposals: Vec<Proposal<C::Encoded>> = Vec::with_capacity(chunk.len());
     let mut succ_buf: Vec<T::State> = Vec::new();
     let mut transitions = 0u64;
     for &id in chunk {
-        let (local, shard) = split_id(id);
-        let state = codec.decode(shards[shard].get(local));
+        let state = arena.with_encoded(id, |e| codec.decode(e));
         succ_buf.clear();
         system.successors(&state, &mut succ_buf);
         transitions += succ_buf.len() as u64;
         for next in succ_buf.drain(..) {
             let encoded = codec.encode(&next);
-            let shard = shard_of(fx_hash(&encoded));
-            if shards[shard].lookup(&encoded).is_some() {
+            let hash = fx_hash(&encoded);
+            if arena.lookup_hashed(hash, &encoded).is_some() {
                 continue;
             }
-            if !local_seen.insert(encoded.clone()) {
-                continue;
-            }
-            buckets[shard].push((encoded, id));
+            proposals.push(Proposal {
+                hash,
+                encoded,
+                parent: id,
+                violates: !invariant.holds(&next),
+            });
         }
     }
     Expansion {
-        buckets,
+        proposals,
         transitions,
     }
-}
-
-/// Phase 2 worker: merges every expander's buckets for a contiguous,
-/// exclusively-owned range of shards.
-fn merge_shard_group<C, I>(
-    arenas: &mut [StateArena<C::Encoded>],
-    base_shard: usize,
-    columns: Vec<ShardColumn<C::Encoded>>,
-    codec: &C,
-    invariant: &I,
-    explored: &AtomicU64,
-    max_states: u64,
-) -> Merged
-where
-    C: StateCodec,
-    I: Invariant<C::State>,
-{
-    let mut merged = Merged {
-        next: Vec::new(),
-        violation: None,
-        budget_hit: false,
-    };
-    'group: for (offset, (arena, column)) in arenas.iter_mut().zip(columns).enumerate() {
-        let shard = base_shard + offset;
-        for bucket in column {
-            for (encoded, parent) in bucket {
-                if arena.lookup(&encoded).is_some() {
-                    continue;
-                }
-                if explored.fetch_add(1, Ordering::Relaxed) >= max_states {
-                    explored.fetch_sub(1, Ordering::Relaxed);
-                    merged.budget_hit = true;
-                    break 'group;
-                }
-                let state = codec.decode(&encoded);
-                let Interned::New(local) = arena.insert_if_absent(encoded, parent) else {
-                    unreachable!("lookup said absent and this worker owns the shard");
-                };
-                let id = global_id(local, shard);
-                if merged.violation.is_none() && !invariant.holds(&state) {
-                    merged.violation = Some(id);
-                }
-                merged.next.push(id);
-            }
-        }
-    }
-    merged
 }
 
 impl Default for ParallelExplorer {
@@ -458,6 +328,7 @@ impl Default for ParallelExplorer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::explore::Verdict;
 
     struct Grid {
         bound: u32,
@@ -488,6 +359,7 @@ mod tests {
     fn explores_whole_space_in_parallel() {
         let outcome = ParallelExplorer::new()
             .threads(4)
+            .chunk_states(64)
             .check(&Grid { bound: 30 }, |_: &(u32, u32)| true);
         assert_eq!(outcome.verdict, Verdict::Holds);
         assert_eq!(outcome.stats.states_explored, 31 * 31);
@@ -501,6 +373,7 @@ mod tests {
     fn finds_minimal_depth_counterexample() {
         let outcome = ParallelExplorer::new()
             .threads(4)
+            .chunk_states(64)
             .check(&Grid { bound: 30 }, |s: &(u32, u32)| s.0 + s.1 != 6);
         assert_eq!(outcome.verdict, Verdict::Violated);
         let trace = outcome.counterexample.unwrap();
@@ -523,19 +396,20 @@ mod tests {
         assert_eq!(parallel.verdict, sequential.verdict);
     }
 
-    /// Layer-synchronous determinism: every thread count agrees with the
-    /// sequential explorer on verdict, state count and trace length —
-    /// including on violated runs, where the violating layer is
-    /// completed by both backends.
+    /// Chunk-order merge determinism: every thread count reproduces the
+    /// sequential explorer **bit for bit** — verdict, state count, and
+    /// the exact counterexample states, not just its length.
     #[test]
     fn all_thread_counts_agree_with_sequential() {
         let grid = Grid { bound: 9 };
         let invariant = |s: &(u32, u32)| s.0 + s.1 != 4;
         let sequential = crate::Explorer::new().check(&grid, invariant);
         assert_eq!(sequential.stats.states_explored, 15, "layers 0..=4");
+        let expected_trace = sequential.counterexample.as_ref().unwrap().states();
         for threads in 1..=4 {
             let parallel = ParallelExplorer::new()
                 .threads(threads)
+                .chunk_states(4)
                 .check(&grid, invariant);
             assert_eq!(parallel.verdict, sequential.verdict, "{threads} threads");
             assert_eq!(
@@ -543,23 +417,44 @@ mod tests {
                 "{threads} threads"
             );
             assert_eq!(
-                parallel.counterexample.unwrap().transition_count(),
-                sequential
-                    .counterexample
-                    .as_ref()
-                    .unwrap()
-                    .transition_count(),
+                parallel.counterexample.unwrap().states(),
+                expected_trace,
                 "{threads} threads"
             );
         }
     }
 
-    /// A single root fanning out to 200 leaves: the proposal count
-    /// crosses `SPAWN_THRESHOLD_PER_WORKER` with two workers, so the
-    /// scoped expand/merge threads really spawn — while staying small
-    /// enough for miri, which interprets this test as its UB check of
-    /// the sharded layer-merge handshake (arena inserts + codec decode
-    /// under the shared atomic budget).
+    /// Chunk size is pure scheduling: any granularity yields the same
+    /// exploration.
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let grid = Grid { bound: 14 };
+        let invariant = |s: &(u32, u32)| s.0 * s.1 != 60;
+        let baseline = crate::Explorer::new().check(&grid, invariant);
+        let expected_trace = baseline.counterexample.as_ref().unwrap().states();
+        for chunk in [1, 3, 7, 64, 4096] {
+            let outcome = ParallelExplorer::new()
+                .threads(3)
+                .chunk_states(chunk)
+                .check(&grid, invariant);
+            assert_eq!(outcome.verdict, baseline.verdict, "chunk {chunk}");
+            assert_eq!(
+                outcome.stats.states_explored, baseline.stats.states_explored,
+                "chunk {chunk}"
+            );
+            assert_eq!(
+                outcome.counterexample.unwrap().states(),
+                expected_trace,
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    /// A single root fanning out to 200 leaves across 64-state chunks:
+    /// with two workers the layer really crosses threads — small enough
+    /// for miri, which interprets this test as its UB check of the
+    /// steal/adopt handshake (shared-arena reads + codec work on worker
+    /// threads, adoption on the caller).
     #[test]
     fn wide_fanout_exercises_threaded_merge() {
         struct Fan;
@@ -576,6 +471,7 @@ mod tests {
         }
         let outcome = ParallelExplorer::new()
             .threads(2)
+            .chunk_states(64)
             .check(&Fan, |_: &u32| true);
         assert_eq!(outcome.verdict, Verdict::Holds);
         assert_eq!(outcome.stats.states_explored, 201);
@@ -585,10 +481,29 @@ mod tests {
     fn budget_is_respected() {
         let outcome = ParallelExplorer::new()
             .threads(2)
+            .chunk_states(16)
             .max_states(50)
             .check(&Grid { bound: 1000 }, |_: &(u32, u32)| true);
         assert_eq!(outcome.verdict, Verdict::BudgetExhausted);
         assert!(outcome.stats.states_explored <= 50, "budget is strict");
+    }
+
+    #[test]
+    fn budget_cut_matches_sequential_exactly() {
+        let sequential = crate::Explorer::new()
+            .max_states(37)
+            .check(&Grid { bound: 1000 }, |_: &(u32, u32)| true);
+        let parallel = ParallelExplorer::new()
+            .threads(3)
+            .chunk_states(4)
+            .max_states(37)
+            .check(&Grid { bound: 1000 }, |_: &(u32, u32)| true);
+        assert_eq!(parallel.verdict, sequential.verdict);
+        assert_eq!(
+            parallel.stats.states_explored,
+            sequential.stats.states_explored
+        );
+        assert_eq!(parallel.stats.depth_reached, sequential.stats.depth_reached);
     }
 
     #[test]
@@ -609,9 +524,53 @@ mod tests {
         assert_eq!(outcome.counterexample.unwrap().transition_count(), 0);
     }
 
+    /// Delta storage through the chunked path agrees with the plain
+    /// arena and the sequential explorer.
+    #[test]
+    fn delta_codec_agrees_across_backends() {
+        #[derive(Debug)]
+        struct PackCodec;
+        impl StateCodec for PackCodec {
+            type State = (u32, u32);
+            type Encoded = u64;
+            fn encode(&self, s: &(u32, u32)) -> u64 {
+                (u64::from(s.0) << 32) | u64::from(s.1)
+            }
+            fn decode(&self, e: &u64) -> (u32, u32) {
+                ((e >> 32) as u32, *e as u32)
+            }
+        }
+        let grid = Grid { bound: 11 };
+        let invariant = |s: &(u32, u32)| s.0 + s.1 != 9;
+        let sequential = crate::Explorer::new().check_with_codec(&grid, &PackCodec, invariant);
+        let expected_trace = sequential.counterexample.as_ref().unwrap().states();
+        for threads in [1, 3] {
+            let outcome = ParallelExplorer::new()
+                .threads(threads)
+                .chunk_states(8)
+                .check_with_delta_codec(&grid, &PackCodec, invariant);
+            assert_eq!(outcome.verdict, sequential.verdict, "{threads} threads");
+            assert_eq!(
+                outcome.stats.states_explored, sequential.stats.states_explored,
+                "{threads} threads"
+            );
+            assert_eq!(
+                outcome.counterexample.unwrap().states(),
+                expected_trace,
+                "{threads} threads"
+            );
+        }
+    }
+
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_is_rejected() {
         let _ = ParallelExplorer::new().threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_chunk_size_is_rejected() {
+        let _ = ParallelExplorer::new().chunk_states(0);
     }
 }

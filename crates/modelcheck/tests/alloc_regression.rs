@@ -13,7 +13,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use tta_modelcheck::{Explorer, StateCodec, TransitionSystem, Verdict};
+use tta_modelcheck::{parallel::ParallelExplorer, Explorer, StateCodec, TransitionSystem, Verdict};
 
 struct CountingAllocator;
 
@@ -103,6 +103,58 @@ fn interned_exploration_does_not_allocate_per_state() {
     assert!(
         spent < 2_000,
         "exploring {} states allocated {spent} times — per-state allocation regression",
+        outcome.stats.states_explored
+    );
+}
+
+#[test]
+fn chunked_exploration_does_not_allocate_per_state() {
+    // The parallel explorer's chunked successor path: every frontier
+    // chunk is expanded into one batched proposal vector, then merged.
+    // Grid layers stay under the default chunk size, so `map_chunks`
+    // runs the worker inline — the measurement exercises the
+    // expand/merge batching itself, deterministically, without thread
+    // spawn noise. Budget: a few allocations per BFS layer (the
+    // proposal batch, the chunk-output slots, the next frontier), not
+    // per state.
+    let grid = Grid { bound: 100 };
+    let explorer = ParallelExplorer::new().threads(2);
+    let warmup = explorer.check_with_codec(&grid, &PackCodec, |_: &(u32, u32)| true);
+    assert_eq!(warmup.verdict, Verdict::Holds);
+
+    let before = allocations();
+    let outcome = explorer.check_with_codec(&grid, &PackCodec, |_: &(u32, u32)| true);
+    let spent = allocations() - before;
+
+    assert_eq!(outcome.verdict, Verdict::Holds);
+    assert_eq!(outcome.stats.states_explored, 101 * 101);
+    // 10k states over ~200 layers: layer-proportional costs land in the
+    // low thousands; one-allocation-per-state designs cost ≥ 10k.
+    assert!(
+        spent < 4_000,
+        "chunked exploration of {} states allocated {spent} times — per-state allocation regression",
+        outcome.stats.states_explored
+    );
+}
+
+#[test]
+fn delta_exploration_does_not_allocate_per_state() {
+    // The delta arena stores xor-deltas in one growing payload vector;
+    // reconstruction uses a fixed stack buffer. Its allocation profile
+    // must match the plain arena's: vector doublings and rehashes only.
+    let grid = Grid { bound: 100 };
+    let warmup = Explorer::new().check_with_delta_codec(&grid, &PackCodec, |_: &(u32, u32)| true);
+    assert_eq!(warmup.verdict, Verdict::Holds);
+
+    let before = allocations();
+    let outcome = Explorer::new().check_with_delta_codec(&grid, &PackCodec, |_: &(u32, u32)| true);
+    let spent = allocations() - before;
+
+    assert_eq!(outcome.verdict, Verdict::Holds);
+    assert_eq!(outcome.stats.states_explored, 101 * 101);
+    assert!(
+        spent < 2_000,
+        "delta exploration of {} states allocated {spent} times — per-state allocation regression",
         outcome.stats.states_explored
     );
 }

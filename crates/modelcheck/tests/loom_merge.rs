@@ -1,109 +1,104 @@
-//! Loom model of the parallel explorer's merge-phase handshake.
+//! Loom model of the work-stealing chunk-claim handshake.
 //!
-//! `ParallelExplorer::check_with_codec` phase 2 gives each merge worker
-//! exclusive `&mut` access to a contiguous range of visited-set shards;
-//! the only *shared* mutable state is the `AtomicU64` exploration
-//! budget, claimed with an optimistic `fetch_add` and rolled back with
-//! `fetch_sub` on overshoot (see `merge_shard_group` in
-//! `src/parallel.rs`). This test re-states that handshake as a loom
-//! model and checks, for every explored interleaving:
+//! `map_chunks` (src/chunks.rs) is the only concurrency in the parallel
+//! explorer and the chunked `FairGraph` builder: workers claim chunk
+//! indices off one `AtomicUsize` with `fetch_add`, stash each chunk's
+//! output tagged with its index, and the caller adopts the outputs in
+//! chunk-index order after the scope joins. Everything downstream
+//! (merge order, determinism, budget semantics) is sequential code that
+//! relies on exactly two properties of this handshake, re-stated here
+//! as a loom model and checked over every interleaving:
 //!
-//! * the counter never drifts: its final value equals the number of
-//!   states actually accepted (every overshoot is rolled back);
-//! * the budget is a hard cap, and any worker reporting `budget_hit`
-//!   implies the cap was genuinely exhausted (no false cut-offs from
-//!   a neighbor's in-flight overshoot);
-//! * shard ownership keeps accepted global ids disjoint across workers.
+//! * **exactly-once partition** — every chunk index in `0..n_chunks`
+//!   is claimed by exactly one worker: no index is lost, none is
+//!   processed twice;
+//! * **order-independent adoption** — reassembling the tagged outputs
+//!   in index order yields the same sequence no matter which worker
+//!   claimed which chunk or in which order they ran.
 //!
 //! Build with `RUSTFLAGS="--cfg loom" cargo test -p tta-modelcheck
 //! --test loom_merge`. Under the vendored offline stub this runs once
 //! on plain threads; with the real loom it explores all interleavings.
 #![cfg(loom)]
 
-use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
 use loom::thread;
 
-const SHARD_BITS: u32 = 4;
-
-/// The merge loop of `merge_shard_group`, reduced to its shared-state
-/// essence: claim one budget slot per proposal, roll back and stop on
-/// overshoot, record accepted ids for the worker's own shard.
-fn merge_worker(
-    shard: u32,
-    proposals: u32,
-    explored: &AtomicU64,
-    max_states: u64,
-) -> (Vec<u32>, bool) {
-    let mut next = Vec::new();
-    let mut budget_hit = false;
-    for local in 0..proposals {
-        if explored.fetch_add(1, Ordering::Relaxed) >= max_states {
-            explored.fetch_sub(1, Ordering::Relaxed);
-            budget_hit = true;
+/// The worker loop of `map_chunks`, reduced to its shared-state
+/// essence: steal indices until the counter runs past the chunk count,
+/// record `(index, output)` pairs.
+fn claim_worker(next: &AtomicUsize, n_chunks: usize) -> Vec<(usize, usize)> {
+    let mut claimed = Vec::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n_chunks {
             break;
         }
-        next.push((local << SHARD_BITS) | shard);
+        // The "output" is a pure function of the chunk index, as in the
+        // real scheduler (chunk boundaries depend only on the items).
+        claimed.push((i, i * 10));
     }
-    (next, budget_hit)
+    claimed
 }
 
-fn run_model(proposals: [u32; 2], max_states: u64) {
+fn run_model(n_chunks: usize, workers: usize) {
     loom::model(move || {
-        let explored = Arc::new(AtomicU64::new(0));
-        let handles: Vec<_> = proposals
-            .iter()
-            .enumerate()
-            .map(|(shard, &n)| {
-                let explored = Arc::clone(&explored);
-                thread::spawn(move || merge_worker(shard as u32, n, &explored, max_states))
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || claim_worker(&next, n_chunks))
             })
             .collect();
-        let results: Vec<(Vec<u32>, bool)> =
+        let parts: Vec<Vec<(usize, usize)>> =
             handles.into_iter().map(|h| h.join().unwrap()).collect();
 
-        let accepted: u64 = results.iter().map(|(next, _)| next.len() as u64).sum();
-        let any_hit = results.iter().any(|&(_, hit)| hit);
-        let offered: u64 = proposals.iter().map(|&n| u64::from(n)).sum();
-
-        // Rollbacks leave no residue: the counter is exactly the
-        // number of accepted states.
-        assert_eq!(explored.load(Ordering::Relaxed), accepted);
-        // The budget is a hard cap...
-        assert!(accepted <= max_states, "budget exceeded: {accepted}");
-        // ...and a reported hit is never a false cut-off: the first
-        // overshoot in any interleaving observes real accepts, so a
-        // hit implies the cap was fully used.
-        if any_hit {
-            assert_eq!(accepted, max_states, "worker cut off below budget");
-        } else {
-            assert_eq!(accepted, offered, "states lost without a budget hit");
+        // Exactly-once partition: adopting into slots must fill every
+        // slot exactly once.
+        let mut slots: Vec<Option<usize>> = vec![None; n_chunks];
+        for part in &parts {
+            for &(i, out) in part {
+                assert!(i < n_chunks, "claimed index {i} out of range");
+                assert!(slots[i].is_none(), "chunk {i} claimed twice");
+                slots[i] = Some(out);
+            }
         }
-        // Shard ownership keeps global ids disjoint across workers.
-        let mut ids: Vec<u32> = results.iter().flat_map(|(next, _)| next.clone()).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len() as u64, accepted, "duplicate global id");
+        let adopted: Vec<usize> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| panic!("chunk {i} never claimed")))
+            .collect();
+
+        // Order-independent adoption: the reassembled sequence is the
+        // sequential result, whatever the interleaving did.
+        let expected: Vec<usize> = (0..n_chunks).map(|i| i * 10).collect();
+        assert_eq!(adopted, expected, "adoption order diverged");
+
+        // The claim counter overshoots by at most one failed claim per
+        // worker — the loop's exit reads — and never loses a claim.
+        let final_count = next.load(Ordering::Relaxed);
+        assert!(
+            final_count >= n_chunks && final_count <= n_chunks + workers,
+            "counter drifted: {final_count} for {n_chunks} chunks / {workers} workers"
+        );
     });
 }
 
 #[test]
-fn merge_budget_handshake_under_contention() {
-    // 6 proposals against a budget of 4: some interleaving order must
-    // lose, and every one of them must cut off exactly at the cap.
-    run_model([3, 3], 4);
+fn chunk_claims_partition_exactly_once_two_workers() {
+    // More chunks than workers: stealing must cover the tail.
+    run_model(4, 2);
 }
 
 #[test]
-fn merge_budget_handshake_under_budget() {
-    // 4 proposals against a budget of 8: nothing may be dropped and no
-    // worker may report a budget hit.
-    run_model([2, 2], 8);
+fn chunk_claims_partition_exactly_once_three_workers() {
+    // More workers than chunks: the surplus workers must exit without
+    // claiming and without disturbing the partition.
+    run_model(2, 3);
 }
 
 #[test]
-fn merge_budget_handshake_exact_fit() {
-    // Offered == budget: all accepted; a hit report would be a false
-    // cut-off unless the cap is genuinely consumed (it is, exactly).
-    run_model([2, 2], 4);
+fn single_chunk_is_claimed_by_exactly_one_worker() {
+    run_model(1, 2);
 }

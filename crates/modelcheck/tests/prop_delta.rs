@@ -1,0 +1,189 @@
+//! Property-based tests of the delta-encoded visited set against the
+//! plain interning arena.
+//!
+//! The [`DeltaArena`] stores sparse xor-deltas against BFS parents with
+//! periodic keyframes; these tests drive it with randomized
+//! parent/child insertion patterns — arbitrary tree shapes, arbitrary
+//! word-level differences — and require byte-exact agreement with the
+//! full-width [`StateArena`] on every observable: assigned ids,
+//! parents, lookups, reconstructed encodings, and whole exploration
+//! outcomes through a [`StateCodec`].
+
+use proptest::prelude::*;
+use tta_modelcheck::hashing::fx_hash;
+use tta_modelcheck::{
+    DeltaArena, Explorer, StateArena, StateCodec, TransitionSystem, Visited, WordEncoded, NO_PARENT,
+};
+
+/// A four-word encoding, wide enough that keyframes and sparse deltas
+/// genuinely differ in payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Wide([u64; 4]);
+
+impl WordEncoded for Wide {
+    const WORDS: usize = 4;
+
+    fn write_words(&self, out: &mut [u64]) {
+        out.copy_from_slice(&self.0);
+    }
+
+    fn from_words(words: &[u64]) -> Self {
+        let mut packed = [0u64; 4];
+        packed.copy_from_slice(words);
+        Wide(packed)
+    }
+}
+
+/// Dedup-then-intern through the hashed [`Visited`] API, the way the
+/// explorers drive both arenas.
+fn intern<V: Visited<Wide>>(visited: &mut V, encoded: Wide, parent: u32) -> u32 {
+    let hash = fx_hash(&encoded);
+    match visited.lookup_hashed(hash, &encoded) {
+        Some(id) => id,
+        None => visited.insert_new_hashed(hash, encoded, parent),
+    }
+}
+
+/// Insertion scripts: each step carries four small words (small ranges
+/// force duplicates and near-duplicate parent/child pairs) plus a
+/// parent selector resolved against the ids inserted so far.
+fn arb_script() -> impl Strategy<Value = Vec<(u64, u64, u64, u64, u8)>> {
+    prop::collection::vec((0..6u64, 0..6u64, 0..6u64, 0..6u64, any::<u8>()), 1..120)
+}
+
+proptest! {
+    /// Every inserted encoding reconstructs bit-for-bit from its delta
+    /// chain, and lookups resolve to the id that stored it.
+    #[test]
+    fn delta_arena_round_trips_arbitrary_parent_child_pairs(script in arb_script()) {
+        let mut arena: DeltaArena<Wide> = DeltaArena::new();
+        let mut inserted: Vec<(u32, Wide)> = Vec::new();
+        for (a, b, c, d, pick) in script {
+            let encoded = Wide([a, b, c, d]);
+            let parent = if inserted.is_empty() {
+                NO_PARENT
+            } else {
+                inserted[pick as usize % inserted.len()].0
+            };
+            let id = intern(&mut arena, encoded, parent);
+            inserted.push((id, encoded));
+        }
+        for &(id, encoded) in &inserted {
+            prop_assert_eq!(arena.decode(id), encoded, "reconstruction at id {}", id);
+            prop_assert_eq!(
+                arena.lookup_hashed(fx_hash(&encoded), &encoded),
+                Some(id),
+                "lookup of id {}", id
+            );
+        }
+    }
+
+    /// The delta arena and the plain arena assign identical ids and
+    /// parents for identical insertion sequences, and agree on every
+    /// stored encoding.
+    #[test]
+    fn delta_and_plain_arenas_agree_on_arbitrary_scripts(script in arb_script()) {
+        let mut delta: DeltaArena<Wide> = DeltaArena::new();
+        let mut plain: StateArena<Wide> = StateArena::new();
+        for (a, b, c, d, pick) in script {
+            let encoded = Wide([a, b, c, d]);
+            let parent = if plain.is_empty() {
+                NO_PARENT
+            } else {
+                u32::try_from(pick as usize % plain.len()).unwrap()
+            };
+            let delta_id = intern(&mut delta, encoded, parent);
+            let plain_id = intern(&mut plain, encoded, parent);
+            prop_assert_eq!(delta_id, plain_id, "id assignment diverged");
+        }
+        prop_assert_eq!(Visited::len(&delta), plain.len());
+        for id in 0..plain.len() as u32 {
+            prop_assert_eq!(&arena_decode(&delta, id).0, &plain.get(id).0, "encoding at {}", id);
+            prop_assert_eq!(
+                Visited::parent(&delta, id),
+                plain.parent(id),
+                "parent at {}", id
+            );
+        }
+    }
+}
+
+fn arena_decode(arena: &DeltaArena<Wide>, id: u32) -> Wide {
+    arena.decode(id)
+}
+
+/// A random digraph explored through a packing codec — the xor-delta
+/// path must reproduce the plain-arena exploration exactly, trace
+/// included.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    edges: Vec<Vec<u32>>,
+    bad: Vec<bool>,
+}
+
+impl TransitionSystem for RandomGraph {
+    type State = u32;
+
+    fn initial_states(&self) -> Vec<u32> {
+        vec![0]
+    }
+
+    fn successors(&self, s: &u32, out: &mut Vec<u32>) {
+        out.extend(self.edges[*s as usize].iter().copied());
+    }
+}
+
+/// Spreads the node id across one word (delta against the parent is
+/// still sparse but nonzero).
+#[derive(Debug, Clone, Copy)]
+struct SpreadCodec;
+
+impl StateCodec for SpreadCodec {
+    type State = u32;
+    type Encoded = u64;
+
+    fn encode(&self, s: &u32) -> u64 {
+        u64::from(*s) << 17 | u64::from(*s)
+    }
+
+    fn decode(&self, e: &u64) -> u32 {
+        (*e & 0x1FFFF) as u32
+    }
+}
+
+fn arb_graph(max_nodes: usize) -> impl Strategy<Value = RandomGraph> {
+    (2..max_nodes).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::collection::vec(0..n as u32, 0..4), n),
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(0.0f64..1.0, n),
+        )
+            .prop_map(move |(edges, coin, weight)| RandomGraph {
+                edges,
+                bad: coin
+                    .into_iter()
+                    .zip(weight)
+                    .map(|(c, w)| c && w < 0.15)
+                    .collect(),
+            })
+    })
+}
+
+proptest! {
+    /// Whole-exploration agreement through a codec: verdict, counts,
+    /// and the exact counterexample states.
+    #[test]
+    fn delta_codec_exploration_matches_plain(graph in arb_graph(40)) {
+        let inv = |s: &u32| !graph.bad[*s as usize];
+        let plain = Explorer::new().check_with_codec(&graph, &SpreadCodec, inv);
+        let delta = Explorer::new().check_with_delta_codec(&graph, &SpreadCodec, inv);
+        prop_assert_eq!(delta.verdict, plain.verdict);
+        prop_assert_eq!(delta.stats.states_explored, plain.stats.states_explored);
+        prop_assert_eq!(delta.stats.depth_reached, plain.stats.depth_reached);
+        match (plain.counterexample, delta.counterexample) {
+            (None, None) => {}
+            (Some(a), Some(b)) => prop_assert_eq!(a.states(), b.states(), "traces diverged"),
+            (a, b) => prop_assert!(false, "one backend found a trace: {:?} vs {:?}", a.is_some(), b.is_some()),
+        }
+    }
+}
