@@ -16,6 +16,8 @@
 //! | `exp_scaling` | State-space scaling, replay-budget sweep (S1) |
 //! | `exp_extensions` | Enhanced guardian functions, async masquerade, clock drift (S2) |
 //! | `exp_liveness` | Integration liveness under weak fairness, fair-lasso counterexample (S4) |
+//! | `tta_fuzz` | Coverage-guided fault-plan fuzzing with shrinking + scenario emission (S7) |
+//! | `exp_fuzz` | Restart-policy synthesis over the fuzzed corpus (E11) |
 //!
 //! Run any of them with `cargo run --release -p tta-bench --bin <name>`.
 

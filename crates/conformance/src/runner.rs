@@ -31,6 +31,7 @@ use std::path::Path;
 use tta_core::{
     verify_cluster, verify_cluster_liveness, verify_cluster_recovery, ClusterModel, Verdict,
 };
+use tta_sim::RecoveryOutcome;
 
 /// The outcome of running one scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,7 +177,8 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
     let sim_run = match scenario.sim_applicable() {
         Err(why) => {
             let _ = writeln!(r.text, "[sim] SKIPPED: {why}");
-            if scenario.expect.sim_disturbed.is_some() {
+            if scenario.expect.sim_disturbed.is_some() || scenario.expect.recovery_outcome.is_some()
+            {
                 r.check(
                     false,
                     "[sim] expectation on a skipped phase cannot hold".to_string(),
@@ -211,6 +213,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 r.check(
                     disturbed == expected,
                     format!("[sim] disturbed: {disturbed} (expected {expected})"),
+                );
+            }
+            if let Some(expected) = scenario.expect.recovery_outcome {
+                let outcome = RecoveryOutcome::classify(&report);
+                r.check(
+                    outcome == expected,
+                    format!("[sim] recovery outcome: {outcome} (expected {expected})"),
                 );
             }
             Some((disturbed, snapshots))
@@ -356,6 +365,27 @@ sim_disturbed = false
             "{}",
             outcome.report
         );
+    }
+
+    #[test]
+    fn recovery_outcome_expectation_is_diffed() {
+        let text = format!("{SMALL_SHIFTING_NOISE}recovery_outcome = \"contained\"\n");
+        let scenario = Scenario::parse(&text, Path::new(".")).unwrap();
+        let outcome = run_scenario(&scenario);
+        assert!(outcome.passed, "{}", outcome.report);
+        assert!(
+            outcome.report.contains("recovery outcome: contained"),
+            "{}",
+            outcome.report
+        );
+
+        let wrong = text.replace(
+            "recovery_outcome = \"contained\"",
+            "recovery_outcome = \"permanent-loss\"",
+        );
+        let scenario = Scenario::parse(&wrong, Path::new(".")).unwrap();
+        let outcome = run_scenario(&scenario);
+        assert!(!outcome.passed, "{}", outcome.report);
     }
 
     #[test]

@@ -33,9 +33,14 @@ use crate::toml::{Document, Table, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use tta_core::{ClusterConfig, ClusterModel, FaultBudget};
+use tta_guardian::sos::SosDomain;
 use tta_guardian::{CouplerAuthority, CouplerFaultMode};
-use tta_protocol::HostChoices;
-use tta_sim::{CouplerFaultEvent, FaultPersistence, FaultPlan, SimBuilder, Topology};
+use tta_protocol::{HostChoices, RestartPolicy};
+use tta_sim::{
+    CouplerFaultEvent, FaultPersistence, FaultPlan, NodeFault, NodeFaultKind, RecoveryOutcome,
+    SimBuilder, Topology,
+};
+use tta_types::NodeId;
 
 /// The verdict a scenario expects from the bounded checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +76,10 @@ pub struct Expectations {
     /// Whether the simulated run should be disturbed (a healthy node
     /// froze or the cluster failed to start).
     pub sim_disturbed: Option<bool>,
+    /// Expected [`RecoveryOutcome`] classification of the simulated run
+    /// — the recovery-aware refinement of `sim_disturbed` used to pin
+    /// fuzzer-discovered regressions.
+    pub recovery_outcome: Option<RecoveryOutcome>,
     /// Whether the trace-replay oracle should find every step admitted
     /// (`true`, the default when the oracle runs) or is expected to
     /// diverge (`false`) — used to pin *known* abstraction gaps, e.g.
@@ -147,12 +156,17 @@ pub struct Scenario {
     pub slots: u64,
     /// Per-node start delays (defaults to the simulator's staggering).
     pub start_delays: Option<Vec<u32>>,
+    /// The hosts' restart policy for the simulated run (default
+    /// [`RestartPolicy::Never`], the paper's absorbing-freeze semantics).
+    pub restart_policy: RestartPolicy,
     /// Replay budget for the *checker* configuration.
     pub out_of_slot_budget: FaultBudget,
     /// Checker constraint: prohibit replaying cold-start frames.
     pub forbid_cold_start_replay: bool,
     /// Coupler faults injected into the simulated run.
     pub coupler_faults: Vec<CouplerFaultEvent>,
+    /// Node (transmitter-side) faults injected into the simulated run.
+    pub node_faults: Vec<NodeFault>,
     /// Additional named temporal properties (`[[property]]` sections),
     /// checked for non-vacuity by the lint engine.
     pub properties: Vec<PropertySpec>,
@@ -195,7 +209,11 @@ impl Scenario {
     pub fn parse(text: &str, base_dir: &Path) -> Result<Self, ScenarioError> {
         let doc = Document::parse(text).map_err(|e| ScenarioError::new(e.to_string()))?;
         for path in doc.paths() {
-            if !KNOWN_SECTIONS.contains(&path) && path != "fault.coupler" && path != "property" {
+            if !KNOWN_SECTIONS.contains(&path)
+                && path != "fault.coupler"
+                && path != "fault.node"
+                && path != "property"
+            {
                 return Err(ScenarioError::new(format!("unknown section [{path}]")));
             }
         }
@@ -211,8 +229,8 @@ impl Scenario {
             let count = doc.tables(section).count();
             if count > 1 {
                 return Err(ScenarioError::new(format!(
-                    "section [{section}] declared {count} times — only fault.coupler \
-                     and property may repeat"
+                    "section [{section}] declared {count} times — only fault.coupler, \
+                     fault.node and property may repeat"
                 )));
             }
         }
@@ -272,12 +290,23 @@ impl Scenario {
             get_bool(model, "forbid_cold_start_replay", "model")?.unwrap_or(false);
 
         let sim = doc.table("sim");
-        check_keys(sim, &["slots", "start_delays"])?;
+        check_keys(
+            sim,
+            &[
+                "slots",
+                "start_delays",
+                "restart_policy",
+                "max_restarts",
+                "backoff_slots",
+                "silence_slots",
+            ],
+        )?;
         let slots = match get_int(sim, "slots", "sim")? {
             None => 400,
             Some(n) if n > 0 => n as u64,
             Some(_) => return Err(ScenarioError::new("sim.slots must be positive")),
         };
+        let restart_policy = parse_restart_policy(sim)?;
         let start_delays = match sim.and_then(|t| t.get("start_delays")) {
             None => None,
             Some(Value::Array(items)) => {
@@ -304,6 +333,11 @@ impl Scenario {
             coupler_faults.push(parse_coupler_fault(table)?);
         }
 
+        let mut node_faults = Vec::new();
+        for table in doc.tables("fault.node") {
+            node_faults.push(parse_node_fault(table, nodes)?);
+        }
+
         let mut properties = Vec::new();
         for table in doc.tables("property") {
             properties.push(parse_property(table)?);
@@ -318,6 +352,7 @@ impl Scenario {
                 "recovery",
                 "trace_len",
                 "sim_disturbed",
+                "recovery_outcome",
                 "oracle",
                 "golden",
             ],
@@ -343,6 +378,19 @@ impl Scenario {
                 })
                 .transpose()?,
             sim_disturbed: get_bool(expect_table, "sim_disturbed", "expect")?,
+            recovery_outcome: match get_str(expect_table, "recovery_outcome", "expect")? {
+                None => None,
+                Some("contained") => Some(RecoveryOutcome::Contained),
+                Some("recovered") => Some(RecoveryOutcome::Recovered),
+                Some("degraded-stable") => Some(RecoveryOutcome::DegradedStable),
+                Some("permanent-loss") => Some(RecoveryOutcome::PermanentLoss),
+                Some(other) => {
+                    return Err(ScenarioError::new(format!(
+                        "expect.recovery_outcome `{other}` (expected contained | recovered | \
+                         degraded-stable | permanent-loss)"
+                    )))
+                }
+            },
             oracle_conforms: match get_str(expect_table, "oracle", "expect")? {
                 None => None,
                 Some("conforms") => Some(true),
@@ -364,9 +412,11 @@ impl Scenario {
             authority,
             slots,
             start_delays,
+            restart_policy,
             out_of_slot_budget,
             forbid_cold_start_replay,
             coupler_faults,
+            node_faults,
             properties,
             expect,
             base_dir: base_dir.to_path_buf(),
@@ -433,10 +483,14 @@ impl Scenario {
         for fault in &self.coupler_faults {
             plan = plan.with_coupler_fault(*fault);
         }
+        for fault in &self.node_faults {
+            plan = plan.with_node_fault(*fault);
+        }
         let mut builder = SimBuilder::new(self.nodes)
             .topology(self.topology)
             .authority(self.authority)
             .slots(self.slots)
+            .restart_policy(self.restart_policy)
             .plan(plan);
         if let Some(delays) = &self.start_delays {
             builder = builder.start_delays(delays.clone());
@@ -466,6 +520,23 @@ impl Scenario {
                 ));
             }
         }
+        // Mirror the FaultPlan builder's single-faulty-coupler check so
+        // an overlapping dual-channel plan skips the simulator phase
+        // with a reason instead of aborting inside `sim_builder`.
+        for (i, a) in self.coupler_faults.iter().enumerate() {
+            for b in &self.coupler_faults[i + 1..] {
+                if a.channel != b.channel
+                    && a.from_slot < b.envelope_end()
+                    && b.from_slot < a.envelope_end()
+                {
+                    return Err(
+                        "coupler fault envelopes on both channels overlap — the simulator \
+                         enforces the single-faulty-coupler hypothesis"
+                            .to_string(),
+                    );
+                }
+            }
+        }
         Ok(())
     }
 
@@ -481,6 +552,13 @@ impl Scenario {
         self.sim_applicable()?;
         if self.topology != Topology::Star {
             return Err("the formal model covers only the star topology".into());
+        }
+        if !self.node_faults.is_empty() {
+            return Err(
+                "the formal model speaks coupler faults only — node faults cannot \
+                 be replayed through it"
+                    .into(),
+            );
         }
         for (i, a) in self.coupler_faults.iter().enumerate() {
             for b in &self.coupler_faults[i + 1..] {
@@ -552,16 +630,27 @@ fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError
             "{where_}: empty window {from_slot}..{to_slot}"
         )));
     }
-    let period = get_int(Some(table), "period", &where_)?;
-    let duty = get_int(Some(table), "duty", &where_)?;
-    let persistence = match get_str(Some(table), "persistence", &where_)? {
+    let persistence = parse_persistence(table, &where_)?;
+    Ok(CouplerFaultEvent {
+        channel,
+        mode,
+        from_slot,
+        to_slot,
+        persistence,
+    })
+}
+
+fn parse_persistence(table: &Table, where_: &str) -> Result<FaultPersistence, ScenarioError> {
+    let period = get_int(Some(table), "period", where_)?;
+    let duty = get_int(Some(table), "duty", where_)?;
+    match get_str(Some(table), "persistence", where_)? {
         None | Some("transient") => {
             if period.is_some() || duty.is_some() {
                 return Err(ScenarioError::new(format!(
                     "{where_}: period/duty are only valid with persistence = \"intermittent\""
                 )));
             }
-            FaultPersistence::Transient
+            Ok(FaultPersistence::Transient)
         }
         Some("permanent") => {
             if period.is_some() || duty.is_some() {
@@ -569,7 +658,7 @@ fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError
                     "{where_}: period/duty are only valid with persistence = \"intermittent\""
                 )));
             }
-            FaultPersistence::Permanent
+            Ok(FaultPersistence::Permanent)
         }
         Some("intermittent") => {
             let period = period
@@ -581,21 +670,201 @@ fn parse_coupler_fault(table: &Table) -> Result<CouplerFaultEvent, ScenarioError
                 .ok_or_else(|| {
                     ScenarioError::new(format!("{where_}: duty must be in 1..=period"))
                 })? as u64;
-            FaultPersistence::Intermittent { period, duty }
+            Ok(FaultPersistence::Intermittent { period, duty })
         }
+        Some(other) => Err(ScenarioError::new(format!(
+            "{where_}: persistence `{other}` (expected transient | intermittent | permanent)"
+        ))),
+    }
+}
+
+fn parse_node_fault(table: &Table, nodes: usize) -> Result<NodeFault, ScenarioError> {
+    check_keys(
+        Some(table),
+        &[
+            "node",
+            "kind",
+            "domain",
+            "magnitude",
+            "claimed_slot",
+            "from_slot",
+            "to_slot",
+            "persistence",
+            "period",
+            "duty",
+        ],
+    )?;
+    let where_ = format!("fault.node (line {})", table.line);
+    let node = get_int(Some(table), "node", &where_)?
+        .filter(|n| (0..nodes as i64).contains(n))
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: node must be in 0..{nodes}")))?
+        as u8;
+    let domain = match get_str(Some(table), "domain", &where_)? {
+        None => None,
+        Some("time") => Some(SosDomain::Time),
+        Some("value") => Some(SosDomain::Value),
         Some(other) => {
             return Err(ScenarioError::new(format!(
-                "{where_}: persistence `{other}` (expected transient | intermittent | permanent)"
+                "{where_}: domain `{other}` (expected time | value)"
             )))
         }
     };
-    Ok(CouplerFaultEvent {
-        channel,
-        mode,
+    let magnitude = get_float(Some(table), "magnitude", &where_)?;
+    let claimed_slot = get_int(Some(table), "claimed_slot", &where_)?
+        .map(|s| {
+            if (1..=nodes as i64).contains(&s) {
+                Ok(s as u16)
+            } else {
+                Err(ScenarioError::new(format!(
+                    "{where_}: claimed_slot must be in 1..={nodes}"
+                )))
+            }
+        })
+        .transpose()?;
+    let sos_only = |used: bool, key: &str| -> Result<(), ScenarioError> {
+        if used {
+            Err(ScenarioError::new(format!(
+                "{where_}: {key} is only valid with kind = \"sos\""
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    let kind = match get_str(Some(table), "kind", &where_)? {
+        Some("sos") => {
+            let magnitude = magnitude.ok_or_else(|| {
+                ScenarioError::new(format!("{where_}: sos needs a magnitude in 0..=1"))
+            })?;
+            if !(0.0..=1.0).contains(&magnitude) {
+                return Err(ScenarioError::new(format!(
+                    "{where_}: magnitude must be in 0..=1"
+                )));
+            }
+            if claimed_slot.is_some() {
+                return Err(ScenarioError::new(format!(
+                    "{where_}: claimed_slot is not valid with kind = \"sos\""
+                )));
+            }
+            NodeFaultKind::Sos {
+                domain: domain.unwrap_or(SosDomain::Time),
+                magnitude,
+            }
+        }
+        Some(kind @ ("masquerade_cold_start" | "invalid_cstate")) => {
+            sos_only(domain.is_some(), "domain")?;
+            sos_only(magnitude.is_some(), "magnitude")?;
+            let claimed_slot = claimed_slot.ok_or_else(|| {
+                ScenarioError::new(format!("{where_}: {kind} needs a claimed_slot"))
+            })?;
+            if kind == "masquerade_cold_start" {
+                NodeFaultKind::MasqueradeColdStart { claimed_slot }
+            } else {
+                NodeFaultKind::InvalidCState { claimed_slot }
+            }
+        }
+        Some(kind @ ("babbling" | "mute")) => {
+            sos_only(domain.is_some(), "domain")?;
+            sos_only(magnitude.is_some(), "magnitude")?;
+            if claimed_slot.is_some() {
+                return Err(ScenarioError::new(format!(
+                    "{where_}: claimed_slot is not valid with kind = \"{kind}\""
+                )));
+            }
+            if kind == "babbling" {
+                NodeFaultKind::Babbling
+            } else {
+                NodeFaultKind::Mute
+            }
+        }
+        other => {
+            return Err(ScenarioError::new(format!(
+                "{where_}: kind `{}` (expected sos | masquerade_cold_start | \
+                 invalid_cstate | babbling | mute)",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    };
+    let from_slot = get_int(Some(table), "from_slot", &where_)?
+        .filter(|s| *s >= 0)
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: from_slot is required")))?
+        as u64;
+    let to_slot = get_int(Some(table), "to_slot", &where_)?
+        .filter(|s| *s >= 0)
+        .ok_or_else(|| ScenarioError::new(format!("{where_}: to_slot is required")))?
+        as u64;
+    if from_slot >= to_slot {
+        return Err(ScenarioError::new(format!(
+            "{where_}: empty window {from_slot}..{to_slot}"
+        )));
+    }
+    let persistence = parse_persistence(table, &where_)?;
+    Ok(NodeFault {
+        node: NodeId::new(node),
+        kind,
         from_slot,
         to_slot,
         persistence,
     })
+}
+
+fn parse_restart_policy(sim: Option<&Table>) -> Result<RestartPolicy, ScenarioError> {
+    let max_restarts = get_int(sim, "max_restarts", "sim")?;
+    let backoff_slots = get_int(sim, "backoff_slots", "sim")?;
+    let silence_slots = get_int(sim, "silence_slots", "sim")?;
+    let param_free = |policy: &str| -> Result<(), ScenarioError> {
+        if max_restarts.is_some() || backoff_slots.is_some() || silence_slots.is_some() {
+            Err(ScenarioError::new(format!(
+                "sim.restart_policy = \"{policy}\" takes no parameters"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    match get_str(sim, "restart_policy", "sim")? {
+        None | Some("never") => {
+            param_free("never")?;
+            Ok(RestartPolicy::Never)
+        }
+        Some("immediate") => {
+            param_free("immediate")?;
+            Ok(RestartPolicy::Immediate)
+        }
+        Some("bounded_retry") => {
+            if silence_slots.is_some() {
+                return Err(ScenarioError::new(
+                    "sim.silence_slots is only valid with restart_policy = \"watchdog\"",
+                ));
+            }
+            let max_restarts = max_restarts
+                .filter(|n| *n > 0)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| ScenarioError::new("sim.max_restarts must be a positive integer"))?;
+            let backoff_slots = backoff_slots
+                .filter(|n| *n > 0)
+                .ok_or_else(|| ScenarioError::new("sim.backoff_slots must be a positive integer"))?
+                as u64;
+            Ok(RestartPolicy::BoundedRetry {
+                max_restarts,
+                backoff_slots,
+            })
+        }
+        Some("watchdog") => {
+            if max_restarts.is_some() || backoff_slots.is_some() {
+                return Err(ScenarioError::new(
+                    "sim.max_restarts/backoff_slots are only valid with \
+                     restart_policy = \"bounded_retry\"",
+                ));
+            }
+            let silence_slots = silence_slots
+                .filter(|n| *n > 0)
+                .ok_or_else(|| ScenarioError::new("sim.silence_slots must be a positive integer"))?
+                as u64;
+            Ok(RestartPolicy::Watchdog { silence_slots })
+        }
+        Some(other) => Err(ScenarioError::new(format!(
+            "sim.restart_policy `{other}` (expected never | immediate | bounded_retry | watchdog)"
+        ))),
+    }
 }
 
 fn parse_property(table: &Table) -> Result<PropertySpec, ScenarioError> {
@@ -692,6 +961,21 @@ fn get_int(table: Option<&Table>, key: &str, section: &str) -> Result<Option<i64
         Some(Value::Int(n)) => Ok(Some(*n)),
         Some(_) => Err(ScenarioError::new(format!(
             "{section}.{key} must be an integer"
+        ))),
+    }
+}
+
+fn get_float(
+    table: Option<&Table>,
+    key: &str,
+    section: &str,
+) -> Result<Option<f64>, ScenarioError> {
+    match table.and_then(|t| t.get(key)) {
+        None => Ok(None),
+        Some(Value::Float(x)) => Ok(Some(*x)),
+        Some(Value::Int(n)) => Ok(Some(*n as f64)),
+        Some(_) => Err(ScenarioError::new(format!(
+            "{section}.{key} must be a number"
         ))),
     }
 }
@@ -864,5 +1148,136 @@ sim_disturbed = true
         let oracle = s.oracle_model();
         assert_eq!(oracle.config().out_of_slot_budget, FaultBudget::Unlimited);
         assert!(!oracle.config().symmetric_fault_reduction);
+    }
+
+    #[test]
+    fn parses_restart_policies() {
+        let base = "[cluster]\nnodes = 4\n[sim]\nslots = 100\n";
+        let s = Scenario::parse(base, Path::new(".")).unwrap();
+        assert_eq!(s.restart_policy, RestartPolicy::Never);
+
+        let text = format!("{base}restart_policy = \"watchdog\"\nsilence_slots = 8\n");
+        let s = Scenario::parse(&text, Path::new(".")).unwrap();
+        assert_eq!(
+            s.restart_policy,
+            RestartPolicy::Watchdog { silence_slots: 8 }
+        );
+
+        let text = format!(
+            "{base}restart_policy = \"bounded_retry\"\nmax_restarts = 2\nbackoff_slots = 4\n"
+        );
+        let s = Scenario::parse(&text, Path::new(".")).unwrap();
+        assert_eq!(
+            s.restart_policy,
+            RestartPolicy::BoundedRetry {
+                max_restarts: 2,
+                backoff_slots: 4,
+            }
+        );
+
+        let text = format!("{base}restart_policy = \"immediate\"\nsilence_slots = 8\n");
+        let err = Scenario::parse(&text, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("takes no parameters"), "{err}");
+
+        let text = format!("{base}restart_policy = \"watchdog\"\n");
+        let err = Scenario::parse(&text, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("silence_slots"), "{err}");
+
+        let text = format!("{base}restart_policy = \"sometimes\"\n");
+        let err = Scenario::parse(&text, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("sometimes"), "{err}");
+    }
+
+    #[test]
+    fn parses_node_faults_and_they_defeat_the_oracle() {
+        let text = "[cluster]\nnodes = 4\nauthority = \"small_shifting\"\n\
+                    [[fault.node]]\nnode = 2\nkind = \"sos\"\ndomain = \"value\"\n\
+                    magnitude = 0.5\nfrom_slot = 40\nto_slot = 80\n\
+                    [[fault.node]]\nnode = 1\nkind = \"babbling\"\n\
+                    from_slot = 100\nto_slot = 120\npersistence = \"intermittent\"\n\
+                    period = 4\nduty = 1\n";
+        let s = Scenario::parse(text, Path::new(".")).unwrap();
+        assert_eq!(s.node_faults.len(), 2);
+        assert_eq!(s.node_faults[0].node, NodeId::new(2));
+        assert_eq!(
+            s.node_faults[0].kind,
+            NodeFaultKind::Sos {
+                domain: SosDomain::Value,
+                magnitude: 0.5,
+            }
+        );
+        assert_eq!(s.node_faults[1].kind, NodeFaultKind::Babbling);
+        assert_eq!(
+            s.node_faults[1].persistence,
+            FaultPersistence::Intermittent { period: 4, duty: 1 }
+        );
+        assert!(s.sim_applicable().is_ok());
+        let why = s.oracle_applicable().unwrap_err();
+        assert!(why.contains("node faults"), "{why}");
+    }
+
+    #[test]
+    fn node_fault_validation_rejects_bad_shapes() {
+        let masquerade = "[cluster]\nnodes = 4\n[[fault.node]]\nnode = 0\n\
+                          kind = \"masquerade_cold_start\"\nclaimed_slot = 3\n\
+                          from_slot = 0\nto_slot = 10\n";
+        let s = Scenario::parse(masquerade, Path::new(".")).unwrap();
+        assert_eq!(
+            s.node_faults[0].kind,
+            NodeFaultKind::MasqueradeColdStart { claimed_slot: 3 }
+        );
+
+        let err = Scenario::parse(
+            &masquerade.replace("claimed_slot = 3", "claimed_slot = 9"),
+            Path::new("."),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("claimed_slot"), "{err}");
+
+        let err = Scenario::parse(&masquerade.replace("node = 0", "node = 4"), Path::new("."))
+            .unwrap_err();
+        assert!(err.to_string().contains("node must be in 0..4"), "{err}");
+
+        let err = Scenario::parse(
+            &masquerade.replace("kind = \"masquerade_cold_start\"", "kind = \"mute\""),
+            Path::new("."),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("claimed_slot"), "{err}");
+
+        let sos = "[cluster]\nnodes = 4\n[[fault.node]]\nnode = 0\nkind = \"sos\"\n\
+                   magnitude = 1.5\nfrom_slot = 0\nto_slot = 10\n";
+        let err = Scenario::parse(sos, Path::new(".")).unwrap_err();
+        assert!(err.to_string().contains("magnitude"), "{err}");
+    }
+
+    #[test]
+    fn parses_recovery_outcome_expectation() {
+        let text = "[cluster]\nnodes = 4\n[expect]\nrecovery_outcome = \"permanent-loss\"\n";
+        let s = Scenario::parse(text, Path::new(".")).unwrap();
+        assert_eq!(
+            s.expect.recovery_outcome,
+            Some(RecoveryOutcome::PermanentLoss)
+        );
+        let err = Scenario::parse(
+            &text.replace("permanent-loss", "lost-forever"),
+            Path::new("."),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("lost-forever"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_dual_channel_envelopes_skip_the_simulator() {
+        let text = "[cluster]\nnodes = 4\nauthority = \"passive\"\n\
+                    [[fault.coupler]]\nchannel = 0\nmode = \"silence\"\n\
+                    from_slot = 10\nto_slot = 20\npersistence = \"permanent\"\n\
+                    [[fault.coupler]]\nchannel = 1\nmode = \"silence\"\n\
+                    from_slot = 1000\nto_slot = 2000\n";
+        let s = Scenario::parse(text, Path::new(".")).unwrap();
+        // The permanent fault's envelope never closes, so the simulator
+        // would reject this plan: the phase must be skipped, not abort.
+        let why = s.sim_applicable().unwrap_err();
+        assert!(why.contains("single-faulty-coupler"), "{why}");
     }
 }

@@ -1,0 +1,99 @@
+//! The fuzzing corpus: inputs that reached novel coverage.
+//!
+//! Novelty is the [`EvalSet::signature`] — a quantized summary of what
+//! every authority level did with the plan. The corpus is
+//! append-only, capped, and deduplicated by signature, so parents for
+//! the next round always come from a deterministic, bounded pool.
+
+use std::collections::BTreeSet;
+
+use crate::eval::EvalSet;
+use crate::input::FuzzInput;
+
+/// One admitted corpus entry.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The input itself.
+    pub input: FuzzInput,
+    /// Its coverage evaluation at admission time.
+    pub evals: EvalSet,
+}
+
+/// The admission-gated input pool.
+#[derive(Debug)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    seen: BTreeSet<u64>,
+    cap: usize,
+}
+
+impl Corpus {
+    /// An empty corpus holding at most `cap` entries.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Corpus {
+            entries: Vec::new(),
+            seen: BTreeSet::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits the input when its signature is novel and the cap has
+    /// room. Returns whether it entered the pool. A known signature is
+    /// recorded-by-construction (the original holder stays).
+    pub fn admit(&mut self, input: FuzzInput, evals: EvalSet) -> bool {
+        let signature = evals.signature();
+        if self.entries.len() >= self.cap || !self.seen.insert(signature) {
+            return false;
+        }
+        self.entries.push(CorpusEntry { input, evals });
+        true
+    }
+
+    /// Whether this signature has already been admitted.
+    #[must_use]
+    pub fn contains_signature(&self, signature: u64) -> bool {
+        self.seen.contains(&signature)
+    }
+
+    /// The admitted entries, in admission order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of admitted entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been admitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry inputs alone — what the splice operator feeds on.
+    #[must_use]
+    pub fn inputs(&self) -> Vec<FuzzInput> {
+        self.entries.iter().map(|e| e.input.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, EvalContext};
+
+    #[test]
+    fn duplicate_signatures_are_rejected() {
+        let ctx = EvalContext::default();
+        let empty = FuzzInput::empty();
+        let evals = evaluate(&empty, &ctx);
+        let mut corpus = Corpus::new(8);
+        assert!(corpus.admit(empty.clone(), evals));
+        assert!(!corpus.admit(empty, evals));
+        assert_eq!(corpus.len(), 1);
+    }
+}

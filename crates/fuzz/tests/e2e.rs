@@ -1,0 +1,81 @@
+//! End-to-end acceptance: `seed 7` deterministically rediscovers the
+//! seeded availability cliff, shrinks it to a tiny plan, and emits a
+//! scenario that passes the lint gate and replays to the same recovery
+//! outcome in the conformance runner — the exact pipeline CI's
+//! fuzz-smoke job exercises through the `tta_fuzz` binary.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use tta_conformance::{run_scenario, Scenario};
+use tta_fuzz::{fuzz, FindKind, FuzzConfig};
+use tta_modellint::{lint_scenario, AnalysisOptions, Severity};
+use tta_sim::RecoveryOutcome;
+
+#[test]
+fn seed_seven_rediscovers_shrinks_and_pins_a_cliff() {
+    let cfg = FuzzConfig {
+        seed: 7,
+        max_finds: 3,
+        deadline: Some(Instant::now() + Duration::from_secs(60)),
+        ..FuzzConfig::default()
+    };
+    let outcome = fuzz(&cfg);
+
+    // The seeded cliff is rediscovered: some find is an availability
+    // cliff of at least the configured delta.
+    let cliff = outcome
+        .finds
+        .iter()
+        .find(|f| matches!(f.kind, FindKind::Cliff { .. }))
+        .expect("seed 7 finds an availability cliff");
+    if let FindKind::Cliff {
+        parent_availability,
+        availability,
+        ..
+    } = cliff.kind
+    {
+        assert!(
+            parent_availability - availability >= cfg.delta,
+            "cliff too shallow: {parent_availability} -> {availability}"
+        );
+    }
+
+    // Shrunk to a tiny plan.
+    assert!(
+        cliff.input.events.len() <= 3,
+        "shrunk plan has {} events",
+        cliff.input.events.len()
+    );
+
+    // The emitted scenario parses, lints clean at the deny-warnings
+    // bar, and replays through the full conformance runner to the same
+    // pinned recovery outcome.
+    let scenario = Scenario::parse(&cliff.emitted.toml, Path::new("scenarios"))
+        .expect("emitted scenario parses");
+    let (diags, _) = lint_scenario(&cliff.emitted.name, &scenario, &AnalysisOptions::default());
+    for diag in &diags {
+        assert_eq!(
+            diag.severity,
+            Severity::Note,
+            "emitted scenario must lint clean: {} {}",
+            diag.code.id,
+            diag.message
+        );
+    }
+    let replay = run_scenario(&scenario);
+    assert!(
+        replay.passed,
+        "conformance replay failed:\n{}",
+        replay.report
+    );
+    let report = scenario.sim_builder().build().run();
+    assert_eq!(
+        RecoveryOutcome::classify(&report),
+        cliff.emitted.expected_outcome,
+        "replayed recovery outcome drifted from the pinned one"
+    );
+
+    // Rerun-and-thread determinism of the same pipeline is pinned
+    // separately (and more cheaply) by tests/determinism.rs.
+}

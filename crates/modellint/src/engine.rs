@@ -208,18 +208,47 @@ pub fn lint_scenario_file(path: &Path, analysis: &AnalysisOptions) -> TargetOutc
         }
     };
 
-    let mut diags = lint_plan(&target, &scenario);
+    let (diags, evidence) = lint_scenario(&target, &scenario, analysis);
+    (diags, Some(evidence))
+}
+
+/// Lints an already-parsed scenario in memory: plan lints plus the
+/// reachable-space analyses over its checker configuration. The
+/// path-free analog of [`lint_scenario_file`], for callers (the
+/// fuzzer's emission self-check among them) that synthesize scenarios
+/// without writing them to disk first.
+#[must_use]
+pub fn lint_scenario(
+    target: &str,
+    scenario: &Scenario,
+    analysis: &AnalysisOptions,
+) -> (Vec<Diagnostic>, TargetEvidence) {
+    let mut diags = lint_plan(target, scenario);
     // A declared-twice section never reaches here (hard parse error),
     // so every surviving scenario has one checker configuration.
     let (model_diags, evidence) = analyze_config(
-        &target,
+        target,
         &scenario.checker_config(),
         &scenario.properties,
         Some(&scenario.expect),
         analysis,
     );
     diags.extend(model_diags);
-    (diags, Some(evidence))
+    (diags, evidence)
+}
+
+/// Evidence-only probe of one checker configuration: builds the
+/// reachable space and returns witness counts, BFS depths, and
+/// per-mode fault-step tallies with no expectation- or
+/// property-derived diagnostics. The fuzzer uses this as its
+/// per-authority coverage baseline.
+#[must_use]
+pub fn config_coverage(
+    target: &str,
+    config: &ClusterConfig,
+    analysis: &AnalysisOptions,
+) -> TargetEvidence {
+    analyze_config(target, config, &[], None, analysis).1
 }
 
 /// `true` when the report holds any error-severity diagnostic.
@@ -244,6 +273,25 @@ mod tests {
         assert_eq!(run.report.diagnostics.len(), 1);
         assert_eq!(run.report.diagnostics[0].code.id, "ML21");
         assert!(has_errors(&run.report));
+    }
+
+    #[test]
+    fn config_coverage_probes_without_diagnostics() {
+        let evidence = config_coverage(
+            "probe:passive",
+            &ClusterConfig::paper(CouplerAuthority::Passive),
+            &AnalysisOptions::default(),
+        );
+        assert_eq!(evidence.target, "probe:passive");
+        assert!(evidence.states > 0);
+        assert!(!evidence.truncated);
+        // The passive space still exercises fault-free steps, and any
+        // built-in antecedent that was tallied carries a witness depth
+        // exactly when its count is non-zero.
+        assert!(evidence.fault_steps[0] > 0);
+        for (_, count, depth) in &evidence.antecedents {
+            assert_eq!(depth.is_some(), *count > 0);
+        }
     }
 
     #[test]

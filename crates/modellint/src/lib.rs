@@ -46,6 +46,8 @@ pub mod predicates;
 
 pub use catalog::LintCode;
 pub use diag::{Diagnostic, Gate, LintReport, Severity};
-pub use engine::{has_errors, lint, lint_scenario_file, LintOptions, LintRun};
+pub use engine::{
+    config_coverage, has_errors, lint, lint_scenario, lint_scenario_file, LintOptions, LintRun,
+};
 pub use model_analysis::{analyze_config, AnalysisOptions, TargetEvidence};
 pub use plan_lints::lint_plan;

@@ -13,17 +13,68 @@
 use crate::catalog;
 use crate::diag::Diagnostic;
 use tta_conformance::Scenario;
-use tta_sim::{CouplerFaultEvent, FaultPersistence};
+use tta_sim::FaultPersistence;
+
+/// A fault event flattened to what the plan lints need: its window, its
+/// persistence, and the dispatch *lane* it competes in. Coupler events
+/// on one channel and node events on one node each form a lane with
+/// first-match-wins dispatch; lanes never shadow each other.
+struct LintEvent {
+    label: String,
+    lane: (u8, u64),
+    from_slot: u64,
+    to_slot: u64,
+    persistence: FaultPersistence,
+}
+
+impl LintEvent {
+    fn active_at(&self, t: u64) -> bool {
+        self.persistence.active_at(self.from_slot, self.to_slot, t)
+    }
+
+    fn lane_name(&self) -> String {
+        match self.lane {
+            (0, channel) => format!("channel {channel}"),
+            (_, node) => format!("node {node}"),
+        }
+    }
+}
+
+fn flatten_events(scenario: &Scenario) -> Vec<LintEvent> {
+    let coupler = scenario
+        .coupler_faults
+        .iter()
+        .enumerate()
+        .map(|(i, e)| LintEvent {
+            label: format!("fault.coupler #{}", i + 1),
+            lane: (0, e.channel as u64),
+            from_slot: e.from_slot,
+            to_slot: e.to_slot,
+            persistence: e.persistence,
+        });
+    let node = scenario
+        .node_faults
+        .iter()
+        .enumerate()
+        .map(|(i, e)| LintEvent {
+            label: format!("fault.node #{}", i + 1),
+            lane: (1, u64::from(e.node.index())),
+            from_slot: e.from_slot,
+            to_slot: e.to_slot,
+            persistence: e.persistence,
+        });
+    coupler.chain(node).collect()
+}
 
 /// Runs every plan-level lint for a parsed scenario.
 #[must_use]
 pub fn lint_plan(target: &str, scenario: &Scenario) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let horizon = scenario.slots;
-    let events = &scenario.coupler_faults;
+    let events = flatten_events(scenario);
 
-    for (index, event) in events.iter().enumerate() {
-        let where_ = format!("fault.coupler #{}", index + 1);
+    for event in &events {
+        let where_ = &event.label;
 
         // ── ML30: windows beyond the horizon ───────────────────────
         if event.from_slot >= horizon {
@@ -88,24 +139,23 @@ pub fn lint_plan(target: &str, scenario: &Scenario) -> Vec<Diagnostic> {
         if event.from_slot >= horizon {
             continue; // already ML30 — never active at all
         }
-        let wins = (0..horizon).any(|t| first_active(events, event.channel, t) == Some(index));
+        let wins = (0..horizon).any(|t| first_active(&events, event.lane, t) == Some(index));
         if !wins {
-            let earlier: Vec<String> = events[..index]
+            let earlier: Vec<&str> = events[..index]
                 .iter()
-                .enumerate()
-                .filter(|(_, e)| e.channel == event.channel)
-                .map(|(i, _)| format!("#{}", i + 1))
+                .filter(|e| e.lane == event.lane)
+                .map(|e| e.label.as_str())
                 .collect();
             diags.push(
                 Diagnostic::new(
                     catalog::ML31,
                     target,
                     format!(
-                        "fault.coupler #{}: never the first active match on channel \
-                         {} at any slot in 0..{horizon} — first-match-wins dispatch \
-                         means it never takes effect",
-                        index + 1,
-                        event.channel
+                        "{}: never the first active match on {} at any slot in \
+                         0..{horizon} — first-match-wins dispatch means it never \
+                         takes effect",
+                        event.label,
+                        event.lane_name()
                     ),
                 )
                 .note(format!(
@@ -126,6 +176,19 @@ pub fn lint_plan(target: &str, scenario: &Scenario) -> Vec<Diagnostic> {
                     catalog::ML33,
                     target,
                     "expect.sim_disturbed is declared but the simulator phase is \
+                     skipped for this scenario — the expectation is never checked",
+                )
+                .note(why),
+            );
+        }
+    }
+    if expect.recovery_outcome.is_some() {
+        if let Err(why) = scenario.sim_applicable() {
+            diags.push(
+                Diagnostic::new(
+                    catalog::ML33,
+                    target,
+                    "expect.recovery_outcome is declared but the simulator phase is \
                      skipped for this scenario — the expectation is never checked",
                 )
                 .note(why),
@@ -167,12 +230,11 @@ pub fn lint_plan(target: &str, scenario: &Scenario) -> Vec<Diagnostic> {
     diags
 }
 
-/// Index of the first event active on `channel` at slot `t`, mirroring
-/// `FaultPlan::coupler_fault_at`'s dispatch order.
-fn first_active(events: &[CouplerFaultEvent], channel: usize, t: u64) -> Option<usize> {
-    events
-        .iter()
-        .position(|e| e.channel == channel && e.active_at(t))
+/// Index of the first event active in `lane` at slot `t`, mirroring the
+/// dispatch order of `FaultPlan::coupler_fault_at` /
+/// `FaultPlan::node_fault_at`.
+fn first_active(events: &[LintEvent], lane: (u8, u64), t: u64) -> Option<usize> {
+    events.iter().position(|e| e.lane == lane && e.active_at(t))
 }
 
 #[cfg(test)]
@@ -286,6 +348,53 @@ mod tests {
         assert!(codes(&diags).contains(&"ML33"), "{diags:?}");
 
         let s = scenario("", "[expect]\nverdict = \"holds\"\ntrace_len = 5\n");
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML33"), "{diags:?}");
+    }
+
+    #[test]
+    fn node_fault_windows_get_the_same_lints() {
+        // Beyond-horizon node fault → ML30.
+        let s = scenario(
+            "[[fault.node]]\nnode = 1\nkind = \"mute\"\nfrom_slot = 150\nto_slot = 160\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        assert!(codes(&diags).contains(&"ML30"), "{diags:?}");
+
+        // A node fault fully covered by an earlier one on the same node
+        // is shadowed (ML31); the same window on another node is not.
+        let s = scenario(
+            "[[fault.node]]\nnode = 1\nkind = \"mute\"\nfrom_slot = 10\nto_slot = 90\n\
+             [[fault.node]]\nnode = 1\nkind = \"babbling\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        let diags = lint_plan("t", &s);
+        let ml31 = diags.iter().find(|d| d.code.id == "ML31").unwrap();
+        assert!(ml31.message.contains("node 1"), "{}", ml31.message);
+
+        let s = scenario(
+            "[[fault.node]]\nnode = 1\nkind = \"mute\"\nfrom_slot = 10\nto_slot = 90\n\
+             [[fault.node]]\nnode = 2\nkind = \"babbling\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        assert!(!codes(&lint_plan("t", &s)).contains(&"ML31"));
+
+        // A coupler fault never shadows a node fault.
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"silence\"\nfrom_slot = 10\nto_slot = 90\n\
+             [[fault.node]]\nnode = 0\nkind = \"mute\"\nfrom_slot = 20\nto_slot = 40\n",
+            "",
+        );
+        assert!(!codes(&lint_plan("t", &s)).contains(&"ML31"));
+    }
+
+    #[test]
+    fn recovery_outcome_on_a_skipped_sim_phase_is_flagged() {
+        let s = scenario(
+            "[[fault.coupler]]\nchannel = 0\nmode = \"out_of_slot\"\nfrom_slot = 10\nto_slot = 20\n",
+            "[expect]\nrecovery_outcome = \"contained\"\n",
+        );
         let diags = lint_plan("t", &s);
         assert!(codes(&diags).contains(&"ML33"), "{diags:?}");
     }

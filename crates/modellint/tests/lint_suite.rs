@@ -96,7 +96,11 @@ fn shipped_scenarios_lint_clean_under_deny_warnings() {
         denied.is_empty(),
         "shipped scenarios must lint clean, got: {denied:?}"
     );
-    assert_eq!(run.evidence.len(), 5, "five shipped scenarios analyzed");
+    assert_eq!(
+        run.evidence.len(),
+        8,
+        "eight shipped scenarios analyzed (five hand-written + three fuzzer-pinned)"
+    );
 }
 
 /// Baseline single-threaded rendering for the determinism proptest,
@@ -104,8 +108,8 @@ fn shipped_scenarios_lint_clean_under_deny_warnings() {
 fn determinism_baseline() -> &'static (Vec<PathBuf>, LintOptions, Gate, String) {
     static BASELINE: OnceLock<(Vec<PathBuf>, LintOptions, Gate, String)> = OnceLock::new();
     BASELINE.get_or_init(|| {
-        // Six targets (five shipped scenarios + the vacuous fixture) so
-        // the worker pool actually has scheduling freedom to get wrong.
+        // Nine targets (eight shipped scenarios + the vacuous fixture)
+        // so the worker pool has scheduling freedom to get wrong.
         let paths = vec![
             repo_root().join("scenarios"),
             repo_root().join("scenarios/lint_fixtures/vacuous.toml"),

@@ -14,8 +14,8 @@ use tta_protocol::ProtocolState;
 /// Why a log could not be turned into per-slot series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimeSeriesError {
-    /// The log references a slot at or beyond the claimed horizon — the
-    /// log and the `slots` argument describe different runs.
+    /// The log references a slot strictly beyond the claimed horizon —
+    /// the log and the `slots` argument describe different runs.
     SlotBeyondHorizon {
         /// The offending slot in the log.
         slot: u64,
@@ -49,15 +49,23 @@ impl TimeSeries {
     /// Reconstructs the series for a run of `slots` slots over `nodes`
     /// nodes, all of which started in `freeze`.
     ///
+    /// Events logged *at* the horizon slot — a restart or freeze landing
+    /// exactly on the run's final boundary — still belong to the run:
+    /// they are counted into the sparse event series (freezes, guardian
+    /// interventions, restarts) even though no per-slot integration
+    /// sample exists for them. (An earlier guard rejected `slot ==
+    /// slots` too, so a restart on the boundary slot was lost along with
+    /// the whole series.)
+    ///
     /// # Errors
     ///
     /// Returns [`TimeSeriesError::SlotBeyondHorizon`] if the log
-    /// references a slot at or beyond `slots` — e.g. a full-length log
-    /// paired with a truncated horizon. (Earlier versions silently
+    /// references a slot strictly beyond `slots` — e.g. a full-length
+    /// log paired with a truncated horizon. (Earlier versions silently
     /// dropped such entries while claiming to panic; a mismatched pair
     /// is a caller bug either way, but now a recoverable one.)
     pub fn from_log(log: &SlotLog, nodes: usize, slots: u64) -> Result<Self, TimeSeriesError> {
-        if let Some(&(slot, _)) = log.entries().iter().find(|(s, _)| *s >= slots) {
+        if let Some(&(slot, _)) = log.entries().iter().find(|(s, _)| *s > slots) {
             return Err(TimeSeriesError::SlotBeyondHorizon { slot, slots });
         }
         let mut states = vec![ProtocolState::Freeze; nodes];
@@ -88,6 +96,24 @@ impl TimeSeries {
                 cursor += 1;
             }
             integrated.push(states.iter().filter(|s| s.is_integrated()).count() as u32);
+        }
+        // Boundary events at slot == slots: no integration sample to
+        // contribute to, but they still count as events of this run.
+        while cursor < entries.len() {
+            debug_assert_eq!(entries[cursor].0, slots);
+            match &entries[cursor].1 {
+                SlotEvent::StateChange { to, .. } if *to == ProtocolState::Freeze => {
+                    frozen_events.push(slots);
+                }
+                SlotEvent::GuardianBlocked { .. } | SlotEvent::GuardianReshaped { .. } => {
+                    guardian_interventions.push(slots);
+                }
+                SlotEvent::NodeRestarted { .. } => {
+                    restarts.push(slots);
+                }
+                _ => {}
+            }
+            cursor += 1;
         }
         Ok(TimeSeries {
             integrated,
@@ -214,9 +240,11 @@ mod tests {
 
     #[test]
     fn truncated_horizon_is_an_error_not_an_abort() {
-        // Regression: a log referencing slots ≥ the claimed horizon used
-        // to be silently mis-reconstructed (a dead in-loop assert never
-        // fired). It must surface as a recoverable error.
+        // Regression: a log referencing slots strictly beyond the
+        // claimed horizon used to be silently mis-reconstructed (a dead
+        // in-loop assert never fired). It must surface as a recoverable
+        // error — while an event landing exactly *on* the horizon slot
+        // is a legal boundary event, not a mismatch.
         let report = SimBuilder::new(4)
             .topology(Topology::Star)
             .slots(200)
@@ -224,15 +252,51 @@ mod tests {
             .build()
             .run();
         let last_event_slot = report.log().entries().last().unwrap().0;
-        let err = TimeSeries::from_log(report.log(), 4, last_event_slot).unwrap_err();
+        let err = TimeSeries::from_log(report.log(), 4, last_event_slot - 1).unwrap_err();
+        match err {
+            TimeSeriesError::SlotBeyondHorizon { slot, slots } => {
+                assert!(slot > slots, "reported slot {slot} vs horizon {slots}");
+                assert_eq!(slots, last_event_slot - 1);
+            }
+        }
+        assert!(err.to_string().contains("beyond horizon"));
+        // Horizon == last event slot: the boundary event is kept.
+        assert!(TimeSeries::from_log(report.log(), 4, last_event_slot).is_ok());
+    }
+
+    #[test]
+    fn restart_on_the_horizon_slot_is_counted_not_dropped() {
+        // Regression: the `SlotBeyondHorizon` guard was off by one — a
+        // restart logged exactly at the horizon slot made the whole
+        // reconstruction fail (and before that, was silently dropped).
+        let mut log = SlotLog::new();
+        log.record(
+            3,
+            SlotEvent::NodeRestarted {
+                node: NodeId::new(0),
+                attempt: 1,
+            },
+        );
+        log.record(
+            20,
+            SlotEvent::NodeRestarted {
+                node: NodeId::new(2),
+                attempt: 2,
+            },
+        );
+        let series = TimeSeries::from_log(&log, 4, 20).unwrap();
+        assert_eq!(series.restart_slots(), [3, 20]);
+        // The per-slot integration series still covers exactly 0..slots.
+        assert_eq!(series.integrated().len(), 20);
+        // One past the horizon is still an error.
+        let err = TimeSeries::from_log(&log, 4, 19).unwrap_err();
         assert_eq!(
             err,
             TimeSeriesError::SlotBeyondHorizon {
-                slot: last_event_slot,
-                slots: last_event_slot,
+                slot: 20,
+                slots: 19
             }
         );
-        assert!(err.to_string().contains("beyond horizon"));
     }
 
     #[test]

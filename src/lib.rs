@@ -55,6 +55,7 @@
 pub use tta_analysis as analysis;
 pub use tta_conformance as conformance;
 pub use tta_core as core;
+pub use tta_fuzz as fuzz;
 pub use tta_guardian as guardian;
 pub use tta_liveness as liveness;
 pub use tta_modelcheck as modelcheck;
