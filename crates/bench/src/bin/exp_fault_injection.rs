@@ -14,15 +14,48 @@
 //!   central guardian — is the one fault the star topology *adds*.
 
 use tta_analysis::tables::Table;
-use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson};
+use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson, DaemonSession};
+use tta_campaignd::spec::{JobSpec, ScenarioSource};
 use tta_guardian::CouplerAuthority;
-use tta_sim::{Campaign, Scenario, Topology};
+use tta_sim::{Campaign, CampaignReport, Scenario, Topology};
 
 const TRIALS: u32 = 40;
-const USAGE: &str = "exp_fault_injection [--threads N] [--json [PATH]] [--check GOLDEN]";
+const USAGE: &str =
+    "exp_fault_injection [--threads N] [--json [PATH]] [--check GOLDEN] [--daemon [SOCKET]]";
+
+fn run_cell(
+    scenario: Scenario,
+    topology: Topology,
+    authority: CouplerAuthority,
+    threads: Option<usize>,
+    session: Option<&DaemonSession>,
+) -> CampaignReport {
+    if let Some(session) = session {
+        let spec = JobSpec {
+            topology,
+            authority,
+            trials: TRIALS,
+            ..JobSpec::new(ScenarioSource::Builtin(scenario))
+        };
+        let result = session
+            .client
+            .submit(&spec, threads, &mut |_| {})
+            .unwrap_or_else(|e| {
+                eprintln!("error: campaign daemon failed: {e}");
+                std::process::exit(1);
+            });
+        return CampaignReport::from_aggregate(scenario, topology, authority, &result.aggregate);
+    }
+    let mut campaign = Campaign::new(4, topology, authority).trials(TRIALS);
+    if let Some(threads) = threads {
+        campaign = campaign.threads(threads);
+    }
+    campaign.run(scenario)
+}
 
 fn main() {
     let args = CampaignArgs::parse(USAGE, false);
+    let session = DaemonSession::from_args(&args);
     let threads = args.threads;
     heading("E9 — fault containment: bus (local guardians) vs. star (central guardians)");
     println!("{TRIALS} randomized trials per cell; 4-node cluster, 400 slots per trial.");
@@ -69,11 +102,7 @@ fn main() {
     for scenario in Scenario::all() {
         let mut row = vec![scenario.to_string()];
         for (_, topology, authority) in configs {
-            let mut campaign = Campaign::new(4, topology, authority).trials(TRIALS);
-            if let Some(threads) = threads {
-                campaign = campaign.threads(threads);
-            }
-            let report = campaign.run(scenario);
+            let report = run_cell(scenario, topology, authority, threads, session.as_ref());
             row.push(if report.applicable() {
                 format!("{:.0}%", report.propagation_rate() * 100.0)
             } else {

@@ -23,14 +23,18 @@
 //! Flags: `--threads N` pins fuzzing workers (output is bit-identical
 //! either way), `--json [PATH]` emits the machine-readable table,
 //! `--check GOLDEN` diffs it against a fixture, `--smoke` runs the
-//! reduced deterministic sweep.
+//! reduced deterministic sweep, `--daemon [SOCKET]` evaluates the fuzz
+//! candidates over the `tta-campaignd` service (same output bytes).
 
 use tta_analysis::tables::Table;
-use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson};
-use tta_fuzz::{authority_token, fuzz, synthesize, FuzzConfig};
+use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson, DaemonSession};
+use tta_fuzz::{
+    authority_token, fuzz_with, synthesize, DaemonEvaluator, Evaluator, FuzzConfig, LocalEvaluator,
+};
 use tta_guardian::CouplerAuthority;
 
-const USAGE: &str = "exp_fuzz [--threads N] [--json [PATH]] [--check GOLDEN] [--smoke]";
+const USAGE: &str =
+    "exp_fuzz [--threads N] [--json [PATH]] [--check GOLDEN] [--smoke] [--daemon [SOCKET]]";
 
 struct Sweep {
     experiment: &'static str,
@@ -87,7 +91,12 @@ fn main() {
          policy clears (best scorer shown).\n"
     );
 
-    let outcome = fuzz(&sweep.cfg);
+    let session = DaemonSession::from_args(&args);
+    let evaluator: Box<dyn Evaluator> = match &session {
+        Some(session) => Box::new(DaemonEvaluator::new(session.client.clone())),
+        None => Box::new(LocalEvaluator),
+    };
+    let outcome = fuzz_with(&sweep.cfg, evaluator.as_ref());
     println!(
         "fuzzed corpus: {} entries in {} rounds ({} simulator executions)\n",
         outcome.corpus.len(),

@@ -27,15 +27,19 @@
 //! Flags: `--threads N` pins workers (reports are bit-identical either
 //! way), `--json [PATH]` emits the machine-readable table,
 //! `--check GOLDEN` diffs that JSON against a fixture (CI), `--smoke`
-//! runs the reduced deterministic sweep the `recovery` CI job pins.
+//! runs the reduced deterministic sweep the `recovery` CI job pins,
+//! `--daemon [SOCKET]` routes every cell through the `tta-campaignd`
+//! service (same seeds, bit-identical tables — E12 pins this).
 
 use tta_analysis::tables::Table;
-use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson};
+use tta_bench::{heading, CampaignArgs, CampaignCell, CampaignJson, DaemonSession};
+use tta_campaignd::spec::{JobSpec, ScenarioSource};
 use tta_guardian::CouplerAuthority;
 use tta_protocol::RestartPolicy;
 use tta_sim::{Campaign, RecoveryReport, Scenario, Topology};
 
-const USAGE: &str = "exp_recovery [--threads N] [--json [PATH]] [--check GOLDEN] [--smoke]";
+const USAGE: &str =
+    "exp_recovery [--threads N] [--json [PATH]] [--check GOLDEN] [--smoke] [--daemon [SOCKET]]";
 
 /// One topology/authority column of the sweep.
 type Config = (&'static str, Topology, CouplerAuthority);
@@ -124,8 +128,37 @@ fn run_cell(
     scenario: Scenario,
     policy: RestartPolicy,
     threads: Option<usize>,
+    session: Option<&DaemonSession>,
 ) -> RecoveryReport {
     let (_, topology, authority) = *config;
+    if let Some(session) = session {
+        // The service path: same scenario, same seeds, same fold — the
+        // daemon shards trials, journals chunks, and the summary
+        // aggregate rebuilds a report bit-identical to the inline one.
+        let spec = JobSpec {
+            topology,
+            authority,
+            policy,
+            trials: sweep.trials,
+            slots: sweep.slots,
+            fault_duration: Some(sweep.fault_duration),
+            ..JobSpec::new(ScenarioSource::Builtin(scenario))
+        };
+        let result = session
+            .client
+            .submit(&spec, threads, &mut |_| {})
+            .unwrap_or_else(|e| {
+                eprintln!("error: campaign daemon failed: {e}");
+                std::process::exit(1);
+            });
+        return RecoveryReport::from_aggregate(
+            scenario,
+            topology,
+            authority,
+            policy,
+            &result.aggregate,
+        );
+    }
     let mut campaign = Campaign::new(4, topology, authority)
         .trials(sweep.trials)
         .slots(sweep.slots)
@@ -174,6 +207,7 @@ fn json_cell(report: &RecoveryReport) -> CampaignCell {
 
 fn main() {
     let args = CampaignArgs::parse(USAGE, true);
+    let session = DaemonSession::from_args(&args);
     let sweep = if args.smoke {
         smoke_sweep()
     } else {
@@ -203,7 +237,14 @@ fn main() {
         for &policy in &sweep.policies {
             let mut row = vec![policy.to_string()];
             for config in &sweep.configs {
-                let report = run_cell(&sweep, config, scenario, policy, args.threads);
+                let report = run_cell(
+                    &sweep,
+                    config,
+                    scenario,
+                    policy,
+                    args.threads,
+                    session.as_ref(),
+                );
                 row.push(table_cell(&report));
                 cells.push(json_cell(&report));
             }

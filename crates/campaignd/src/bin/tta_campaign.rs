@@ -1,0 +1,428 @@
+//! `tta-campaign` — client CLI for the campaign service.
+//!
+//! Subcommands:
+//!
+//! * `submit` — submit a sweep and stream its deterministic NDJSON
+//!   (`accepted`/`trial`/`summary` lines) to stdout or `--ndjson PATH`;
+//!   the non-deterministic `stats` line goes to stderr. The streamed
+//!   bytes are identical for a given spec at any worker count, across
+//!   daemon kills and resumes — that is the service's core invariant.
+//! * `status` / `ping` / `shutdown` — daemon control.
+//! * `bench` — the campaign-service throughput snapshot
+//!   (`BENCH_campaignd.json`): trials/sec at 1/2/4/8 workers against a
+//!   private in-process daemon, plus a warm-vs-cold cache comparison.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+use tta_campaignd::client::Client;
+use tta_campaignd::server::{Server, ServerConfig, ServerHandle};
+use tta_campaignd::spec::{
+    parse_authority, parse_scenario, parse_topology, JobSpec, ScenarioSource,
+};
+use tta_protocol::RestartPolicy;
+
+const USAGE: &str = "tta_campaign <submit|status|ping|shutdown|bench> [options]
+
+  submit --scenario TOKEN | --scenario-file PATH
+         [--socket PATH] [--nodes N] [--topology bus|star]
+         [--authority passive|time_windows|small_shifting|full_shifting]
+         [--policy never|immediate|bounded_retry:MAX,BACKOFF|watchdog:SLOTS]
+         [--trials N] [--slots N] [--seed N] [--fault-duration N]
+         [--workers N] [--ndjson PATH]
+  status|ping|shutdown [--socket PATH]
+  bench  [--bench-json PATH]";
+
+fn die(why: &str) -> ! {
+    eprintln!("error: {why}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_policy(token: &str) -> RestartPolicy {
+    if token == "never" {
+        return RestartPolicy::Never;
+    }
+    if token == "immediate" {
+        return RestartPolicy::Immediate;
+    }
+    if let Some(rest) = token.strip_prefix("bounded_retry:") {
+        if let Some((max, backoff)) = rest.split_once(',') {
+            if let (Ok(max_restarts), Ok(backoff_slots)) = (max.parse(), backoff.parse()) {
+                return RestartPolicy::BoundedRetry {
+                    max_restarts,
+                    backoff_slots,
+                };
+            }
+        }
+        die("bounded_retry needs MAX,BACKOFF");
+    }
+    if let Some(rest) = token.strip_prefix("watchdog:") {
+        if let Ok(silence_slots) = rest.parse() {
+            return RestartPolicy::Watchdog { silence_slots };
+        }
+        die("watchdog needs SLOTS");
+    }
+    die(&format!("unknown policy {token}"));
+}
+
+fn parse_u64(value: &str) -> Option<u64> {
+    value.strip_prefix("0x").map_or_else(
+        || value.parse().ok(),
+        |hex| u64::from_str_radix(hex, 16).ok(),
+    )
+}
+
+fn default_socket() -> PathBuf {
+    PathBuf::from(".campaignd/daemon.sock")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        die("missing subcommand");
+    };
+    let rest: Vec<String> = args.collect();
+    match command.as_str() {
+        "submit" => submit(&rest),
+        "status" => status(&rest),
+        "ping" => {
+            if Client::new(&control_socket(&rest)).ping() {
+                println!("ok");
+            } else {
+                eprintln!("no daemon");
+                std::process::exit(1);
+            }
+        }
+        "shutdown" => {
+            if let Err(e) = Client::new(&control_socket(&rest)).shutdown() {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        "bench" => bench(&rest),
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}
+
+/// Parses the `--socket PATH` option the control subcommands share.
+fn control_socket(rest: &[String]) -> PathBuf {
+    let mut socket = default_socket();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => match iter.next() {
+                Some(path) => socket = PathBuf::from(path),
+                None => die("--socket needs a path"),
+            },
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    socket
+}
+
+fn status(rest: &[String]) {
+    match Client::new(&control_socket(rest)).status() {
+        Ok(info) => {
+            println!(
+                "cache_entries {}\njobs_running {}\njobs_done {}",
+                info.cache_entries, info.jobs_running, info.jobs_done
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A deferred edit applied to the [`JobSpec`] once it exists (flags may
+/// precede `--scenario`, which is what constructs the spec).
+type SpecPatch = Box<dyn FnOnce(&mut JobSpec)>;
+
+fn submit(rest: &[String]) {
+    let mut socket = default_socket();
+    let mut scenario: Option<ScenarioSource> = None;
+    let mut spec_patch: Vec<SpecPatch> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut ndjson: Option<PathBuf> = None;
+
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |what: &str| match iter.next() {
+            Some(v) => v.clone(),
+            None => die(&format!("{arg} needs {what}")),
+        };
+        match arg.as_str() {
+            "--socket" => socket = PathBuf::from(value("a path")),
+            "--scenario" => match parse_scenario(&value("a scenario token")) {
+                Ok(s) => scenario = Some(ScenarioSource::Builtin(s)),
+                Err(e) => die(&e.0),
+            },
+            "--scenario-file" => {
+                scenario = Some(ScenarioSource::File(PathBuf::from(value("a path"))));
+            }
+            "--nodes" => match value("an integer").parse() {
+                Ok(n) => spec_patch.push(Box::new(move |s| s.nodes = n)),
+                Err(_) => die("--nodes needs an integer"),
+            },
+            "--topology" => match parse_topology(&value("bus|star")) {
+                Ok(t) => spec_patch.push(Box::new(move |s| s.topology = t)),
+                Err(e) => die(&e.0),
+            },
+            "--authority" => match parse_authority(&value("an authority token")) {
+                Ok(a) => spec_patch.push(Box::new(move |s| s.authority = a)),
+                Err(e) => die(&e.0),
+            },
+            "--policy" => {
+                let p = parse_policy(&value("a policy token"));
+                spec_patch.push(Box::new(move |s| s.policy = p));
+            }
+            "--trials" => match value("an integer").parse() {
+                Ok(n) => spec_patch.push(Box::new(move |s| s.trials = n)),
+                Err(_) => die("--trials needs an integer"),
+            },
+            "--slots" => match value("an integer").parse() {
+                Ok(n) => spec_patch.push(Box::new(move |s| s.slots = n)),
+                Err(_) => die("--slots needs an integer"),
+            },
+            "--seed" => match parse_u64(&value("an integer")) {
+                Some(n) => spec_patch.push(Box::new(move |s| s.seed = n)),
+                None => die("--seed needs an integer (decimal or 0x hex)"),
+            },
+            "--fault-duration" => match value("an integer").parse() {
+                Ok(n) => spec_patch.push(Box::new(move |s| s.fault_duration = Some(n))),
+                Err(_) => die("--fault-duration needs an integer"),
+            },
+            "--workers" => match value("an integer").parse() {
+                Ok(n) if n > 0 => workers = Some(n),
+                _ => die("--workers needs a positive integer"),
+            },
+            "--ndjson" => ndjson = Some(PathBuf::from(value("a path"))),
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let Some(scenario) = scenario else {
+        die("submit needs --scenario or --scenario-file");
+    };
+    let mut spec = JobSpec::new(scenario);
+    for patch in spec_patch {
+        patch(&mut spec);
+    }
+
+    let client = Client::new(&socket);
+    let mut sink: Box<dyn Write> = match &ndjson {
+        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdout()),
+    };
+    let mut sink_failed = false;
+    let result = client.submit(&spec, workers, &mut |line| {
+        if !sink_failed && writeln!(sink, "{line}").is_err() {
+            sink_failed = true;
+        }
+    });
+    drop(sink);
+    match result {
+        Ok(result) => {
+            if sink_failed {
+                eprintln!("error: could not write the NDJSON stream");
+                std::process::exit(1);
+            }
+            if let Some(path) = &ndjson {
+                eprintln!("wrote {}", path.display());
+            }
+            eprintln!(
+                "job {}: {} trials ({} computed, {} cache hits, {} resumed)",
+                result.job,
+                result.trials.len(),
+                result.stats.computed,
+                result.stats.cache_hits,
+                result.stats.resumed_trials
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// --- bench ---------------------------------------------------------------
+
+/// The sweep the throughput snapshot times: big enough to shard across
+/// eight workers (64 trials = 8 journal chunks), heavy enough per trial
+/// (400 slots, transient fault, watchdog restarts) to dominate the
+/// protocol overhead.
+fn bench_spec() -> JobSpec {
+    JobSpec {
+        trials: 64,
+        policy: RestartPolicy::Watchdog { silence_slots: 8 },
+        fault_duration: Some(60),
+        ..JobSpec::new(ScenarioSource::Builtin(tta_sim::Scenario::SosSender))
+    }
+}
+
+struct BenchDaemon {
+    handle: Option<ServerHandle>,
+    state_dir: PathBuf,
+}
+
+impl BenchDaemon {
+    fn spawn(state_dir: PathBuf, workers: usize) -> BenchDaemon {
+        let mut config = ServerConfig::at(&state_dir);
+        config.workers = workers;
+        let handle = Server::spawn(config).unwrap_or_else(|e| {
+            eprintln!("error: cannot spawn bench daemon: {e}");
+            std::process::exit(1);
+        });
+        BenchDaemon {
+            handle: Some(handle),
+            state_dir,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.handle.as_ref().expect("live daemon").socket())
+    }
+}
+
+impl Drop for BenchDaemon {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            handle.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&self.state_dir);
+    }
+}
+
+fn bench(rest: &[String]) {
+    let mut out_path = PathBuf::from("BENCH_campaignd.json");
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--bench-json" => match iter.next() {
+                Some(path) => out_path = PathBuf::from(path),
+                None => die("--bench-json needs a path"),
+            },
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let spec = bench_spec();
+    let scratch = std::env::temp_dir().join(format!("campaignd-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    eprintln!(
+        "campaign-service throughput: 64 trials, sos_sender, watchdog:8 ({host_cpus} host CPUs)"
+    );
+
+    // Cold-state scaling: a fresh daemon (empty journal dir, empty
+    // cache) per worker count, so every trial is computed.
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut scaling = Vec::new();
+    let mut base_seconds = 0.0f64;
+    for &workers in &worker_counts {
+        let daemon = BenchDaemon::spawn(scratch.join(format!("w{workers}")), workers);
+        let start = Instant::now();
+        let result = daemon
+            .client()
+            .submit(&spec, Some(workers), &mut |_| {})
+            .unwrap_or_else(|e| {
+                eprintln!("error: bench submit failed: {e}");
+                std::process::exit(1);
+            });
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(
+            result.stats.cache_hits, 0,
+            "cold run must compute every trial"
+        );
+        if workers == 1 {
+            base_seconds = seconds;
+        }
+        let rate = f64::from(spec.trials) / seconds;
+        let comparable = workers <= host_cpus;
+        eprintln!(
+            "  workers {workers}: {seconds:.3} s, {rate:.0} trials/s{}",
+            if comparable { "" } else { " (oversubscribed)" }
+        );
+        scaling.push((workers, seconds, rate, base_seconds / seconds, comparable));
+    }
+
+    // Warm vs. cold cache on one daemon: submit cold, delete the
+    // journal so a resubmit cannot just resume, submit again — every
+    // trial should come from the result cache.
+    let warm_workers = 4.min(host_cpus).max(1);
+    let daemon = BenchDaemon::spawn(scratch.join("warm"), warm_workers);
+    let client = daemon.client();
+    let start = Instant::now();
+    let cold = client
+        .submit(&spec, Some(warm_workers), &mut |_| {})
+        .unwrap_or_else(|e| {
+            eprintln!("error: bench submit failed: {e}");
+            std::process::exit(1);
+        });
+    let cold_seconds = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(daemon.state_dir.join("jobs")).unwrap_or_else(|e| {
+        eprintln!("error: cannot clear journals: {e}");
+        std::process::exit(1);
+    });
+    let start = Instant::now();
+    let warm = client
+        .submit(&spec, Some(warm_workers), &mut |_| {})
+        .unwrap_or_else(|e| {
+            eprintln!("error: bench submit failed: {e}");
+            std::process::exit(1);
+        });
+    let warm_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        u32::try_from(warm.stats.cache_hits).ok(),
+        Some(spec.trials),
+        "warm run must hit cache for every trial"
+    );
+    assert_eq!(cold.trials, warm.trials, "cache must not change results");
+    eprintln!(
+        "  cache ({warm_workers} workers): cold {cold_seconds:.3} s, warm {warm_seconds:.3} s \
+         ({:.1}x)",
+        cold_seconds / warm_seconds
+    );
+    drop(daemon);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"snapshot\": \"campaign_service_throughput\",\n");
+    json.push_str(
+        "  \"job\": \"sos_sender star/small_shifting watchdog:8, 64 trials x 400 slots\",\n",
+    );
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(
+        "  \"note\": \"entries with comparable=false used more workers than host CPUs and only \
+         time-slice one core; judge scaling on comparable entries\",\n",
+    );
+    json.push_str("  \"workers\": [\n");
+    for (i, (workers, seconds, rate, speedup, comparable)) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workers\": {workers}, \"seconds\": {seconds:.6}, \
+             \"trials_per_second\": {rate:.0}, \"speedup_vs_1\": {speedup:.3}, \
+             \"comparable\": {comparable}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cache\": {{\"workers\": {warm_workers}, \"cold_seconds\": {cold_seconds:.6}, \
+         \"warm_seconds\": {warm_seconds:.6}, \"speedup\": {:.1}, \"warm_cache_hits\": {}}}\n",
+        cold_seconds / warm_seconds,
+        warm.stats.cache_hits
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", out_path.display());
+}

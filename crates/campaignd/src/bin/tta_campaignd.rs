@@ -1,0 +1,89 @@
+//! `tta-campaignd` — the resumable, sharded fault-injection campaign
+//! daemon.
+//!
+//! Listens on a Unix socket, shards submitted campaign sweeps across a
+//! worker pool, streams per-trial results back as NDJSON, checkpoints
+//! completed chunks to an append-only journal (a killed daemon resumes
+//! without redoing work), and memoizes trials in a content-addressed
+//! result cache. See `crates/campaignd/src/lib.rs` for the determinism
+//! invariant and DESIGN.md § "Campaign service" for the protocol.
+
+use std::path::PathBuf;
+use tta_campaignd::runner::CrashPlan;
+use tta_campaignd::server::{Server, ServerConfig};
+
+const USAGE: &str = "tta_campaignd [--state-dir DIR] [--socket PATH] [--workers N] \
+                     [--base-dir DIR] [--crash-after-chunks N]";
+
+fn die(why: &str) -> ! {
+    eprintln!("error: {why}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut state_dir = PathBuf::from(".campaignd");
+    let mut socket: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut base_dir: Option<PathBuf> = None;
+    let mut crash = CrashPlan::default();
+
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--state-dir" => match iter.next() {
+                Some(dir) => state_dir = PathBuf::from(dir),
+                None => die("--state-dir needs a directory"),
+            },
+            "--socket" => match iter.next() {
+                Some(path) => socket = Some(PathBuf::from(path)),
+                None => die("--socket needs a path"),
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = Some(n),
+                _ => die("--workers needs a positive integer"),
+            },
+            "--base-dir" => match iter.next() {
+                Some(dir) => base_dir = Some(PathBuf::from(dir)),
+                None => die("--base-dir needs a directory"),
+            },
+            "--crash-after-chunks" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    crash = CrashPlan {
+                        crash_after_chunks: Some(n),
+                    };
+                }
+                None => die("--crash-after-chunks needs an integer"),
+            },
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+
+    let mut config = ServerConfig::at(&state_dir);
+    if let Some(socket) = socket {
+        config.socket = socket;
+    }
+    if let Some(workers) = workers {
+        config.workers = workers;
+    }
+    if let Some(base_dir) = base_dir {
+        config.base_dir = base_dir;
+    }
+    config.crash = crash;
+
+    let socket = config.socket.clone();
+    let workers = config.workers;
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start daemon: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "tta-campaignd: listening on {} ({workers} workers, state in {})",
+        socket.display(),
+        state_dir.display()
+    );
+    if let Err(e) = server.serve() {
+        eprintln!("error: daemon failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,257 @@
+//! The content-addressed per-trial result cache.
+//!
+//! Keyed on `fnv(scenario_hash ‖ policy ‖ trial_seed)` (see
+//! [`crate::spec::ResolvedJob::trial_key`]): everything that determines
+//! a trial's outcome and nothing that doesn't. Overlapping sweeps — a
+//! re-run, a longer seed range over the same scenario, a policy grid
+//! revisiting a policy — hit cache for every trial they share; editing
+//! a referenced scenario file changes the scenario hash and naturally
+//! misses.
+//!
+//! Storage is 256 append-only NDJSON shard files under
+//! `<state_dir>/cache/`, sharded by the key's top byte. Lines use the
+//! same self-checksummed format as the journal, so a torn tail from a
+//! crash costs at most the entries of one interrupted batch, never the
+//! shard. The whole cache is loaded into memory at daemon start;
+//! lookups are lock-light reads, inserts append a batch per completed
+//! chunk.
+//!
+//! Cache hits feed the *deterministic* result stream, so a cached entry
+//! must be byte-equivalent to recomputation. That holds by
+//! construction: the entry stores the full trial record (whose floats
+//! render shortest-roundtrip, hence losslessly), and the runner only
+//! rewrites the trial index, which is not part of the key's identity.
+
+use crate::hash::{from_hex, to_hex};
+use crate::journal::{seal, unseal};
+use crate::json::Json;
+use crate::spec::{trial_from_json, trial_to_fields};
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
+use tta_sim::TrialResult;
+
+const SHARDS: usize = 256;
+
+/// An open result cache rooted at `<dir>`.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    map: RwLock<HashMap<u64, TrialResult>>,
+    /// Serializes shard-file appends (lookups don't take it).
+    io: Mutex<()>,
+}
+
+fn shard_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{:02x}.ndjson", (key >> 56) as u8))
+}
+
+impl Cache {
+    /// Opens (or creates) the cache directory and loads every shard.
+    ///
+    /// A shard line that fails to parse or checksum ends that shard's
+    /// load and truncates the file back to its valid prefix — corrupt
+    /// cache entries cost recomputation, never a failed open.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(dir: &Path) -> std::io::Result<Cache> {
+        std::fs::create_dir_all(dir)?;
+        let mut map = HashMap::new();
+        for shard in 0..SHARDS {
+            let path = dir.join(format!("{shard:02x}.ndjson"));
+            if !path.exists() {
+                continue;
+            }
+            let file = OpenOptions::new().read(true).open(&path)?;
+            let mut reader = BufReader::new(file);
+            let mut line = String::new();
+            let mut valid_len: u64 = 0;
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 || !line.ends_with('\n') {
+                    break;
+                }
+                let Some(entry) = unseal(line.trim_end()) else {
+                    break;
+                };
+                let Some((key, trial)) = parse_entry(&entry) else {
+                    break;
+                };
+                map.insert(key, trial);
+                valid_len += n as u64;
+            }
+            if valid_len < std::fs::metadata(&path)?.len() {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(valid_len)?;
+            }
+        }
+        Ok(Cache {
+            dir: dir.to_path_buf(),
+            map: RwLock::new(map),
+            io: Mutex::new(()),
+        })
+    }
+
+    /// Entries currently loaded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache map lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a trial by cache key, re-badged with the looking-up
+    /// job's trial `index`.
+    #[must_use]
+    pub fn lookup(&self, key: u64, index: u32) -> Option<TrialResult> {
+        let map = self.map.read().expect("cache map lock");
+        map.get(&key).map(|t| TrialResult { index, ..*t })
+    }
+
+    /// Inserts a batch of freshly computed trials, appending each new
+    /// entry to its shard file before publishing it in memory. Keys
+    /// already present are skipped (first write wins — by construction
+    /// any two writers would write equivalent results).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn insert_batch(&self, entries: &[(u64, TrialResult)]) -> std::io::Result<()> {
+        let fresh: Vec<&(u64, TrialResult)> = {
+            let map = self.map.read().expect("cache map lock");
+            entries
+                .iter()
+                .filter(|(k, _)| !map.contains_key(k))
+                .collect()
+        };
+        if fresh.is_empty() {
+            return Ok(());
+        }
+        let _io = self.io.lock().expect("cache io lock");
+        // Group appends per shard file.
+        let mut by_shard: HashMap<PathBuf, String> = HashMap::new();
+        for (key, trial) in &fresh {
+            let line = seal(render_entry(*key, trial));
+            let buf = by_shard.entry(shard_path(&self.dir, *key)).or_default();
+            buf.push_str(&line);
+            buf.push('\n');
+        }
+        for (path, buf) in by_shard {
+            let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+            file.write_all(buf.as_bytes())?;
+            file.sync_data()?;
+        }
+        let mut map = self.map.write().expect("cache map lock");
+        for (key, trial) in fresh {
+            map.entry(*key).or_insert(*trial);
+        }
+        Ok(())
+    }
+}
+
+fn render_entry(key: u64, trial: &TrialResult) -> Json {
+    let mut fields = vec![("key".to_string(), Json::str(to_hex(key)))];
+    fields.extend(trial_to_fields(trial));
+    Json::Obj(fields)
+}
+
+fn parse_entry(body: &Json) -> Option<(u64, TrialResult)> {
+    let key = from_hex(body.get("key")?.as_str()?)?;
+    let trial = trial_from_json(body).ok()?;
+    Some((key, trial))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_sim::{Outcome, RecoveryOutcome};
+
+    fn trial(index: u32) -> TrialResult {
+        TrialResult {
+            index,
+            seed: u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            outcome: Outcome::HealthyNodeFrozen,
+            recovery: RecoveryOutcome::DegradedStable,
+            unavailability: 1.0 / f64::from(index + 3),
+            time_to_reintegration: Some(u64::from(index) + 11),
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("campaignd-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cache_persists_across_reopen_and_rebadges_indices() {
+        let dir = temp_dir("reopen");
+        let cache = Cache::open(&dir).unwrap();
+        assert!(cache.is_empty());
+        // Keys chosen to land in different shards (top byte differs).
+        let entries = vec![
+            (0x0100_0000_0000_0007, trial(0)),
+            (0xfe00_0000_0000_0003, trial(1)),
+        ];
+        cache.insert_batch(&entries).unwrap();
+        drop(cache);
+
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        let hit = cache.lookup(0xfe00_0000_0000_0003, 42).unwrap();
+        assert_eq!(hit.index, 42);
+        assert_eq!(hit.seed, trial(1).seed);
+        assert_eq!(hit.unavailability, trial(1).unavailability);
+        assert!(cache.lookup(0xdead, 0).is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_are_written_once() {
+        let dir = temp_dir("dedup");
+        let cache = Cache::open(&dir).unwrap();
+        cache.insert_batch(&[(5, trial(0))]).unwrap();
+        cache.insert_batch(&[(5, trial(0)), (6, trial(1))]).unwrap();
+        drop(cache);
+
+        let shard = shard_path(&dir, 5);
+        let text = std::fs::read_to_string(shard).unwrap();
+        assert_eq!(text.lines().count(), 2, "key 5 must not be re-appended");
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn torn_shard_tail_is_dropped() {
+        let dir = temp_dir("torn");
+        let cache = Cache::open(&dir).unwrap();
+        cache.insert_batch(&[(1, trial(0)), (2, trial(1))]).unwrap();
+        drop(cache);
+
+        let shard = shard_path(&dir, 1);
+        let mut bytes = std::fs::read(&shard).unwrap();
+        bytes.extend_from_slice(b"{\"key\":\"00");
+        std::fs::write(&shard, &bytes).unwrap();
+
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Reopen truncated the torn tail; a fresh insert then reload
+        // sees all three entries.
+        cache.insert_batch(&[(3, trial(2))]).unwrap();
+        drop(cache);
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+}

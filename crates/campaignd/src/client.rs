@@ -1,0 +1,288 @@
+//! The client side: one connection per request, typed results.
+//!
+//! [`Client::submit`] exposes the stream split that the whole
+//! kill-and-resume story rests on: every **deterministic** line
+//! (`accepted`, `trial`, `summary`) is handed verbatim to the caller's
+//! observer — that text is the byte-comparable artifact — while the
+//! trailing non-deterministic `stats` line is returned out-of-band in
+//! the typed result, never mixed into the observed stream.
+
+use crate::json::Json;
+use crate::protocol::{
+    evaluation_from_json, render_eval, render_submit, stats_from_json, EvalRequest,
+};
+use crate::runner::RunStats;
+use crate::spec::{aggregate_from_json, trial_from_json, JobSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use tta_sim::{PlanRunMetrics, TrialAggregate, TrialResult};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The daemon answered with an `error` line.
+    Daemon(String),
+    /// The daemon's response violated the protocol (including a stream
+    /// that ended before its summary — a daemon killed mid-sweep).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Daemon(m) => write!(f, "daemon error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+fn proto(message: impl Into<String>) -> ClientError {
+    ClientError::Protocol(message.into())
+}
+
+/// A completed submit stream, parsed.
+#[derive(Debug)]
+pub struct SubmitResult {
+    /// The job id (hex job hash) the daemon accepted.
+    pub job: String,
+    /// Trial count the daemon committed to.
+    pub total: u32,
+    /// Every trial, in index order.
+    pub trials: Vec<TrialResult>,
+    /// The summary fold.
+    pub aggregate: TrialAggregate,
+    /// The non-deterministic stats line.
+    pub stats: RunStats,
+}
+
+/// One daemon's status line, parsed.
+#[derive(Debug, Clone, Copy)]
+pub struct StatusInfo {
+    /// Entries in the daemon's result cache.
+    pub cache_entries: u64,
+    /// Jobs currently streaming.
+    pub jobs_running: u64,
+    /// Jobs completed since the daemon started.
+    pub jobs_done: u64,
+}
+
+/// A campaign-service client bound to one socket path.
+#[derive(Debug, Clone)]
+pub struct Client {
+    socket: PathBuf,
+}
+
+impl Client {
+    /// A client for the daemon at `socket`.
+    #[must_use]
+    pub fn new(socket: &Path) -> Client {
+        Client {
+            socket: socket.to_path_buf(),
+        }
+    }
+
+    /// The socket this client talks to.
+    #[must_use]
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    fn request(&self, line: &str) -> Result<BufReader<UnixStream>, ClientError> {
+        let mut stream = UnixStream::connect(&self.socket)?;
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn one_line(&self, request_line: &str) -> Result<Json, ClientError> {
+        let mut reader = self.request(request_line)?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(proto("daemon closed the connection without answering"));
+        }
+        let value =
+            Json::parse(line.trim_end()).map_err(|e| proto(format!("bad response: {e}")))?;
+        if value.get("type").and_then(Json::as_str) == Some("error") {
+            let message = value
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string();
+            return Err(ClientError::Daemon(message));
+        }
+        Ok(value)
+    }
+
+    /// Whether a daemon answers on the socket right now.
+    #[must_use]
+    pub fn ping(&self) -> bool {
+        matches!(
+            self.one_line("{\"op\":\"ping\"}"),
+            Ok(v) if v.get("type").and_then(Json::as_str) == Some("ok")
+        )
+    }
+
+    /// Polls `ping` until the daemon answers or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError::Io`] timeout if the daemon never came
+    /// up.
+    pub fn wait_ready(&self, timeout: Duration) -> Result<(), ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.ping() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("no daemon on {} within {timeout:?}", self.socket.display()),
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Asks the daemon to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.one_line("{\"op\":\"shutdown\"}").map(|_| ())
+    }
+
+    /// Fetches the daemon's status line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket and protocol failures.
+    pub fn status(&self) -> Result<StatusInfo, ClientError> {
+        let value = self.one_line("{\"op\":\"status\"}")?;
+        let field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| proto(format!("status response missing \"{key}\"")))
+        };
+        Ok(StatusInfo {
+            cache_entries: field("cache_entries")?,
+            jobs_running: field("jobs_running")?,
+            jobs_done: field("jobs_done")?,
+        })
+    }
+
+    /// Evaluates one fault plan on the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket, daemon and protocol failures.
+    pub fn eval(&self, request: &EvalRequest) -> Result<PlanRunMetrics, ClientError> {
+        let value = self.one_line(&render_eval(request))?;
+        evaluation_from_json(&value).map_err(|e| proto(e.0))
+    }
+
+    /// Submits a job and consumes its stream. `observe` sees each
+    /// deterministic line (`accepted`, `trial`, `summary`) verbatim, in
+    /// order — write them to a file and you have the byte-comparable
+    /// campaign NDJSON. The `stats` line goes into the result instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Daemon`] for an `error` line;
+    /// [`ClientError::Protocol`] if the stream ends before its summary
+    /// (daemon killed mid-sweep — resubmit after restart to resume).
+    pub fn submit(
+        &self,
+        spec: &JobSpec,
+        workers: Option<usize>,
+        observe: &mut dyn FnMut(&str),
+    ) -> Result<SubmitResult, ClientError> {
+        let mut reader = self.request(&render_submit(spec, workers))?;
+        let mut line = String::new();
+        let mut job: Option<(String, u32)> = None;
+        let mut trials: Vec<TrialResult> = Vec::new();
+        let mut summary: Option<TrialAggregate> = None;
+        let mut stats: Option<RunStats> = None;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let text = line.trim_end();
+            let value = Json::parse(text).map_err(|e| proto(format!("bad stream line: {e}")))?;
+            match value.get("type").and_then(Json::as_str) {
+                Some("error") => {
+                    return Err(ClientError::Daemon(
+                        value
+                            .get("message")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unspecified")
+                            .to_string(),
+                    ));
+                }
+                Some("accepted") => {
+                    let id = value
+                        .get("job")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| proto("accepted line missing \"job\""))?;
+                    let total = value
+                        .get("trials")
+                        .and_then(Json::as_u64)
+                        .and_then(|t| u32::try_from(t).ok())
+                        .ok_or_else(|| proto("accepted line missing \"trials\""))?;
+                    job = Some((id.to_string(), total));
+                    observe(text);
+                }
+                Some("trial") => {
+                    trials.push(trial_from_json(&value).map_err(|e| proto(e.0))?);
+                    observe(text);
+                }
+                Some("summary") => {
+                    let aggregate = value
+                        .get("aggregate")
+                        .ok_or_else(|| proto("summary line missing \"aggregate\""))
+                        .and_then(|a| aggregate_from_json(a).map_err(|e| proto(e.0)))?;
+                    summary = Some(aggregate);
+                    observe(text);
+                }
+                Some("stats") => {
+                    stats = Some(stats_from_json(&value).map_err(|e| proto(e.0))?);
+                }
+                other => {
+                    return Err(proto(format!("unexpected stream line type {other:?}")));
+                }
+            }
+        }
+        let (job, total) = job.ok_or_else(|| proto("stream ended before an accepted line"))?;
+        let aggregate = summary.ok_or_else(|| {
+            proto(format!(
+                "stream ended after {}/{total} trials without a summary \
+                 (daemon gone mid-sweep; resubmit to resume)",
+                trials.len()
+            ))
+        })?;
+        Ok(SubmitResult {
+            job,
+            total,
+            trials,
+            aggregate,
+            stats: stats.unwrap_or_default(),
+        })
+    }
+}

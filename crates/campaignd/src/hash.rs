@@ -1,0 +1,57 @@
+//! Content hashing for job identity and the per-trial result cache.
+//!
+//! FNV-1a over canonical byte strings: not cryptographic, but stable
+//! across platforms and processes (unlike `std`'s randomized hasher),
+//! which is what journal file names and cache keys need. Collisions
+//! would only ever conflate two *byte-identical renderings*' worth of
+//! campaign work at 64-bit odds — acceptable for a result cache whose
+//! entries are also self-describing.
+
+/// FNV-1a over a byte string.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Fixed-width lowercase hex of a 64-bit hash (journal file names, job
+/// ids on the wire).
+#[must_use]
+pub fn to_hex(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses [`to_hex`] output back.
+#[must_use]
+pub fn from_hex(text: &str) -> Option<u64> {
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a reference values.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for h in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(from_hex(&to_hex(h)), Some(h));
+        }
+        assert_eq!(from_hex("xyz"), None);
+        assert_eq!(from_hex("00"), None);
+    }
+}

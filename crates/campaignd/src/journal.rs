@@ -1,0 +1,337 @@
+//! The append-only chunk journal: crash-safe checkpoints of completed
+//! work.
+//!
+//! One journal file per job, named by the job hash, holding one line
+//! per completed chunk of trials. Each line carries its own FNV
+//! checksum, so a journal torn mid-write by a crash (the whole point of
+//! having one) degrades cleanly: on reopen, the valid prefix is kept,
+//! the torn tail is truncated away, and at most one chunk of work is
+//! redone. Nothing in the file is ever rewritten — resumption is "read
+//! the prefix, skip those chunks".
+//!
+//! Format (NDJSON):
+//!
+//! ```text
+//! {"journal":"tta-campaignd","job":"<16-hex>","chunk_size":8,"check":"<16-hex>"}
+//! {"chunk":0,"trials":[{"index":0,...},...],"check":"<16-hex>"}
+//! {"chunk":3,"trials":[...],"check":"<16-hex>"}
+//! ```
+//!
+//! Chunks appear in *completion* order, not index order — workers claim
+//! chunks dynamically. The checksum of each line is the FNV-1a hash of
+//! the line's canonical rendering without its `check` field.
+
+use crate::hash::{fnv1a64, to_hex};
+use crate::json::Json;
+use crate::spec::{trial_from_json, trial_to_fields};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
+use std::path::Path;
+use tta_sim::TrialResult;
+
+/// Trials per journaled chunk. Fixed (not tunable per job) so that a
+/// sweep resumed under a different worker count still partitions
+/// identically and every journaled chunk stays valid.
+pub const CHUNK_SIZE: u32 = 8;
+
+/// One completed chunk: `CHUNK_SIZE` consecutive trials (the last chunk
+/// of a job may be shorter), in trial-index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkRecord {
+    /// Chunk index; covers trials `chunk * CHUNK_SIZE ..`.
+    pub chunk: u32,
+    /// The chunk's trial results, in index order.
+    pub trials: Vec<TrialResult>,
+}
+
+impl ChunkRecord {
+    fn to_line(&self) -> String {
+        let body = Json::Obj(vec![
+            ("chunk".to_string(), Json::UInt(u64::from(self.chunk))),
+            (
+                "trials".to_string(),
+                Json::Arr(
+                    self.trials
+                        .iter()
+                        .map(|t| Json::Obj(trial_to_fields(t)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        seal(body)
+    }
+
+    fn from_value(value: &Json) -> Option<ChunkRecord> {
+        let chunk = u32::try_from(value.get("chunk")?.as_u64()?).ok()?;
+        let trials = value
+            .get("trials")?
+            .as_arr()?
+            .iter()
+            .map(|t| trial_from_json(t).ok())
+            .collect::<Option<Vec<_>>>()?;
+        Some(ChunkRecord { chunk, trials })
+    }
+}
+
+/// Appends a `check` field (FNV of the rendering so far) and renders.
+/// Shared with the result cache, whose shard files use the same
+/// self-checking line format.
+pub(crate) fn seal(body: Json) -> String {
+    let partial = body.render();
+    let check = to_hex(fnv1a64(partial.as_bytes()));
+    match body {
+        Json::Obj(mut fields) => {
+            fields.push(("check".to_string(), Json::str(check)));
+            Json::Obj(fields).render()
+        }
+        _ => unreachable!("journal lines are objects"),
+    }
+}
+
+/// Verifies and strips a line's `check` field; returns the body.
+pub(crate) fn unseal(line: &str) -> Option<Json> {
+    let value = Json::parse(line).ok()?;
+    let Json::Obj(fields) = value else {
+        return None;
+    };
+    let (body_fields, check): (Vec<_>, Vec<_>) =
+        fields.into_iter().partition(|(key, _)| key != "check");
+    let claimed = check.first()?.1.as_str()?.to_string();
+    let body = Json::Obj(body_fields);
+    if to_hex(fnv1a64(body.render().as_bytes())) == claimed {
+        Some(body)
+    } else {
+        None
+    }
+}
+
+/// An open, append-position journal for one job.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    /// Chunks recovered from the valid prefix at open time.
+    recovered: BTreeMap<u32, Vec<TrialResult>>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for `job_hash` at `path`.
+    ///
+    /// An existing file is scanned line by line; scanning stops at the
+    /// first line that fails to parse or checksum (a torn tail), and
+    /// the file is truncated back to the valid prefix. A file whose
+    /// header names a different job or chunk size is discarded
+    /// entirely — it belongs to a different sweep definition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors. A *corrupt* journal is not an
+    /// error — corruption means less resumable work, never a failed
+    /// open.
+    pub fn open(path: &Path, job_hash: u64) -> std::io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+
+        let mut recovered = BTreeMap::new();
+        let mut valid_len: u64 = 0;
+        {
+            let mut reader = BufReader::new(&mut file);
+            let mut line = String::new();
+            let mut header_seen = false;
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line)?;
+                if n == 0 || !line.ends_with('\n') {
+                    break; // EOF or a torn (newline-less) tail.
+                }
+                let Some(body) = unseal(line.trim_end()) else {
+                    break;
+                };
+                if !header_seen {
+                    let job_ok =
+                        body.get("job").and_then(Json::as_str) == Some(to_hex(job_hash).as_str());
+                    let size_ok = body.get("chunk_size").and_then(Json::as_u64)
+                        == Some(u64::from(CHUNK_SIZE));
+                    if !job_ok || !size_ok {
+                        break; // Different sweep: keep nothing.
+                    }
+                    header_seen = true;
+                } else {
+                    let Some(record) = ChunkRecord::from_value(&body) else {
+                        break;
+                    };
+                    recovered.insert(record.chunk, record.trials);
+                }
+                valid_len += n as u64;
+            }
+        }
+
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        let mut journal = Journal { file, recovered };
+        if valid_len == 0 {
+            let header = seal(Json::Obj(vec![
+                ("journal".to_string(), Json::str("tta-campaignd")),
+                ("job".to_string(), Json::str(to_hex(job_hash))),
+                ("chunk_size".to_string(), Json::UInt(u64::from(CHUNK_SIZE))),
+            ]));
+            journal.write_line(&header)?;
+        }
+        Ok(journal)
+    }
+
+    /// Chunks recovered at open time, keyed by chunk index. Consumed by
+    /// the runner to pre-seed its result stream.
+    #[must_use]
+    pub fn recovered(&self) -> &BTreeMap<u32, Vec<TrialResult>> {
+        &self.recovered
+    }
+
+    /// Takes the recovered chunks out of the journal.
+    pub fn take_recovered(&mut self) -> BTreeMap<u32, Vec<TrialResult>> {
+        std::mem::take(&mut self.recovered)
+    }
+
+    /// Appends one completed chunk and syncs it to disk before
+    /// returning — once `append` returns, a crash cannot lose the
+    /// chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&mut self, record: &ChunkRecord) -> std::io::Result<()> {
+        let line = record.to_line();
+        self.write_line(&line)
+    }
+
+    fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tta_sim::{Outcome, RecoveryOutcome};
+
+    fn trial(index: u32) -> TrialResult {
+        TrialResult {
+            index,
+            seed: u64::from(index) * 977,
+            outcome: Outcome::Contained,
+            recovery: RecoveryOutcome::Recovered,
+            unavailability: f64::from(index) / 7.0,
+            time_to_reintegration: if index.is_multiple_of(2) {
+                Some(u64::from(index))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn record(chunk: u32) -> ChunkRecord {
+        let start = chunk * CHUNK_SIZE;
+        ChunkRecord {
+            chunk,
+            trials: (start..start + CHUNK_SIZE).map(trial).collect(),
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("campaignd-journal-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("job.journal")
+    }
+
+    #[test]
+    fn journal_round_trips_chunks() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 0xABCD).unwrap();
+            assert!(journal.recovered().is_empty());
+            journal.append(&record(2)).unwrap();
+            journal.append(&record(0)).unwrap();
+        }
+        let journal = Journal::open(&path, 0xABCD).unwrap();
+        let recovered = journal.recovered();
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[&0], record(0).trials);
+        assert_eq!(recovered[&2], record(2).trials);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 7).unwrap();
+            journal.append(&record(0)).unwrap();
+            journal.append(&record(1)).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated final line.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let keep = bytes.len();
+        bytes.extend_from_slice(b"{\"chunk\":2,\"trials\":[{\"ind");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut journal = Journal::open(&path, 7).unwrap();
+        assert_eq!(journal.recovered().len(), 2);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64);
+        // The truncated journal accepts new appends cleanly.
+        journal.append(&record(2)).unwrap();
+        drop(journal);
+        let journal = Journal::open(&path, 7).unwrap();
+        assert_eq!(journal.recovered().len(), 3);
+    }
+
+    #[test]
+    fn corrupted_line_stops_recovery_at_the_valid_prefix() {
+        let path = temp_path("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 9).unwrap();
+            journal.append(&record(0)).unwrap();
+            journal.append(&record(1)).unwrap();
+            journal.append(&record(2)).unwrap();
+        }
+        // Flip a byte inside the *second* chunk line's payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut bad = lines.clone();
+        let tampered = lines[2].replace("\"chunk\":1", "\"chunk\":5");
+        bad[2] = &tampered;
+        std::fs::write(&path, format!("{}\n", bad.join("\n"))).unwrap();
+
+        let journal = Journal::open(&path, 9).unwrap();
+        // Only the chunk before the tampered line survives.
+        assert_eq!(
+            journal.recovered().keys().copied().collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn header_mismatch_discards_the_file() {
+        let path = temp_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut journal = Journal::open(&path, 1).unwrap();
+            journal.append(&record(0)).unwrap();
+        }
+        // Same path, different job hash (e.g. the scenario file was
+        // edited): nothing may be resumed.
+        let journal = Journal::open(&path, 2).unwrap();
+        assert!(journal.recovered().is_empty());
+    }
+}

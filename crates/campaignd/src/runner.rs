@@ -1,0 +1,400 @@
+//! The sharded trial runner: claims chunks, consults the cache,
+//! journals checkpoints, and emits results in trial-index order.
+//!
+//! Work distribution follows the chunk-claim pattern of
+//! `tta_modelcheck::chunks::map_chunks`: trials are partitioned into
+//! fixed [`CHUNK_SIZE`] chunks, an atomic cursor hands pending chunks
+//! to whichever worker is free (fast workers take more), and the
+//! emitter republishes finished chunks strictly in index order. Because
+//! trial `index` is the same simulation everywhere, *which* worker runs
+//! a chunk never shows in the output — only in the timing.
+//!
+//! Resumption slots in at the same seam: chunks recovered from the
+//! journal are pre-seeded into the emitter's reorder buffer and simply
+//! never handed to workers. The emitted stream is byte-identical to an
+//! uninterrupted run's by construction, because both are the same
+//! records in the same order — one set read back from disk, the other
+//! recomputed from the same seeds.
+
+use crate::cache::Cache;
+use crate::journal::{ChunkRecord, Journal, CHUNK_SIZE};
+use crate::spec::ResolvedJob;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use tta_sim::{TrialAggregate, TrialResult};
+
+/// Non-deterministic bookkeeping of one run. Reported on a separate
+/// stream line precisely because it is *not* stable across worker
+/// counts or interruptions — never mix it into the deterministic
+/// output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Trials answered from the result cache.
+    pub cache_hits: u64,
+    /// Trials actually simulated.
+    pub computed: u64,
+    /// Chunks recovered from the journal instead of being re-run.
+    pub resumed_chunks: u64,
+    /// Trials inside those recovered chunks.
+    pub resumed_trials: u64,
+}
+
+/// The result of one (possibly partial) run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Every emitted trial, in index order.
+    pub trials: Vec<TrialResult>,
+    /// The fold of `trials`, in the same order every run folds in.
+    pub aggregate: TrialAggregate,
+    /// Whether all trials were emitted (false only when cancelled or a
+    /// worker hit an I/O error mid-sweep).
+    pub complete: bool,
+    /// Non-deterministic bookkeeping.
+    pub stats: RunStats,
+}
+
+/// Debug crash hook: makes the daemon abort itself after a fixed number
+/// of journal appends, for exercising kill-and-resume in tests and CI
+/// without racing an external `SIGKILL`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashPlan {
+    /// Abort the process after this many successful journal appends
+    /// (counted per process, across jobs).
+    pub crash_after_chunks: Option<u64>,
+}
+
+/// Runs (or resumes) a resolved job.
+///
+/// `workers` is clamped to at least 1. `emit` observes every trial in
+/// index order — journal-recovered, cache-hit and freshly simulated
+/// alike — as soon as its chunk and all earlier chunks are done.
+/// Setting `cancel` stops workers at the next chunk boundary; finished
+/// chunks stay journaled, so a later run resumes where this one
+/// stopped.
+///
+/// # Errors
+///
+/// Propagates journal/cache I/O errors. Trials finished before the
+/// error are already journaled and will be resumed, not lost.
+///
+/// # Panics
+///
+/// Panics only if a worker thread panics (a simulator bug).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    job: &ResolvedJob,
+    journal: &mut Journal,
+    cache: &Cache,
+    workers: usize,
+    crash: CrashPlan,
+    appends_so_far: &AtomicU64,
+    cancel: &AtomicBool,
+    emit: &mut dyn FnMut(&TrialResult),
+) -> std::io::Result<RunOutcome> {
+    let total = job.exec.effective_trials();
+    let total_chunks = total.div_ceil(CHUNK_SIZE);
+    let workers = workers.max(1);
+
+    let mut ready: BTreeMap<u32, Vec<TrialResult>> = journal.take_recovered();
+    // A journal may hold chunks beyond this spec's horizon only if the
+    // job hash collided; drop anything out of range defensively.
+    ready.retain(|chunk, _| *chunk < total_chunks);
+    let mut stats = RunStats {
+        resumed_chunks: ready.len() as u64,
+        resumed_trials: ready.values().map(|t| t.len() as u64).sum(),
+        ..RunStats::default()
+    };
+
+    let pending: Vec<u32> = (0..total_chunks)
+        .filter(|chunk| !ready.contains_key(chunk))
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let computed = AtomicU64::new(0);
+    let journal_slot = Mutex::new(journal);
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let (tx, rx) = mpsc::channel::<(u32, Vec<TrialResult>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(pending.len().max(1)) {
+            let tx = tx.clone();
+            scope.spawn(|| {
+                let tx = tx; // move the clone, borrow the rest
+                loop {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if io_error.lock().expect("error slot").is_some() {
+                        break;
+                    }
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&chunk) = pending.get(slot) else {
+                        break;
+                    };
+                    let start = chunk * CHUNK_SIZE;
+                    let end = (start + CHUNK_SIZE).min(total);
+                    let mut trials = Vec::with_capacity((end - start) as usize);
+                    let mut fresh = Vec::new();
+                    for index in start..end {
+                        let key = job.trial_key(job.exec.trial_seed(index));
+                        if let Some(hit) = cache.lookup(key, index) {
+                            cache_hits.fetch_add(1, Ordering::Relaxed);
+                            trials.push(hit);
+                        } else {
+                            let trial = job.exec.run_trial(index);
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            fresh.push((key, trial));
+                            trials.push(trial);
+                        }
+                    }
+                    let record = ChunkRecord { chunk, trials };
+                    let appended = (|| -> std::io::Result<()> {
+                        cache.insert_batch(&fresh)?;
+                        let mut journal = journal_slot.lock().expect("journal lock");
+                        journal.append(&record)?;
+                        Ok(())
+                    })();
+                    match appended {
+                        Ok(()) => {
+                            let done = appends_so_far.fetch_add(1, Ordering::Relaxed) + 1;
+                            if crash.crash_after_chunks.is_some_and(|n| done >= n) {
+                                // The whole point: die *after* the
+                                // checkpoint hit disk, with no unwind,
+                                // like a power cut.
+                                std::process::abort();
+                            }
+                            let _ = tx.send((record.chunk, record.trials));
+                        }
+                        Err(e) => {
+                            io_error.lock().expect("error slot").get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // In-order emitter: republish chunks as soon as the next index
+        // is available, pulling from workers until they all hang up.
+        let mut emitted: Vec<TrialResult> = Vec::with_capacity(total as usize);
+        let mut next: u32 = 0;
+        loop {
+            if let Some(trials) = ready.remove(&next) {
+                for trial in &trials {
+                    emit(trial);
+                }
+                emitted.extend(trials);
+                next += 1;
+                if next == total_chunks {
+                    break;
+                }
+                continue;
+            }
+            match rx.recv() {
+                Ok((chunk, trials)) => {
+                    ready.insert(chunk, trials);
+                }
+                Err(_) => break, // workers done (or cancelled/errored)
+            }
+        }
+        stats.cache_hits = cache_hits.load(Ordering::Relaxed);
+        stats.computed = computed.load(Ordering::Relaxed);
+        let error = io_error.lock().expect("error slot").take();
+        if let Some(e) = error {
+            return Err(e);
+        }
+        let aggregate = TrialAggregate::fold(&emitted);
+        Ok(RunOutcome {
+            complete: emitted.len() == total as usize,
+            trials: emitted,
+            aggregate,
+            stats,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobSpec, ResolvedJob, ScenarioSource};
+    use std::path::{Path, PathBuf};
+    use tta_sim::Scenario;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("campaignd-runner-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn job() -> ResolvedJob {
+        let spec = JobSpec {
+            trials: 20, // 2 full chunks + 1 short chunk
+            slots: 200,
+            ..JobSpec::new(ScenarioSource::Builtin(Scenario::SosSender))
+        };
+        ResolvedJob::resolve(spec, Path::new(".")).unwrap()
+    }
+
+    fn run_fresh(dir: &Path, workers: usize) -> (RunOutcome, Vec<u32>) {
+        let job = job();
+        let mut journal =
+            Journal::open(&dir.join(format!("{}.journal", job.job_id())), job.job_hash).unwrap();
+        let cache = Cache::open(&dir.join("cache")).unwrap();
+        let mut seen = Vec::new();
+        let outcome = run(
+            &job,
+            &mut journal,
+            &cache,
+            workers,
+            CrashPlan::default(),
+            &AtomicU64::new(0),
+            &AtomicBool::new(false),
+            &mut |t| seen.push(t.index),
+        )
+        .unwrap();
+        (outcome, seen)
+    }
+
+    #[test]
+    fn output_is_identical_across_worker_counts() {
+        let base = run_fresh(&temp_dir("w1"), 1);
+        for workers in [2, 4, 8] {
+            let other = run_fresh(&temp_dir(&format!("w{workers}")), workers);
+            assert_eq!(other.0.trials, base.0.trials, "workers={workers}");
+            assert_eq!(other.0.aggregate, base.0.aggregate);
+            assert_eq!(other.1, (0..20).collect::<Vec<u32>>());
+        }
+        assert!(base.0.complete);
+        assert_eq!(base.0.stats.computed, 20);
+        assert_eq!(base.0.stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn resumed_runs_reuse_journaled_chunks_and_match() {
+        let dir = temp_dir("resume");
+        let job = job();
+        let journal_path = dir.join("job.journal");
+
+        // First run: cancel after the first chunk lands. With one
+        // worker the cancellation point is deterministic enough — at
+        // least one chunk journals, not all three.
+        let cancel = AtomicBool::new(false);
+        let cache = Cache::open(&dir.join("cache")).unwrap();
+        {
+            let mut journal = Journal::open(&journal_path, job.job_hash).unwrap();
+            let mut count = 0u32;
+            let outcome = run(
+                &job,
+                &mut journal,
+                &cache,
+                1,
+                CrashPlan::default(),
+                &AtomicU64::new(0),
+                &cancel,
+                &mut |_| {
+                    count += 1;
+                    if count == CHUNK_SIZE {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                },
+            )
+            .unwrap();
+            assert!(!outcome.complete);
+            assert!(outcome.stats.computed >= u64::from(CHUNK_SIZE));
+        }
+
+        // Resume with a *fresh cache* so resumed chunks provably come
+        // from the journal, not recomputation or cache hits.
+        let empty_cache = Cache::open(&dir.join("cache2")).unwrap();
+        let mut journal = Journal::open(&journal_path, job.job_hash).unwrap();
+        let mut order = Vec::new();
+        let resumed = run(
+            &job,
+            &mut journal,
+            &empty_cache,
+            4,
+            CrashPlan::default(),
+            &AtomicU64::new(0),
+            &AtomicBool::new(false),
+            &mut |t| order.push(t.index),
+        )
+        .unwrap();
+        assert!(resumed.complete);
+        assert!(resumed.stats.resumed_chunks >= 1);
+        assert_eq!(order, (0..20).collect::<Vec<u32>>());
+
+        let (fresh, _) = run_fresh(&temp_dir("resume-ref"), 4);
+        assert_eq!(resumed.trials, fresh.trials);
+        assert_eq!(resumed.aggregate, fresh.aggregate);
+    }
+
+    #[test]
+    fn second_run_hits_cache_with_identical_results() {
+        let dir = temp_dir("cache-hit");
+        let job = job();
+        let cache = Cache::open(&dir.join("cache")).unwrap();
+
+        let mut journal = Journal::open(&dir.join("a.journal"), job.job_hash).unwrap();
+        let first = run(
+            &job,
+            &mut journal,
+            &cache,
+            4,
+            CrashPlan::default(),
+            &AtomicU64::new(0),
+            &AtomicBool::new(false),
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+
+        // Same scenario, fresh journal: every trial answered from cache.
+        let mut journal = Journal::open(&dir.join("b.journal"), job.job_hash).unwrap();
+        let second = run(
+            &job,
+            &mut journal,
+            &cache,
+            4,
+            CrashPlan::default(),
+            &AtomicU64::new(0),
+            &AtomicBool::new(false),
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(second.stats.cache_hits, 20);
+        assert_eq!(second.stats.computed, 0);
+        assert_eq!(second.trials, first.trials);
+        assert_eq!(second.aggregate, first.aggregate);
+    }
+
+    #[test]
+    fn inapplicable_jobs_complete_with_zero_trials() {
+        let dir = temp_dir("empty");
+        let spec = JobSpec {
+            topology: tta_sim::Topology::Bus,
+            ..JobSpec::new(ScenarioSource::Builtin(Scenario::CouplerReplay))
+        };
+        let job = ResolvedJob::resolve(spec, Path::new(".")).unwrap();
+        let mut journal = Journal::open(&dir.join("j.journal"), job.job_hash).unwrap();
+        let cache = Cache::open(&dir.join("cache")).unwrap();
+        let outcome = run(
+            &job,
+            &mut journal,
+            &cache,
+            4,
+            CrashPlan::default(),
+            &AtomicU64::new(0),
+            &AtomicBool::new(false),
+            &mut |_| {},
+        )
+        .unwrap();
+        assert!(outcome.complete);
+        assert!(outcome.trials.is_empty());
+        assert_eq!(outcome.aggregate.trials, 0);
+    }
+}

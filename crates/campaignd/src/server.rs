@@ -1,0 +1,369 @@
+//! The daemon: a Unix-socket accept loop dispatching one request per
+//! connection.
+//!
+//! Threading model: one OS thread per connection (jobs are minutes of
+//! CPU-bound simulation behind a local socket — connection scaling is
+//! not the bottleneck, worker scaling is). A `submit` handler runs the
+//! sharded [`crate::runner`] inside its own thread scope; `eval` and
+//! the control ops answer inline. All connections share one daemon-wide
+//! result [`Cache`] and one journal directory, with a per-job lock so
+//! two concurrent submissions of the *same* job cannot interleave
+//! appends in one journal file.
+//!
+//! Shutdown is cooperative: the `shutdown` op (or
+//! [`ServerHandle::shutdown`]) raises a stop flag and self-connects to
+//! wake the blocking `accept`; in-flight jobs are cancelled at their
+//! next chunk boundary, which — by the resumability invariant — loses
+//! no journaled work.
+
+use crate::cache::Cache;
+use crate::journal::Journal;
+use crate::protocol::{
+    accepted_line, error_line, evaluation_line, ok_line, parse_request, stats_line, status_line,
+    summary_line, trial_line, EvalRequest, Request,
+};
+use crate::runner::{run, CrashPlan};
+use crate::spec::ResolvedJob;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tta_sim::{PlanRunMetrics, SimBuilder};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Socket path to listen on.
+    pub socket: PathBuf,
+    /// State directory (journals under `jobs/`, cache under `cache/`).
+    pub state_dir: PathBuf,
+    /// Default worker count for jobs that don't override it.
+    pub workers: usize,
+    /// Base directory against which relative scenario paths resolve.
+    pub base_dir: PathBuf,
+    /// Debug crash hook (`--crash-after-chunks`).
+    pub crash: CrashPlan,
+}
+
+impl ServerConfig {
+    /// A config rooted at `state_dir`, listening on
+    /// `<state_dir>/daemon.sock`, with one worker per available core.
+    #[must_use]
+    pub fn at(state_dir: &Path) -> ServerConfig {
+        ServerConfig {
+            socket: state_dir.join("daemon.sock"),
+            state_dir: state_dir.to_path_buf(),
+            workers: std::thread::available_parallelism().map_or(1, usize::from),
+            base_dir: std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+            crash: CrashPlan::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServerState {
+    config: ServerConfig,
+    cache: Cache,
+    stop: AtomicBool,
+    appends: AtomicU64,
+    jobs_done: AtomicU64,
+    running: Mutex<HashSet<u64>>,
+}
+
+/// A running daemon (in-process or the `tta_campaignd` binary's core).
+#[derive(Debug)]
+pub struct Server {
+    state: Arc<ServerState>,
+    listener: UnixListener,
+}
+
+/// Handle to a daemon spawned in-process with [`Server::spawn`]:
+/// the `--daemon`-without-a-socket convenience used by the bench bins
+/// and tests.
+#[derive(Debug)]
+pub struct ServerHandle {
+    socket: PathBuf,
+    state: Arc<ServerState>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The socket the daemon listens on.
+    #[must_use]
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Stops the daemon and waits for it to wind down.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept.
+        let _ = UnixStream::connect(&self.socket);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.state.stop.store(true, Ordering::Relaxed);
+            let _ = UnixStream::connect(&self.socket);
+            if let Some(thread) = self.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl Server {
+    /// Binds the socket and opens the state directory (creating both as
+    /// needed). A stale socket file from a dead daemon is detected by a
+    /// probe connection and replaced; a *live* daemon on the socket is
+    /// an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/cache I/O errors; refuses a socket another
+    /// daemon is actively serving.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        if let Some(parent) = config.socket.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        if config.socket.exists() {
+            match UnixStream::connect(&config.socket) {
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AddrInUse,
+                        format!("a daemon already listens on {}", config.socket.display()),
+                    ));
+                }
+                Err(_) => std::fs::remove_file(&config.socket)?,
+            }
+        }
+        let cache = Cache::open(&config.state_dir.join("cache"))?;
+        let listener = UnixListener::bind(&config.socket)?;
+        Ok(Server {
+            state: Arc::new(ServerState {
+                config,
+                cache,
+                stop: AtomicBool::new(false),
+                appends: AtomicU64::new(0),
+                jobs_done: AtomicU64::new(0),
+                running: Mutex::new(HashSet::new()),
+            }),
+            listener,
+        })
+    }
+
+    /// Runs the accept loop on the calling thread until a `shutdown`
+    /// request (or [`ServerHandle::shutdown`]) stops it, then joins
+    /// every connection handler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors other than interruption.
+    pub fn serve(self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        for connection in self.listener.incoming() {
+            if self.state.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let stream = match connection {
+                Ok(stream) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            let state = Arc::clone(&self.state);
+            handlers.push(std::thread::spawn(move || handle(&state, stream)));
+            handlers.retain(|h| !h.is_finished());
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let _ = std::fs::remove_file(&self.state.config.socket);
+        Ok(())
+    }
+
+    /// Binds and serves on a background thread, returning a handle.
+    /// This is how `--daemon` without an explicit socket works: the
+    /// bench bins spin up a private in-process daemon, route the
+    /// experiment through it, and tear it down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Server::bind`] errors.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let socket = server.state.config.socket.clone();
+        let state = Arc::clone(&server.state);
+        let thread = std::thread::spawn(move || {
+            let _ = server.serve();
+        });
+        Ok(ServerHandle {
+            socket,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+fn handle(state: &ServerState, stream: UnixStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() || line.trim().is_empty() {
+        return;
+    }
+    let request = match parse_request(line.trim_end()) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = writeln!(writer, "{}", error_line(&e.0));
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = writeln!(writer, "{}", ok_line());
+        }
+        Request::Status => {
+            let running = state.running.lock().expect("running set").len();
+            let _ = writeln!(
+                writer,
+                "{}",
+                status_line(
+                    state.cache.len(),
+                    running,
+                    state.jobs_done.load(Ordering::Relaxed),
+                )
+            );
+        }
+        Request::Shutdown => {
+            state.stop.store(true, Ordering::Relaxed);
+            let _ = writeln!(writer, "{}", ok_line());
+            // Wake the accept loop (this connection is already past it).
+            let _ = UnixStream::connect(&state.config.socket);
+        }
+        Request::Eval(request) => {
+            let _ = writeln!(writer, "{}", evaluate(&request));
+        }
+        Request::Submit { spec, workers } => {
+            submit(state, &mut writer, spec, workers);
+        }
+    }
+}
+
+fn evaluate(request: &EvalRequest) -> String {
+    let report = SimBuilder::new(request.nodes)
+        .topology(request.topology)
+        .authority(request.authority)
+        .slots(request.slots)
+        .restart_policy(request.policy)
+        .plan(request.plan.clone())
+        .build()
+        .run();
+    evaluation_line(&PlanRunMetrics::from_report(&report, request.nodes))
+}
+
+fn submit(
+    state: &ServerState,
+    writer: &mut UnixStream,
+    spec: crate::spec::JobSpec,
+    workers: Option<usize>,
+) {
+    let job = match ResolvedJob::resolve(spec, &state.config.base_dir) {
+        Ok(job) => job,
+        Err(e) => {
+            let _ = writeln!(writer, "{}", error_line(&e.0));
+            return;
+        }
+    };
+    if !state
+        .running
+        .lock()
+        .expect("running set")
+        .insert(job.job_hash)
+    {
+        let _ = writeln!(
+            writer,
+            "{}",
+            error_line(&format!("job {} is already running", job.job_id()))
+        );
+        return;
+    }
+    let result = stream_job(state, writer, &job, workers);
+    state
+        .running
+        .lock()
+        .expect("running set")
+        .remove(&job.job_hash);
+    match result {
+        Ok(()) => {
+            state.jobs_done.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(e) => {
+            let _ = writeln!(writer, "{}", error_line(&e.to_string()));
+        }
+    }
+}
+
+fn stream_job(
+    state: &ServerState,
+    writer: &mut UnixStream,
+    job: &ResolvedJob,
+    workers: Option<usize>,
+) -> std::io::Result<()> {
+    let journal_path = state
+        .config
+        .state_dir
+        .join("jobs")
+        .join(format!("{}.journal", job.job_id()));
+    let mut journal = Journal::open(&journal_path, job.job_hash)?;
+    let trials = job.exec.effective_trials();
+    writeln!(writer, "{}", accepted_line(&job.job_id(), trials))?;
+
+    // A client hangup (or daemon shutdown) cancels at the next chunk
+    // boundary; journaled chunks survive for the resume.
+    let cancel = AtomicBool::new(false);
+    let mut emit_failed = false;
+    let outcome = {
+        let mut emit = |trial: &tta_sim::TrialResult| {
+            if emit_failed {
+                return;
+            }
+            if state.stop.load(Ordering::Relaxed) {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            if writeln!(writer, "{}", trial_line(trial)).is_err() {
+                emit_failed = true;
+                cancel.store(true, Ordering::Relaxed);
+            }
+        };
+        run(
+            job,
+            &mut journal,
+            &state.cache,
+            workers.unwrap_or(state.config.workers),
+            state.config.crash,
+            &state.appends,
+            &cancel,
+            &mut emit,
+        )?
+    };
+    if outcome.complete && !emit_failed {
+        writeln!(
+            writer,
+            "{}",
+            summary_line(&job.job_id(), &outcome.aggregate)
+        )?;
+        writeln!(writer, "{}", stats_line(&outcome.stats))?;
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Content-addressed cache correctness, through an in-process daemon:
+//! overlapping sweeps share trials (hits, same results), and editing a
+//! referenced scenario file changes the scenario hash and forces a
+//! recompute — a stale cache can never masquerade as fresh data.
+
+use std::path::{Path, PathBuf};
+use tta_campaignd::client::Client;
+use tta_campaignd::server::{Server, ServerConfig, ServerHandle};
+use tta_campaignd::spec::{JobSpec, ScenarioSource};
+use tta_guardian::CouplerAuthority;
+use tta_protocol::RestartPolicy;
+use tta_sim::{Scenario, Topology};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaignd-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn spawn(dir: &Path) -> (ServerHandle, Client) {
+    let mut config = ServerConfig::at(&dir.join("state"));
+    config.base_dir = dir.to_path_buf();
+    let handle = Server::spawn(config).expect("daemon spawns");
+    let client = Client::new(handle.socket());
+    (handle, client)
+}
+
+#[test]
+fn overlapping_sweeps_share_cached_trials() {
+    let dir = scratch("overlap");
+    let (handle, client) = spawn(&dir);
+
+    let wide = JobSpec {
+        topology: Topology::Star,
+        authority: CouplerAuthority::Passive,
+        policy: RestartPolicy::Immediate,
+        trials: 24,
+        slots: 300,
+        fault_duration: Some(60),
+        ..JobSpec::new(ScenarioSource::Builtin(Scenario::SosSender))
+    };
+    let first = client
+        .submit(&wide, Some(2), &mut |_| {})
+        .expect("first sweep");
+    assert_eq!(first.stats.cache_hits, 0);
+    assert_eq!(first.stats.computed, 24);
+
+    // A narrower sweep over the same scenario/policy/seed: per-trial
+    // seeds depend only on the trial index, so every one of its trials
+    // was already computed — a distinct job (fresh journal, new id)
+    // served entirely from cache, with identical results.
+    let narrow = JobSpec {
+        trials: 16,
+        ..wide.clone()
+    };
+    let second = client
+        .submit(&narrow, Some(2), &mut |_| {})
+        .expect("overlapping sweep");
+    assert_ne!(
+        first.job, second.job,
+        "different trial counts are different jobs"
+    );
+    assert_eq!(second.stats.computed, 0);
+    assert_eq!(second.stats.cache_hits, 16);
+    assert_eq!(second.trials.as_slice(), &first.trials[..16]);
+
+    // A different policy shares nothing, even over the same scenario.
+    let other_policy = JobSpec {
+        policy: RestartPolicy::Never,
+        ..narrow
+    };
+    let third = client
+        .submit(&other_policy, Some(2), &mut |_| {})
+        .expect("different-policy sweep");
+    assert_eq!(third.stats.cache_hits, 0);
+    assert_eq!(third.stats.computed, 16);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+const SCENARIO: &str = r#"[scenario]
+name = "cache-probe"
+description = "passive star rides out a silent channel"
+
+[cluster]
+nodes = 4
+topology = "star"
+authority = "passive"
+
+[sim]
+slots = 200
+
+[[fault.coupler]]
+channel = 0
+mode = "silence"
+from_slot = 10
+to_slot = 80
+
+[expect]
+verdict = "holds"
+liveness = "holds"
+recovery = "holds"
+sim_disturbed = false
+"#;
+
+#[test]
+fn editing_a_scenario_file_forces_recompute() {
+    let dir = scratch("edit");
+    std::fs::write(dir.join("probe.toml"), SCENARIO).expect("write scenario");
+    let (handle, client) = spawn(&dir);
+
+    let job = JobSpec {
+        policy: RestartPolicy::Immediate,
+        trials: 8,
+        ..JobSpec::new(ScenarioSource::File(PathBuf::from("probe.toml")))
+    };
+    let first = client.submit(&job, Some(2), &mut |_| {}).expect("file job");
+    assert_eq!(first.stats.cache_hits, 0);
+    assert_eq!(first.stats.computed, 8);
+
+    // A narrower overlapping sweep of the unchanged file hits cache.
+    let narrow = JobSpec {
+        trials: 4,
+        ..job.clone()
+    };
+    let cached = client
+        .submit(&narrow, Some(2), &mut |_| {})
+        .expect("overlapping file job");
+    assert_eq!(cached.stats.cache_hits, 4);
+    assert_eq!(cached.trials.as_slice(), &first.trials[..4]);
+
+    // Editing the file changes the content fingerprint, hence the
+    // scenario hash, hence every cache key: full recompute, new job id.
+    let edited = SCENARIO.replace("to_slot = 80", "to_slot = 40");
+    assert_ne!(edited, SCENARIO);
+    std::fs::write(dir.join("probe.toml"), edited).expect("edit scenario");
+    let recomputed = client
+        .submit(&job, Some(2), &mut |_| {})
+        .expect("edited file job");
+    assert_ne!(first.job, recomputed.job, "content edit renames the job");
+    assert_eq!(recomputed.stats.cache_hits, 0);
+    assert_eq!(recomputed.stats.computed, 8);
+    assert_eq!(recomputed.stats.resumed_trials, 0);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

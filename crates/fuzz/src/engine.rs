@@ -37,7 +37,7 @@ use tta_sim::RecoveryOutcome;
 
 use crate::corpus::Corpus;
 use crate::emit::{authority_token, emit_scenario, EmitRequest, Emitted};
-use crate::eval::{evaluate, evaluate_under, EvalContext, EvalSet};
+use crate::eval::{evaluate_under, EvalContext, EvalSet, Evaluator, LocalEvaluator};
 use crate::input::FuzzInput;
 use crate::mutate::Mutator;
 use crate::rng::{mix, FuzzRng};
@@ -142,9 +142,23 @@ pub struct FuzzOutcome {
     pub executions: usize,
 }
 
-/// Runs the fuzzer to completion.
+/// Runs the fuzzer to completion, evaluating candidates in-process.
 #[must_use]
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    fuzz_with(cfg, &LocalEvaluator)
+}
+
+/// Runs the fuzzer to completion with an explicit [`Evaluator`] —
+/// [`LocalEvaluator`] for in-process execution, or
+/// [`crate::eval::DaemonEvaluator`] to route every candidate run
+/// through the campaign service. Both produce bit-identical journals
+/// and finds: the evaluator only changes *where* the pure evaluation
+/// function executes. The shrinker deliberately stays in-process
+/// either way — it is a sequential search over many tiny candidates,
+/// where per-run daemon round-trips would dominate, and locality
+/// cannot change its result.
+#[must_use]
+pub fn fuzz_with(cfg: &FuzzConfig, evaluator: &dyn Evaluator) -> FuzzOutcome {
     let mut journal = String::new();
     let _ = writeln!(journal, "tta_fuzz journal");
     let _ = writeln!(
@@ -197,7 +211,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
     let mut executions = 0usize;
     let mut corpus = Corpus::new(cfg.corpus_cap);
     let seeds = mutator.seed_corpus();
-    let seed_evals = evaluate_batch(&seeds, &cfg.ctx, cfg.threads);
+    let seed_evals = evaluate_batch(&seeds, &cfg.ctx, cfg.threads, evaluator);
     executions += seeds.len() * 4;
     for (input, evals) in seeds.into_iter().zip(seed_evals) {
         corpus.admit(input, evals);
@@ -232,7 +246,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
         }
 
         let inputs: Vec<FuzzInput> = candidates.iter().map(|(_, c)| c.clone()).collect();
-        let evals = evaluate_batch(&inputs, &cfg.ctx, cfg.threads);
+        let evals = evaluate_batch(&inputs, &cfg.ctx, cfg.threads, evaluator);
         executions += inputs.len() * 4;
 
         let admitted_before = corpus.len();
@@ -425,7 +439,12 @@ pub fn describe(kind: &FindKind) -> String {
 /// Evaluates a batch on a scoped worker pool, returning results in
 /// input order: inputs are split into contiguous chunks, each worker
 /// owns a chunk, and chunk results are concatenated in chunk order.
-fn evaluate_batch(inputs: &[FuzzInput], ctx: &EvalContext, threads: usize) -> Vec<EvalSet> {
+fn evaluate_batch(
+    inputs: &[FuzzInput],
+    ctx: &EvalContext,
+    threads: usize,
+    evaluator: &dyn Evaluator,
+) -> Vec<EvalSet> {
     if inputs.is_empty() {
         return Vec::new();
     }
@@ -436,7 +455,12 @@ fn evaluate_batch(inputs: &[FuzzInput], ctx: &EvalContext, threads: usize) -> Ve
         let handles: Vec<_> = inputs
             .chunks(chunk)
             .map(|chunk| {
-                scope.spawn(move || chunk.iter().map(|i| evaluate(i, ctx)).collect::<Vec<_>>())
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|i| evaluator.evaluate(i, ctx))
+                        .collect::<Vec<_>>()
+                })
             })
             .collect();
         handles

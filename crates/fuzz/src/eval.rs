@@ -11,7 +11,7 @@
 
 use tta_guardian::CouplerAuthority;
 use tta_protocol::RestartPolicy;
-use tta_sim::{RecoveryOutcome, SimBuilder, TimeSeries, Topology};
+use tta_sim::{RecoveryOutcome, SimBuilder, Topology};
 
 use crate::input::FuzzInput;
 use crate::rng::fnv1a;
@@ -114,77 +114,173 @@ fn log2_bucket(n: usize) -> u8 {
     (usize::BITS - n.leading_zeros()) as u8
 }
 
-/// Runs the candidate under one authority level.
-///
-/// Mirrors the simulator's physical applicability rule the way the
+/// The candidate's fault plan with physically inadmissible events
+/// dropped, mirroring the simulator's applicability rule the way the
 /// campaign layer does for its replay scenario: an out-of-slot coupler
 /// fault *requires* full-frame buffering, so under any lesser
 /// authority those events simply do not exist (rather than panicking
 /// the simulator). That asymmetry is the paper's point — full shifting
 /// is the only level that adds the replay fault to the fault space.
+///
+/// Both evaluators share this filter — it runs client-side even for
+/// the daemon path, so the daemon only ever sees admissible plans.
+#[must_use]
+pub fn admissible_plan(
+    input: &FuzzInput,
+    ctx: &EvalContext,
+    authority: CouplerAuthority,
+) -> tta_sim::FaultPlan {
+    let replay_possible = ctx.topology.is_central() && authority.can_buffer_full_frames();
+    if replay_possible {
+        return input.plan();
+    }
+    let admissible = FuzzInput {
+        events: input
+            .events
+            .iter()
+            .copied()
+            .filter(|e| {
+                !matches!(
+                    e.kind,
+                    crate::input::FuzzEventKind::Coupler {
+                        mode: tta_guardian::CouplerFaultMode::OutOfSlot,
+                        ..
+                    }
+                )
+            })
+            .collect(),
+    };
+    admissible.plan()
+}
+
+/// Runs the candidate under one authority level, in-process.
 #[must_use]
 pub fn evaluate_under(
     input: &FuzzInput,
     ctx: &EvalContext,
     authority: CouplerAuthority,
 ) -> Evaluation {
-    let replay_possible = ctx.topology.is_central() && authority.can_buffer_full_frames();
-    let plan = if replay_possible {
-        input.plan()
-    } else {
-        let admissible = FuzzInput {
-            events: input
-                .events
-                .iter()
-                .copied()
-                .filter(|e| {
-                    !matches!(
-                        e.kind,
-                        crate::input::FuzzEventKind::Coupler {
-                            mode: tta_guardian::CouplerFaultMode::OutOfSlot,
-                            ..
-                        }
-                    )
-                })
-                .collect(),
-        };
-        admissible.plan()
-    };
     let report = SimBuilder::new(ctx.nodes)
         .topology(ctx.topology)
         .authority(authority)
         .slots(ctx.slots)
         .restart_policy(ctx.policy)
-        .plan(plan)
+        .plan(admissible_plan(input, ctx, authority))
         .build()
         .run();
-    let faulty = report.faulty_nodes().len();
-    let quorum = ctx.nodes.saturating_sub(faulty).max(1) as u32;
-    let availability = 1.0 - report.unavailability(quorum);
-    let outcome = RecoveryOutcome::classify(&report);
-    let series = TimeSeries::from_log(report.log(), ctx.nodes, report.slots_run())
-        .expect("simulator log stays within its own horizon");
+    let metrics = tta_sim::PlanRunMetrics::from_report(&report, ctx.nodes);
+    from_metrics(authority, &metrics)
+}
+
+/// Runs the candidate across the full authority spectrum, in-process.
+#[must_use]
+pub fn evaluate(input: &FuzzInput, ctx: &EvalContext) -> EvalSet {
+    LocalEvaluator.evaluate(input, ctx)
+}
+
+fn from_metrics(authority: CouplerAuthority, metrics: &tta_sim::PlanRunMetrics) -> Evaluation {
     Evaluation {
         authority,
-        outcome,
-        availability,
-        freezes: series.freeze_slots().len(),
-        restarts: series.restart_slots().len(),
-        interventions: series.guardian_intervention_slots().len(),
+        outcome: metrics.outcome,
+        availability: metrics.availability,
+        freezes: metrics.freezes,
+        restarts: metrics.restarts,
+        interventions: metrics.interventions,
     }
 }
 
-/// Runs the candidate across the full authority spectrum.
-#[must_use]
-pub fn evaluate(input: &FuzzInput, ctx: &EvalContext) -> EvalSet {
-    let all = CouplerAuthority::all();
-    EvalSet {
-        evals: [
-            evaluate_under(input, ctx, all[0]),
-            evaluate_under(input, ctx, all[1]),
-            evaluate_under(input, ctx, all[2]),
-            evaluate_under(input, ctx, all[3]),
-        ],
+/// How the engine executes candidate plans: in-process (the default)
+/// or over the campaign service. `Sync` because the engine's batch
+/// evaluation shares one evaluator across its scoped worker threads.
+pub trait Evaluator: Sync {
+    /// Runs the candidate under one authority level.
+    fn evaluate_under(
+        &self,
+        input: &FuzzInput,
+        ctx: &EvalContext,
+        authority: CouplerAuthority,
+    ) -> Evaluation;
+
+    /// Runs the candidate across the full authority spectrum, in
+    /// [`CouplerAuthority::all`] order.
+    fn evaluate(&self, input: &FuzzInput, ctx: &EvalContext) -> EvalSet {
+        let all = CouplerAuthority::all();
+        EvalSet {
+            evals: [
+                self.evaluate_under(input, ctx, all[0]),
+                self.evaluate_under(input, ctx, all[1]),
+                self.evaluate_under(input, ctx, all[2]),
+                self.evaluate_under(input, ctx, all[3]),
+            ],
+        }
+    }
+}
+
+/// The in-process evaluator: runs the simulator directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalEvaluator;
+
+impl Evaluator for LocalEvaluator {
+    fn evaluate_under(
+        &self,
+        input: &FuzzInput,
+        ctx: &EvalContext,
+        authority: CouplerAuthority,
+    ) -> Evaluation {
+        evaluate_under(input, ctx, authority)
+    }
+}
+
+/// Evaluation over the campaign service's `eval` op: each run becomes
+/// one request to `tta-campaignd`, which executes the identical
+/// simulator build and returns [`tta_sim::PlanRunMetrics`]. Because
+/// both sides compute the same pure function, a fuzzing run routed
+/// through the daemon is bit-identical to a local one — the parity
+/// test pins that.
+///
+/// The admissibility filter ([`admissible_plan`]) runs client-side, so
+/// the daemon never sees an out-of-slot event under an authority that
+/// cannot buffer full frames.
+#[derive(Debug, Clone)]
+pub struct DaemonEvaluator {
+    client: tta_campaignd::client::Client,
+}
+
+impl DaemonEvaluator {
+    /// An evaluator sending every run to the daemon behind `client`.
+    #[must_use]
+    pub fn new(client: tta_campaignd::client::Client) -> DaemonEvaluator {
+        DaemonEvaluator { client }
+    }
+}
+
+impl Evaluator for DaemonEvaluator {
+    /// # Panics
+    ///
+    /// Panics if the daemon connection fails mid-run — the engine has
+    /// no partial-result path, and a vanished daemon is operator
+    /// intervention, not fuzz-campaign data.
+    fn evaluate_under(
+        &self,
+        input: &FuzzInput,
+        ctx: &EvalContext,
+        authority: CouplerAuthority,
+    ) -> Evaluation {
+        let request = tta_campaignd::protocol::EvalRequest {
+            nodes: ctx.nodes,
+            topology: ctx.topology,
+            authority,
+            slots: ctx.slots,
+            policy: ctx.policy,
+            plan: admissible_plan(input, ctx, authority),
+        };
+        match self.client.eval(&request) {
+            Ok(metrics) => from_metrics(authority, &metrics),
+            Err(e) => panic!(
+                "campaign daemon on {} failed mid-fuzz: {e}",
+                self.client.socket().display()
+            ),
+        }
     }
 }
 

@@ -56,8 +56,11 @@ mod synth;
 
 pub use corpus::{Corpus, CorpusEntry};
 pub use emit::{authority_token, emit_scenario, EmitRequest, Emitted};
-pub use engine::{describe, fuzz, Find, FindKind, FuzzConfig, FuzzOutcome};
-pub use eval::{evaluate, evaluate_under, EvalContext, EvalSet, Evaluation};
+pub use engine::{describe, fuzz, fuzz_with, Find, FindKind, FuzzConfig, FuzzOutcome};
+pub use eval::{
+    admissible_plan, evaluate, evaluate_under, DaemonEvaluator, EvalContext, EvalSet, Evaluation,
+    Evaluator, LocalEvaluator,
+};
 pub use input::{coupler_mode_name, node_kind_token, FuzzEvent, FuzzEventKind, FuzzInput};
 pub use mutate::Mutator;
 pub use rng::{fnv1a, mix, FuzzRng};

@@ -1,0 +1,43 @@
+//! Evaluator parity: a fuzzing run routed through the campaign
+//! service's `eval` op is bit-identical to the in-process run — the
+//! daemon only changes *where* the pure evaluation function executes,
+//! never what it computes.
+
+use tta_campaignd::client::Client;
+use tta_campaignd::server::{Server, ServerConfig};
+use tta_fuzz::{fuzz, fuzz_with, DaemonEvaluator, FuzzConfig, FuzzOutcome};
+
+fn short_cfg() -> FuzzConfig {
+    FuzzConfig {
+        rounds: 2,
+        batch: 8,
+        max_finds: 2,
+        ..FuzzConfig::default()
+    }
+}
+
+fn daemon_run(cfg: &FuzzConfig) -> FuzzOutcome {
+    let state_dir =
+        std::env::temp_dir().join(format!("campaignd-fuzz-parity-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let handle = Server::spawn(ServerConfig::at(&state_dir)).expect("daemon spawns");
+    let evaluator = DaemonEvaluator::new(Client::new(handle.socket()));
+    let outcome = fuzz_with(cfg, &evaluator);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    outcome
+}
+
+#[test]
+fn daemon_evaluation_is_bit_identical_to_local() {
+    let cfg = short_cfg();
+    let local = fuzz(&cfg);
+    let daemon = daemon_run(&cfg);
+    assert_eq!(local.journal, daemon.journal);
+    assert_eq!(local.finds.len(), daemon.finds.len());
+    for (l, d) in local.finds.iter().zip(&daemon.finds) {
+        assert_eq!(l.emitted.toml, d.emitted.toml);
+        assert_eq!(l.emitted.name, d.emitted.name);
+    }
+    assert_eq!(local.corpus_size, daemon.corpus_size);
+}

@@ -98,7 +98,10 @@ pub enum Outcome {
 }
 
 impl Outcome {
-    fn classify(report: &SimReport) -> Outcome {
+    /// Classifies a finished run by the binary propagated/contained
+    /// question of experiment E9.
+    #[must_use]
+    pub fn classify(report: &SimReport) -> Outcome {
         if !report.healthy_frozen().is_empty() {
             Outcome::HealthyNodeFrozen
         } else if !report.cluster_started() {
@@ -288,6 +291,164 @@ impl fmt::Display for RecoveryReport {
     }
 }
 
+/// The full classification of one campaign trial: both the E9
+/// containment verdict and the E10 recovery verdict plus the metrics the
+/// recovery aggregate needs. Computing everything per trial (instead of
+/// inside the aggregate loop) is what lets the campaign daemon cache,
+/// journal and stream trials individually while still folding the exact
+/// reports the inline campaigns produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Trial index within the campaign (determines the derived seed).
+    pub index: u32,
+    /// The derived per-trial RNG seed the simulation ran under.
+    pub seed: u64,
+    /// E9 containment classification.
+    pub outcome: Outcome,
+    /// E10 recovery classification.
+    pub recovery: RecoveryOutcome,
+    /// Fraction of slots with fewer than quorum healthy nodes
+    /// integrated (quorum = healthy-node count of this trial).
+    pub unavailability: f64,
+    /// Worst-case freeze-to-reintegration latency, if anything
+    /// reintegrated.
+    pub time_to_reintegration: Option<u64>,
+}
+
+impl TrialResult {
+    /// Classifies one finished simulation run.
+    #[must_use]
+    pub fn from_report(index: u32, seed: u64, nodes: usize, report: &SimReport) -> TrialResult {
+        let quorum = (nodes - report.faulty_nodes().len()) as u32;
+        TrialResult {
+            index,
+            seed,
+            outcome: Outcome::classify(report),
+            recovery: RecoveryOutcome::classify(report),
+            unavailability: report.unavailability(quorum),
+            time_to_reintegration: report.time_to_reintegration(),
+        }
+    }
+}
+
+/// Order-independent totals of a set of [`TrialResult`]s — the one fold
+/// both [`Campaign::run`] and [`Campaign::run_recovery`] (and the
+/// campaign daemon, re-folding journaled or cached trials) share, so
+/// every path produces bit-identical reports.
+///
+/// The floating-point sums run in the iteration order of the input;
+/// callers that need bit-identical aggregates must fold in trial-index
+/// order, which every campaign path does.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrialAggregate {
+    /// Trials folded.
+    pub trials: u32,
+    /// [`Outcome::Contained`] count.
+    pub contained: u32,
+    /// [`Outcome::HealthyNodeFrozen`] count.
+    pub healthy_frozen: u32,
+    /// [`Outcome::StartupFailed`] count.
+    pub startup_failed: u32,
+    /// [`RecoveryOutcome::Contained`] count.
+    pub recovery_contained: u32,
+    /// [`RecoveryOutcome::Recovered`] count.
+    pub recovered: u32,
+    /// [`RecoveryOutcome::DegradedStable`] count.
+    pub degraded: u32,
+    /// [`RecoveryOutcome::PermanentLoss`] count.
+    pub permanent_loss: u32,
+    /// Mean per-trial unavailability (0.0 when no trials ran).
+    pub mean_unavailability: f64,
+    /// Mean worst-case TTR over the trials that reintegrated.
+    pub mean_time_to_reintegration: Option<f64>,
+}
+
+impl TrialAggregate {
+    /// Folds trial results **in the order given** (callers pass
+    /// trial-index order for bit-identical aggregates).
+    pub fn fold<'a>(results: impl IntoIterator<Item = &'a TrialResult>) -> TrialAggregate {
+        let mut agg = TrialAggregate::default();
+        let mut unavailability_sum = 0.0;
+        let mut ttr_sum = 0u64;
+        let mut ttr_count = 0u32;
+        for trial in results {
+            agg.trials += 1;
+            match trial.outcome {
+                Outcome::Contained => agg.contained += 1,
+                Outcome::HealthyNodeFrozen => agg.healthy_frozen += 1,
+                Outcome::StartupFailed => agg.startup_failed += 1,
+            }
+            match trial.recovery {
+                RecoveryOutcome::Contained => agg.recovery_contained += 1,
+                RecoveryOutcome::Recovered => agg.recovered += 1,
+                RecoveryOutcome::DegradedStable => agg.degraded += 1,
+                RecoveryOutcome::PermanentLoss => agg.permanent_loss += 1,
+            }
+            unavailability_sum += trial.unavailability;
+            if let Some(t) = trial.time_to_reintegration {
+                ttr_sum += t;
+                ttr_count += 1;
+            }
+        }
+        if agg.trials > 0 {
+            agg.mean_unavailability = unavailability_sum / f64::from(agg.trials);
+        }
+        if ttr_count > 0 {
+            agg.mean_time_to_reintegration = Some(ttr_sum as f64 / f64::from(ttr_count));
+        }
+        agg
+    }
+}
+
+impl CampaignReport {
+    /// Builds the E9 report for a scenario/configuration from folded
+    /// trial results.
+    #[must_use]
+    pub fn from_aggregate(
+        scenario: Scenario,
+        topology: Topology,
+        authority: CouplerAuthority,
+        agg: &TrialAggregate,
+    ) -> CampaignReport {
+        CampaignReport {
+            scenario,
+            topology,
+            authority,
+            trials: agg.trials,
+            contained: agg.contained,
+            healthy_frozen: agg.healthy_frozen,
+            startup_failed: agg.startup_failed,
+        }
+    }
+}
+
+impl RecoveryReport {
+    /// Builds the E10 report for a scenario/configuration from folded
+    /// trial results.
+    #[must_use]
+    pub fn from_aggregate(
+        scenario: Scenario,
+        topology: Topology,
+        authority: CouplerAuthority,
+        policy: RestartPolicy,
+        agg: &TrialAggregate,
+    ) -> RecoveryReport {
+        RecoveryReport {
+            scenario,
+            topology,
+            authority,
+            policy,
+            trials: agg.trials,
+            contained: agg.recovery_contained,
+            recovered: agg.recovered,
+            degraded: agg.degraded,
+            permanent_loss: agg.permanent_loss,
+            mean_unavailability: agg.mean_unavailability,
+            mean_time_to_reintegration: agg.mean_time_to_reintegration,
+        }
+    }
+}
+
 /// A randomized fault-injection campaign.
 #[derive(Debug, Clone, Copy)]
 pub struct Campaign {
@@ -388,46 +549,85 @@ impl Campaign {
         self
     }
 
+    /// Trials this campaign is configured to run per scenario.
+    #[must_use]
+    pub fn trial_count(&self) -> u32 {
+        self.trials
+    }
+
     /// The RNG seed of one trial, independent of every other trial.
-    fn trial_seed(&self, scenario: Scenario, index: u32) -> u64 {
+    /// Public so external harnesses (the campaign daemon's
+    /// content-addressed result cache) can key per-trial work on it.
+    #[must_use]
+    pub fn trial_seed(&self, scenario: Scenario, index: u32) -> u64 {
         mix(self.seed ^ mix((scenario as u64) << 32 | u64::from(index)))
+    }
+
+    /// Whether `scenario` can be injected under this campaign's
+    /// topology/authority at all.
+    #[must_use]
+    pub fn applicable(&self, scenario: Scenario) -> bool {
+        scenario.applicable(self.topology, self.authority)
+    }
+
+    /// Runs exactly one trial of `scenario` and classifies it fully.
+    /// Trial `index` is the same simulation no matter who runs it or in
+    /// what order — this is the unit of work the campaign daemon shards,
+    /// journals and caches.
+    #[must_use]
+    pub fn run_trial(&self, scenario: Scenario, index: u32) -> TrialResult {
+        let seed = self.trial_seed(scenario, index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let report = self.trial(scenario, &mut rng);
+        TrialResult::from_report(index, seed, self.nodes, &report)
+    }
+
+    /// Runs trials `range` of `scenario` sequentially on the calling
+    /// thread, invoking `progress` after each finished trial and
+    /// stopping early (returning what was computed so far) once `cancel`
+    /// is set. The progress/cancellation surface long-running services
+    /// need without giving up per-trial determinism.
+    pub fn run_trials_observed(
+        &self,
+        scenario: Scenario,
+        range: std::ops::Range<u32>,
+        progress: &mut dyn FnMut(&TrialResult),
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Vec<TrialResult> {
+        let mut results = Vec::with_capacity(range.len());
+        if !self.applicable(scenario) {
+            return results;
+        }
+        for index in range {
+            if cancel.load(std::sync::atomic::Ordering::Relaxed) {
+                break;
+            }
+            let trial = self.run_trial(scenario, index);
+            progress(&trial);
+            results.push(trial);
+        }
+        results
+    }
+
+    /// Runs all configured trials of one scenario across the worker
+    /// threads, returning the per-trial results in trial-index order
+    /// (empty if the scenario is inapplicable).
+    #[must_use]
+    pub fn run_trials(&self, scenario: Scenario) -> Vec<TrialResult> {
+        if !self.applicable(scenario) {
+            return Vec::new();
+        }
+        self.dispatch(|range: std::ops::Range<u32>| -> Vec<TrialResult> {
+            range.map(|index| self.run_trial(scenario, index)).collect()
+        })
     }
 
     /// Runs one scenario: `trials` independent randomized simulations,
     /// distributed across the configured worker threads.
     #[must_use]
     pub fn run(&self, scenario: Scenario) -> CampaignReport {
-        let mut report = CampaignReport {
-            scenario,
-            topology: self.topology,
-            authority: self.authority,
-            trials: 0,
-            contained: 0,
-            healthy_frozen: 0,
-            startup_failed: 0,
-        };
-        if !scenario.applicable(self.topology, self.authority) {
-            return report;
-        }
-
-        let run_range = |range: std::ops::Range<u32>| -> Vec<Outcome> {
-            range
-                .map(|index| {
-                    let mut rng = StdRng::seed_from_u64(self.trial_seed(scenario, index));
-                    Outcome::classify(&self.trial(scenario, &mut rng))
-                })
-                .collect()
-        };
-
-        for outcome in self.dispatch(run_range) {
-            report.trials += 1;
-            match outcome {
-                Outcome::Contained => report.contained += 1,
-                Outcome::HealthyNodeFrozen => report.healthy_frozen += 1,
-                Outcome::StartupFailed => report.startup_failed += 1,
-            }
-        }
-        report
+        let agg = TrialAggregate::fold(&self.run_trials(scenario));
+        CampaignReport::from_aggregate(scenario, self.topology, self.authority, &agg)
     }
 
     /// Runs every applicable scenario.
@@ -442,66 +642,16 @@ impl Campaign {
     /// time-to-reintegration to the aggregate (experiment E10).
     #[must_use]
     pub fn run_recovery(&self, scenario: Scenario) -> RecoveryReport {
-        let mut report = RecoveryReport {
+        // The fold runs in trial-index order so results are identical
+        // for every thread count.
+        let agg = TrialAggregate::fold(&self.run_trials(scenario));
+        RecoveryReport::from_aggregate(
             scenario,
-            topology: self.topology,
-            authority: self.authority,
-            policy: self.restart_policy,
-            trials: 0,
-            contained: 0,
-            recovered: 0,
-            degraded: 0,
-            permanent_loss: 0,
-            mean_unavailability: 0.0,
-            mean_time_to_reintegration: None,
-        };
-        if !scenario.applicable(self.topology, self.authority) {
-            return report;
-        }
-
-        let run_range = |range: std::ops::Range<u32>| -> Vec<(RecoveryOutcome, f64, Option<u64>)> {
-            range
-                .map(|index| {
-                    let mut rng = StdRng::seed_from_u64(self.trial_seed(scenario, index));
-                    let sim = self.trial(scenario, &mut rng);
-                    let quorum = (self.nodes - sim.faulty_nodes().len()) as u32;
-                    (
-                        RecoveryOutcome::classify(&sim),
-                        sim.unavailability(quorum),
-                        sim.time_to_reintegration(),
-                    )
-                })
-                .collect()
-        };
-
-        let results = self.dispatch(run_range);
-
-        let mut unavailability_sum = 0.0;
-        let mut ttr_sum = 0u64;
-        let mut ttr_count = 0u32;
-        // Sums run in trial-index order so results are identical for
-        // every thread count.
-        for (outcome, unavailability, ttr) in results {
-            report.trials += 1;
-            match outcome {
-                RecoveryOutcome::Contained => report.contained += 1,
-                RecoveryOutcome::Recovered => report.recovered += 1,
-                RecoveryOutcome::DegradedStable => report.degraded += 1,
-                RecoveryOutcome::PermanentLoss => report.permanent_loss += 1,
-            }
-            unavailability_sum += unavailability;
-            if let Some(t) = ttr {
-                ttr_sum += t;
-                ttr_count += 1;
-            }
-        }
-        if report.trials > 0 {
-            report.mean_unavailability = unavailability_sum / f64::from(report.trials);
-        }
-        if ttr_count > 0 {
-            report.mean_time_to_reintegration = Some(ttr_sum as f64 / f64::from(ttr_count));
-        }
-        report
+            self.topology,
+            self.authority,
+            self.restart_policy,
+            &agg,
+        )
     }
 
     /// Runs `run_range` over all trial indices, across the configured
@@ -744,6 +894,87 @@ mod tests {
             .run_recovery(Scenario::CouplerReplay);
         assert!(!report.applicable());
         assert!(report.to_string().contains("not applicable"));
+    }
+
+    #[test]
+    fn per_trial_results_refold_into_both_reports() {
+        let base = campaign(Topology::Star, CouplerAuthority::FullShifting)
+            .fault_duration(60)
+            .restart_policy(RestartPolicy::Watchdog { silence_slots: 8 });
+        let trials = base.run_trials(Scenario::CouplerReplay);
+        assert_eq!(trials.len(), 12);
+        // Trials arrive in index order with their derived seeds.
+        for (i, trial) in trials.iter().enumerate() {
+            assert_eq!(trial.index, i as u32);
+            assert_eq!(
+                trial.seed,
+                base.trial_seed(Scenario::CouplerReplay, trial.index)
+            );
+        }
+        let agg = TrialAggregate::fold(&trials);
+        let recovery = RecoveryReport::from_aggregate(
+            Scenario::CouplerReplay,
+            Topology::Star,
+            CouplerAuthority::FullShifting,
+            RestartPolicy::Watchdog { silence_slots: 8 },
+            &agg,
+        );
+        assert_eq!(recovery, base.run_recovery(Scenario::CouplerReplay));
+        let containment = CampaignReport::from_aggregate(
+            Scenario::CouplerReplay,
+            Topology::Star,
+            CouplerAuthority::FullShifting,
+            &agg,
+        );
+        assert_eq!(containment, base.run(Scenario::CouplerReplay));
+    }
+
+    #[test]
+    fn individual_trials_match_the_batch() {
+        let base = campaign(Topology::Bus, CouplerAuthority::Passive);
+        let batch = base.run_trials(Scenario::SosSender);
+        for trial in &batch {
+            assert_eq!(*trial, base.run_trial(Scenario::SosSender, trial.index));
+        }
+    }
+
+    #[test]
+    fn observed_runs_report_progress_and_honor_cancellation() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let base = campaign(Topology::Bus, CouplerAuthority::Passive);
+        let cancel = AtomicBool::new(false);
+        let mut seen = Vec::new();
+        let results = base.run_trials_observed(
+            Scenario::SosSender,
+            0..5,
+            &mut |t| seen.push(t.index),
+            &cancel,
+        );
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(results.len(), 5);
+
+        // Cancelling after the third trial stops the sweep early.
+        let cancel = AtomicBool::new(false);
+        let mut count = 0;
+        let results = base.run_trials_observed(
+            Scenario::SosSender,
+            0..5,
+            &mut |_| {
+                count += 1;
+                if count == 3 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            },
+            &cancel,
+        );
+        assert_eq!(results.len(), 3);
+    }
+
+    #[test]
+    fn inapplicable_scenarios_yield_no_trials() {
+        let base = campaign(Topology::Bus, CouplerAuthority::Passive);
+        assert!(!base.applicable(Scenario::CouplerReplay));
+        assert!(base.run_trials(Scenario::CouplerReplay).is_empty());
     }
 
     #[test]

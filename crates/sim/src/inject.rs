@@ -310,6 +310,25 @@ impl FaultPlan {
         nodes
     }
 
+    /// The plan's node faults, in injection order. Read access for
+    /// harnesses that serialize plans (the campaign daemon's eval op).
+    #[must_use]
+    pub fn node_faults(&self) -> &[NodeFault] {
+        &self.node_faults
+    }
+
+    /// The plan's coupler faults, in injection order.
+    #[must_use]
+    pub fn coupler_faults(&self) -> &[CouplerFaultEvent] {
+        &self.coupler_faults
+    }
+
+    /// The plan's local-guardian faults, in injection order.
+    #[must_use]
+    pub fn guardian_faults(&self) -> &[GuardianFaultEvent] {
+        &self.guardian_faults
+    }
+
     /// Whether the plan injects nothing at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -50,13 +50,16 @@ mod sim;
 mod topology;
 mod trace;
 
-pub use campaign::{Campaign, CampaignReport, Outcome, RecoveryOutcome, RecoveryReport, Scenario};
+pub use campaign::{
+    Campaign, CampaignReport, Outcome, RecoveryOutcome, RecoveryReport, Scenario, TrialAggregate,
+    TrialResult,
+};
 pub use drift::{DriftExperiment, DriftReport};
 pub use inject::{
     CouplerFaultEvent, FaultPersistence, FaultPlan, GuardianFaultEvent, NodeFault, NodeFaultKind,
 };
 pub use log::{SlotEvent, SlotLog};
-pub use metrics::{TimeSeries, TimeSeriesError};
+pub use metrics::{PlanRunMetrics, TimeSeries, TimeSeriesError};
 pub use report::{RecoveryEpisode, SimReport, SteadyState};
 pub use sim::{SimBuilder, Simulation};
 pub use topology::Topology;

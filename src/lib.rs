@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub use tta_analysis as analysis;
+pub use tta_campaignd as campaignd;
 pub use tta_conformance as conformance;
 pub use tta_core as core;
 pub use tta_fuzz as fuzz;
