@@ -146,7 +146,12 @@ fn run_cell(
         };
         let result = session
             .client
-            .submit(&spec, threads, &mut |_| {})
+            .submit_resilient(
+                &spec,
+                threads,
+                &tta_campaignd::client::ReconnectPolicy::default(),
+                &mut |_| {},
+            )
             .unwrap_or_else(|e| {
                 eprintln!("error: campaign daemon failed: {e}");
                 std::process::exit(1);

@@ -51,9 +51,13 @@ fn shard_path(dir: &Path, key: u64) -> PathBuf {
 impl Cache {
     /// Opens (or creates) the cache directory and loads every shard.
     ///
-    /// A shard line that fails to parse or checksum ends that shard's
-    /// load and truncates the file back to its valid prefix — corrupt
-    /// cache entries cost recomputation, never a failed open.
+    /// A shard line that fails to parse or checksum is *skipped* —
+    /// every later valid entry in the shard still loads, so a torn
+    /// append (or a flipped byte) costs exactly the damaged entries,
+    /// never the rest of the shard. A shard found damaged is compacted
+    /// back to its valid lines via temp-file + rename, so the rewrite
+    /// is atomic: a crash mid-compaction leaves either the old shard or
+    /// the new one, both self-checking.
     ///
     /// # Errors
     ///
@@ -69,27 +73,29 @@ impl Cache {
             let file = OpenOptions::new().read(true).open(&path)?;
             let mut reader = BufReader::new(file);
             let mut line = String::new();
-            let mut valid_len: u64 = 0;
+            let mut valid_lines = String::new();
+            let mut damaged = false;
             loop {
                 line.clear();
                 let n = reader.read_line(&mut line)?;
-                if n == 0 || !line.ends_with('\n') {
+                if n == 0 {
                     break;
                 }
-                let Some(entry) = unseal(line.trim_end()) else {
+                if !line.ends_with('\n') {
+                    damaged = true; // torn newline-less tail
                     break;
-                };
-                let Some((key, trial)) = parse_entry(&entry) else {
-                    break;
-                };
-                map.insert(key, trial);
-                valid_len += n as u64;
+                }
+                let entry = unseal(line.trim_end()).and_then(|e| parse_entry(&e));
+                match entry {
+                    Some((key, trial)) => {
+                        map.insert(key, trial);
+                        valid_lines.push_str(&line);
+                    }
+                    None => damaged = true, // skip, keep scanning
+                }
             }
-            if valid_len < std::fs::metadata(&path)?.len() {
-                OpenOptions::new()
-                    .write(true)
-                    .open(&path)?
-                    .set_len(valid_len)?;
+            if damaged {
+                compact_shard(&path, &valid_lines)?;
             }
         }
         Ok(Cache {
@@ -158,6 +164,22 @@ impl Cache {
         }
         Ok(())
     }
+}
+
+/// Atomically rewrites a damaged shard with its surviving valid lines:
+/// write a sibling temp file, sync it, rename over the original.
+fn compact_shard(path: &Path, valid_lines: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("ndjson.tmp");
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(valid_lines.as_bytes())?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 fn render_entry(key: u64, trial: &TrialResult) -> Json {
@@ -247,9 +269,52 @@ mod tests {
 
         let cache = Cache::open(&dir).unwrap();
         assert_eq!(cache.len(), 2);
-        // Reopen truncated the torn tail; a fresh insert then reload
-        // sees all three entries.
+        // Reopen compacted the torn tail away; a fresh insert then
+        // reload sees all three entries.
         cache.insert_batch(&[(3, trial(2))]).unwrap();
+        drop(cache);
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn mid_shard_corruption_keeps_later_entries_and_compacts() {
+        let dir = temp_dir("midshard");
+        let cache = Cache::open(&dir).unwrap();
+        // Three entries in the same shard (same top byte).
+        cache
+            .insert_batch(&[(0x10, trial(0)), (0x11, trial(1)), (0x12, trial(2))])
+            .unwrap();
+        drop(cache);
+
+        // Corrupt the *middle* line: flip payload bytes so the checksum
+        // fails, leaving the line well-formed JSON.
+        let shard = shard_path(&dir, 0x10);
+        let text = std::fs::read_to_string(&shard).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let tampered = lines[1].replace("\"seed\"", "\"sead\"");
+        assert_ne!(tampered, lines[1]);
+        std::fs::write(
+            &shard,
+            format!("{}\n{}\n{}\n", lines[0], tampered, lines[2]),
+        )
+        .unwrap();
+
+        // The entries before AND after the damaged line survive.
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(0x10, 0).is_some());
+        assert!(cache.lookup(0x11, 0).is_none(), "damaged entry is gone");
+        assert!(cache.lookup(0x12, 0).is_some());
+        drop(cache);
+
+        // The shard was compacted back to exactly its valid lines, and
+        // keeps working for appends + reloads.
+        let text = std::fs::read_to_string(&shard).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let cache = Cache::open(&dir).unwrap();
+        cache.insert_batch(&[(0x13, trial(3))]).unwrap();
         drop(cache);
         let cache = Cache::open(&dir).unwrap();
         assert_eq!(cache.len(), 3);

@@ -23,26 +23,28 @@
 
 use crate::hash::{fnv1a64, to_hex};
 use crate::json::Json;
-use crate::spec::{trial_from_json, trial_to_fields};
+use crate::runner::TrialVerdict;
+use crate::spec::{verdict_from_json, verdict_to_fields};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Seek, SeekFrom, Write};
 use std::path::Path;
-use tta_sim::TrialResult;
 
 /// Trials per journaled chunk. Fixed (not tunable per job) so that a
 /// sweep resumed under a different worker count still partitions
 /// identically and every journaled chunk stays valid.
 pub const CHUNK_SIZE: u32 = 8;
 
-/// One completed chunk: `CHUNK_SIZE` consecutive trials (the last chunk
-/// of a job may be shorter), in trial-index order.
+/// One completed chunk: `CHUNK_SIZE` consecutive trial verdicts (the
+/// last chunk of a job may be shorter), in trial-index order. A
+/// quarantined trial journals as a verdict like any other — resumption
+/// replays it instead of re-running the poisoned simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChunkRecord {
     /// Chunk index; covers trials `chunk * CHUNK_SIZE ..`.
     pub chunk: u32,
-    /// The chunk's trial results, in index order.
-    pub trials: Vec<TrialResult>,
+    /// The chunk's trial verdicts, in index order.
+    pub trials: Vec<TrialVerdict>,
 }
 
 impl ChunkRecord {
@@ -54,7 +56,7 @@ impl ChunkRecord {
                 Json::Arr(
                     self.trials
                         .iter()
-                        .map(|t| Json::Obj(trial_to_fields(t)))
+                        .map(|v| Json::Obj(verdict_to_fields(v)))
                         .collect(),
                 ),
             ),
@@ -68,7 +70,7 @@ impl ChunkRecord {
             .get("trials")?
             .as_arr()?
             .iter()
-            .map(|t| trial_from_json(t).ok())
+            .map(|t| verdict_from_json(t).ok())
             .collect::<Option<Vec<_>>>()?;
         Some(ChunkRecord { chunk, trials })
     }
@@ -111,7 +113,7 @@ pub(crate) fn unseal(line: &str) -> Option<Json> {
 pub struct Journal {
     file: File,
     /// Chunks recovered from the valid prefix at open time.
-    recovered: BTreeMap<u32, Vec<TrialResult>>,
+    recovered: BTreeMap<u32, Vec<TrialVerdict>>,
 }
 
 impl Journal {
@@ -190,12 +192,12 @@ impl Journal {
     /// Chunks recovered at open time, keyed by chunk index. Consumed by
     /// the runner to pre-seed its result stream.
     #[must_use]
-    pub fn recovered(&self) -> &BTreeMap<u32, Vec<TrialResult>> {
+    pub fn recovered(&self) -> &BTreeMap<u32, Vec<TrialVerdict>> {
         &self.recovered
     }
 
     /// Takes the recovered chunks out of the journal.
-    pub fn take_recovered(&mut self) -> BTreeMap<u32, Vec<TrialResult>> {
+    pub fn take_recovered(&mut self) -> BTreeMap<u32, Vec<TrialVerdict>> {
         std::mem::take(&mut self.recovered)
     }
 
@@ -221,10 +223,11 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tta_sim::{Outcome, RecoveryOutcome};
+    use crate::runner::{QuarantineReason, QuarantinedTrial};
+    use tta_sim::{Outcome, RecoveryOutcome, TrialResult};
 
-    fn trial(index: u32) -> TrialResult {
-        TrialResult {
+    fn trial(index: u32) -> TrialVerdict {
+        TrialVerdict::Completed(TrialResult {
             index,
             seed: u64::from(index) * 977,
             outcome: Outcome::Contained,
@@ -235,7 +238,7 @@ mod tests {
             } else {
                 None
             },
-        }
+        })
     }
 
     fn record(chunk: u32) -> ChunkRecord {
@@ -244,6 +247,30 @@ mod tests {
             chunk,
             trials: (start..start + CHUNK_SIZE).map(trial).collect(),
         }
+    }
+
+    #[test]
+    fn quarantined_verdicts_round_trip() {
+        let path = temp_path("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let mut trials: Vec<TrialVerdict> = (0..CHUNK_SIZE).map(trial).collect();
+        trials[3] = TrialVerdict::Quarantined(QuarantinedTrial {
+            index: 3,
+            seed: 3 * 977,
+            reason: QuarantineReason::Panic,
+        });
+        trials[5] = TrialVerdict::Quarantined(QuarantinedTrial {
+            index: 5,
+            seed: 5 * 977,
+            reason: QuarantineReason::Timeout,
+        });
+        let record = ChunkRecord { chunk: 0, trials };
+        {
+            let mut journal = Journal::open(&path, 0xBEEF).unwrap();
+            journal.append(&record).unwrap();
+        }
+        let journal = Journal::open(&path, 0xBEEF).unwrap();
+        assert_eq!(journal.recovered()[&0], record.trials);
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {

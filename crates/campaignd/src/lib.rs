@@ -24,6 +24,7 @@
 //! is segregated from the deterministic stream.
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod hash;
 pub mod journal;

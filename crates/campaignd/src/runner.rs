@@ -1,28 +1,166 @@
-//! The sharded trial runner: claims chunks, consults the cache,
-//! journals checkpoints, and emits results in trial-index order.
+//! The sharded trial runner: leases chunks, sandboxes trials, consults
+//! the cache, journals checkpoints, and emits results in trial-index
+//! order.
 //!
-//! Work distribution follows the chunk-claim pattern of
-//! `tta_modelcheck::chunks::map_chunks`: trials are partitioned into
-//! fixed [`CHUNK_SIZE`] chunks, an atomic cursor hands pending chunks
-//! to whichever worker is free (fast workers take more), and the
-//! emitter republishes finished chunks strictly in index order. Because
-//! trial `index` is the same simulation everywhere, *which* worker runs
-//! a chunk never shows in the output — only in the timing.
+//! Work distribution is a *leased* variant of the chunk-claim pattern:
+//! trials are partitioned into fixed [`CHUNK_SIZE`] chunks, a lease
+//! table hands pending chunks to whichever worker is free, and every
+//! lease carries a generation so a completion from a superseded lease
+//! is discarded instead of double-published. A supervisor thread walks
+//! the workers' progress slots on a fixed tick; a worker that has sat
+//! on one trial past the deadline has its lease expired — the chunk
+//! goes back to the front of the pending queue for a healthy worker
+//! (spawning a bounded number of replacement workers when the pool has
+//! been eaten by wedged threads), and the trial that caused it is
+//! charged one timeout attempt.
 //!
-//! Resumption slots in at the same seam: chunks recovered from the
-//! journal are pre-seeded into the emitter's reorder buffer and simply
-//! never handed to workers. The emitted stream is byte-identical to an
-//! uninterrupted run's by construction, because both are the same
-//! records in the same order — one set read back from disk, the other
-//! recomputed from the same seeds.
+//! Each trial runs inside `catch_unwind` with a bounded retry budget
+//! ([`RetryPolicy`], mirroring `tta-protocol`'s `RestartPolicy`
+//! shapes): a panicking attempt is retried after exponential backoff; a
+//! trial that burns the whole budget — by panicking every attempt or by
+//! being charged [`RetryPolicy::max_attempts`] timeouts — is recorded
+//! as a [`TrialVerdict::Quarantined`] entry in the journal and the
+//! NDJSON stream. Quarantine is a deterministic *outcome*, not a crash:
+//! the sweep completes, the daemon survives, and a resumed run replays
+//! the quarantined verdict from the journal without re-running the
+//! poisoned trial.
+//!
+//! Because trial `index` is the same simulation everywhere, *which*
+//! worker runs a chunk — or how many times a chunk was reclaimed and
+//! re-run — never shows in the output, only in the (out-of-band) stats.
+//! Resumption slots in at the same seam as before: chunks recovered
+//! from the journal are pre-seeded into the emitter's reorder buffer
+//! and never handed to workers.
 
 use crate::cache::Cache;
+use crate::chaos::ChaosPlan;
 use crate::journal::{ChunkRecord, Journal, CHUNK_SIZE};
 use crate::spec::ResolvedJob;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 use tta_sim::{TrialAggregate, TrialResult};
+
+/// Upper bound on idle/teardown sleeps (worker claim-wait, supervisor
+/// slice, emitter poll) so a long supervision tick slows *scanning*,
+/// never run teardown.
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Why a trial was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Every sandboxed attempt panicked.
+    Panic,
+    /// The trial was charged the full timeout budget by the supervisor.
+    Timeout,
+}
+
+impl QuarantineReason {
+    /// The stable wire token (`"panic"` / `"timeout"`).
+    #[must_use]
+    pub fn token(self) -> &'static str {
+        match self {
+            QuarantineReason::Panic => "panic",
+            QuarantineReason::Timeout => "timeout",
+        }
+    }
+
+    /// Parses a wire token back.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<QuarantineReason> {
+        match token {
+            "panic" => Some(QuarantineReason::Panic),
+            "timeout" => Some(QuarantineReason::Timeout),
+            _ => None,
+        }
+    }
+}
+
+/// A trial the retry budget gave up on: a deterministic terminal
+/// verdict, journaled and streamed like any other result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedTrial {
+    /// The trial's index in the sweep.
+    pub index: u32,
+    /// The trial's derived seed (identifies the poisoned simulation).
+    pub seed: u64,
+    /// Why the budget was exhausted.
+    pub reason: QuarantineReason,
+}
+
+/// The terminal verdict of one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialVerdict {
+    /// The trial ran to completion.
+    Completed(TrialResult),
+    /// The trial exhausted its retry budget and was quarantined.
+    Quarantined(QuarantinedTrial),
+}
+
+impl TrialVerdict {
+    /// The trial index this verdict covers.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        match self {
+            TrialVerdict::Completed(t) => t.index,
+            TrialVerdict::Quarantined(q) => q.index,
+        }
+    }
+
+    /// The completed result, if any.
+    #[must_use]
+    pub fn completed(&self) -> Option<&TrialResult> {
+        match self {
+            TrialVerdict::Completed(t) => Some(t),
+            TrialVerdict::Quarantined(_) => None,
+        }
+    }
+}
+
+/// Bounded retry budget for sandboxed trials — the service-level mirror
+/// of `tta-protocol`'s `RestartPolicy::BoundedRetry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts (initial + retries) before a trial is quarantined; also
+    /// the timeout budget a trial may be charged by the supervisor.
+    pub max_attempts: u32,
+    /// Base backoff between panicking attempts (doubles per retry).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Supervision parameters: the retry budget, the per-trial wall-clock
+/// deadline, and the supervisor's scan period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Retry budget for panicking / timed-out trials.
+    pub retry: RetryPolicy,
+    /// Wall-clock deadline for one trial attempt; a worker exceeding it
+    /// has its chunk lease expired and the trial charged one timeout.
+    pub trial_deadline: Duration,
+    /// Supervisor scan period.
+    pub tick: Duration,
+}
+
+impl Default for Supervision {
+    fn default() -> Supervision {
+        Supervision {
+            retry: RetryPolicy::default(),
+            trial_deadline: Duration::from_secs(30),
+            tick: Duration::from_millis(25),
+        }
+    }
+}
 
 /// Non-deterministic bookkeeping of one run. Reported on a separate
 /// stream line precisely because it is *not* stable across worker
@@ -38,20 +176,38 @@ pub struct RunStats {
     pub resumed_chunks: u64,
     /// Trials inside those recovered chunks.
     pub resumed_trials: u64,
+    /// Trials quarantined this run (journal-recovered ones excluded).
+    pub quarantined: u64,
+    /// Panicking attempts that were retried.
+    pub panics_retried: u64,
+    /// Chunk leases expired and reclaimed by the supervisor.
+    pub leases_reclaimed: u64,
 }
 
 /// The result of one (possibly partial) run.
 #[derive(Debug)]
 pub struct RunOutcome {
-    /// Every emitted trial, in index order.
-    pub trials: Vec<TrialResult>,
-    /// The fold of `trials`, in the same order every run folds in.
+    /// Every emitted verdict, in trial-index order.
+    pub verdicts: Vec<TrialVerdict>,
+    /// The fold of the *completed* trials, in the same order every run
+    /// folds in.
     pub aggregate: TrialAggregate,
     /// Whether all trials were emitted (false only when cancelled or a
     /// worker hit an I/O error mid-sweep).
     pub complete: bool,
     /// Non-deterministic bookkeeping.
     pub stats: RunStats,
+}
+
+impl RunOutcome {
+    /// The completed trials, in index order.
+    #[must_use]
+    pub fn completed(&self) -> Vec<TrialResult> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| v.completed().copied())
+            .collect()
+    }
 }
 
 /// Debug crash hook: makes the daemon abort itself after a fixed number
@@ -64,14 +220,213 @@ pub struct CrashPlan {
     pub crash_after_chunks: Option<u64>,
 }
 
+/// Everything configuring one run besides the job itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunConfig {
+    /// Worker pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Supervision parameters (`..Default::default()` for the stock
+    /// budget).
+    pub supervision: Supervision,
+    /// Failure injection (default: none).
+    pub chaos: ChaosPlan,
+    /// Debug crash hook.
+    pub crash: CrashPlan,
+}
+
+impl RunConfig {
+    /// A config with `workers` workers and stock supervision.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> RunConfig {
+        RunConfig {
+            workers,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Control and observation handles a host wires into one run: the
+/// process-wide journal-append counter (the crash hook's clock), the
+/// cancellation flag, and optional live progress for the `status` op.
+#[derive(Debug, Clone, Copy)]
+pub struct RunHandles<'a> {
+    /// Journal appends across the whole process, fed to the crash hook.
+    pub appends_so_far: &'a AtomicU64,
+    /// Set to stop workers at the next chunk (lease) boundary.
+    pub cancel: &'a AtomicBool,
+    /// Live progress counters, kept current when present.
+    pub progress: Option<&'a JobProgress>,
+}
+
+/// Live progress counters of one running job, shared with the daemon's
+/// `status` op. All counters are monotone except `chunks_leased` and
+/// `workers_active`, which track the current state.
+#[derive(Debug, Default)]
+pub struct JobProgress {
+    /// Chunks this run must produce (journal-recovered ones excluded).
+    pub chunks_total: AtomicU64,
+    /// Chunks committed (journaled + handed to the emitter).
+    pub chunks_done: AtomicU64,
+    /// Chunks currently out on a lease.
+    pub chunks_leased: AtomicU64,
+    /// Trials quarantined so far.
+    pub quarantined: AtomicU64,
+    /// Workers currently in the claim/execute loop.
+    pub workers_active: AtomicU64,
+}
+
+// ---------------------------------------------------------------------
+// Lease table.
+// ---------------------------------------------------------------------
+
+/// One chunk lease: who may commit the chunk, and since when.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    generation: u64,
+}
+
+#[derive(Debug, Default)]
+struct LeaseTable {
+    pending: VecDeque<u32>,
+    active: HashMap<u32, Lease>,
+    done: usize,
+    total: usize,
+    next_generation: u64,
+}
+
+impl LeaseTable {
+    fn new(pending: Vec<u32>) -> LeaseTable {
+        LeaseTable {
+            total: pending.len(),
+            pending: pending.into(),
+            ..LeaseTable::default()
+        }
+    }
+
+    fn claim(&mut self) -> Option<(u32, u64)> {
+        let chunk = self.pending.pop_front()?;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.active.insert(chunk, Lease { generation });
+        Some((chunk, generation))
+    }
+
+    /// Commits a completed chunk if `generation` still holds the lease.
+    fn commit(&mut self, chunk: u32, generation: u64) -> bool {
+        match self.active.get(&chunk) {
+            Some(lease) if lease.generation == generation => {
+                self.active.remove(&chunk);
+                self.done += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Expires a lease, returning the chunk to the head of the queue.
+    /// Returns false when `generation` no longer holds the lease.
+    fn expire(&mut self, chunk: u32, generation: u64) -> bool {
+        match self.active.get(&chunk) {
+            Some(lease) if lease.generation == generation => {
+                self.active.remove(&chunk);
+                self.pending.push_front(chunk);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done == self.total
+    }
+}
+
+/// What a worker is doing right now, visible to the supervisor.
+#[derive(Debug, Clone, Copy)]
+struct TrialInFlight {
+    chunk: u32,
+    generation: u64,
+    index: u32,
+    started: Instant,
+}
+
+/// Shared state of one run, borrowed by workers and the supervisor.
+struct RunCtx<'a> {
+    job: &'a ResolvedJob,
+    cache: &'a Cache,
+    config: &'a RunConfig,
+    total_trials: u32,
+    leases: Mutex<LeaseTable>,
+    /// Per-worker-slot progress, scanned by the supervisor.
+    in_flight: Vec<Mutex<Option<TrialInFlight>>>,
+    /// Supervisor-charged timeout counts per trial index.
+    timeouts: Mutex<HashMap<u32, u32>>,
+    journal: Mutex<&'a mut Journal>,
+    io_error: Mutex<Option<std::io::Error>>,
+    cancel: &'a AtomicBool,
+    appends_so_far: &'a AtomicU64,
+    progress: Option<&'a JobProgress>,
+    cache_hits: AtomicU64,
+    computed: AtomicU64,
+    quarantined: AtomicU64,
+    panics_retried: AtomicU64,
+    leases_reclaimed: AtomicU64,
+    replacements_left: AtomicUsize,
+    next_slot: AtomicUsize,
+    /// Workers currently inside `worker_loop`; the emitter stops
+    /// waiting once this hits zero (the sender side lives in this
+    /// struct, so channel disconnection can never signal that).
+    workers_live: AtomicUsize,
+    tx: mpsc::Sender<(u32, Vec<TrialVerdict>)>,
+}
+
+impl RunCtx<'_> {
+    fn bail(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed) || self.io_error.lock().expect("error slot").is_some()
+    }
+
+    fn timeout_count(&self, index: u32) -> u32 {
+        self.timeouts
+            .lock()
+            .expect("timeout table")
+            .get(&index)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Swallows the panic output of *injected* chaos panics so a chaos run
+/// doesn't spam stderr with backtraces; every other panic keeps the
+/// default reporting. Installed once per process, first run.
+fn install_quiet_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("chaos: injected"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("chaos: injected"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
 /// Runs (or resumes) a resolved job.
 ///
-/// `workers` is clamped to at least 1. `emit` observes every trial in
-/// index order — journal-recovered, cache-hit and freshly simulated
+/// `emit` observes every verdict in trial-index order —
+/// journal-recovered, cache-hit, freshly simulated and quarantined
 /// alike — as soon as its chunk and all earlier chunks are done.
-/// Setting `cancel` stops workers at the next chunk boundary; finished
-/// chunks stay journaled, so a later run resumes where this one
-/// stopped.
+/// Setting `cancel` stops workers at the next chunk (lease) boundary;
+/// finished chunks stay journaled, so a later run resumes where this
+/// one stopped. `progress`, when given, is kept current for the
+/// daemon's `status` op.
 ///
 /// # Errors
 ///
@@ -80,23 +435,27 @@ pub struct CrashPlan {
 ///
 /// # Panics
 ///
-/// Panics only if a worker thread panics (a simulator bug).
-#[allow(clippy::too_many_arguments)]
+/// Never panics on a panicking *trial* — those are sandboxed, retried
+/// and quarantined. Panics only on poisoned internal locks.
 pub fn run(
     job: &ResolvedJob,
     journal: &mut Journal,
     cache: &Cache,
-    workers: usize,
-    crash: CrashPlan,
-    appends_so_far: &AtomicU64,
-    cancel: &AtomicBool,
-    emit: &mut dyn FnMut(&TrialResult),
+    config: &RunConfig,
+    handles: RunHandles<'_>,
+    emit: &mut dyn FnMut(&TrialVerdict),
 ) -> std::io::Result<RunOutcome> {
+    let RunHandles {
+        appends_so_far,
+        cancel,
+        progress,
+    } = handles;
+    install_quiet_chaos_panics();
     let total = job.exec.effective_trials();
     let total_chunks = total.div_ceil(CHUNK_SIZE);
-    let workers = workers.max(1);
+    let workers = config.workers.max(1);
 
-    let mut ready: BTreeMap<u32, Vec<TrialResult>> = journal.take_recovered();
+    let mut ready: BTreeMap<u32, Vec<TrialVerdict>> = journal.take_recovered();
     // A journal may hold chunks beyond this spec's horizon only if the
     // job hash collided; drop anything out of range defensively.
     ready.retain(|chunk, _| *chunk < total_chunks);
@@ -109,111 +468,407 @@ pub fn run(
     let pending: Vec<u32> = (0..total_chunks)
         .filter(|chunk| !ready.contains_key(chunk))
         .collect();
+    let initial_workers = workers.min(pending.len().max(1));
+    // Replacement budget: enough to survive every worker wedging once
+    // per retry attempt, bounded so a pathological job cannot spawn
+    // threads forever.
+    let replacement_budget =
+        (initial_workers * config.supervision.retry.max_attempts.max(1) as usize).min(16);
 
-    let cursor = AtomicUsize::new(0);
-    let cache_hits = AtomicU64::new(0);
-    let computed = AtomicU64::new(0);
-    let journal_slot = Mutex::new(journal);
-    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
-    let (tx, rx) = mpsc::channel::<(u32, Vec<TrialResult>)>();
+    if let Some(progress) = progress {
+        progress
+            .chunks_total
+            .store(pending.len() as u64, Ordering::Relaxed);
+        progress.chunks_done.store(0, Ordering::Relaxed);
+        progress.chunks_leased.store(0, Ordering::Relaxed);
+        progress.quarantined.store(0, Ordering::Relaxed);
+    }
+
+    let (tx, rx) = mpsc::channel::<(u32, Vec<TrialVerdict>)>();
+    let ctx = RunCtx {
+        job,
+        cache,
+        config,
+        total_trials: total,
+        leases: Mutex::new(LeaseTable::new(pending)),
+        in_flight: (0..initial_workers + replacement_budget)
+            .map(|_| Mutex::new(None))
+            .collect(),
+        timeouts: Mutex::new(HashMap::new()),
+        journal: Mutex::new(journal),
+        io_error: Mutex::new(None),
+        cancel,
+        appends_so_far,
+        progress,
+        cache_hits: AtomicU64::new(0),
+        computed: AtomicU64::new(0),
+        quarantined: AtomicU64::new(0),
+        panics_retried: AtomicU64::new(0),
+        leases_reclaimed: AtomicU64::new(0),
+        replacements_left: AtomicUsize::new(replacement_budget),
+        next_slot: AtomicUsize::new(0),
+        workers_live: AtomicUsize::new(0),
+        tx,
+    };
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(pending.len().max(1)) {
-            let tx = tx.clone();
-            scope.spawn(|| {
-                let tx = tx; // move the clone, borrow the rest
-                loop {
-                    if cancel.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    if io_error.lock().expect("error slot").is_some() {
-                        break;
-                    }
-                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&chunk) = pending.get(slot) else {
-                        break;
-                    };
-                    let start = chunk * CHUNK_SIZE;
-                    let end = (start + CHUNK_SIZE).min(total);
-                    let mut trials = Vec::with_capacity((end - start) as usize);
-                    let mut fresh = Vec::new();
-                    for index in start..end {
-                        let key = job.trial_key(job.exec.trial_seed(index));
-                        if let Some(hit) = cache.lookup(key, index) {
-                            cache_hits.fetch_add(1, Ordering::Relaxed);
-                            trials.push(hit);
-                        } else {
-                            let trial = job.exec.run_trial(index);
-                            computed.fetch_add(1, Ordering::Relaxed);
-                            fresh.push((key, trial));
-                            trials.push(trial);
+        for _ in 0..initial_workers {
+            let slot = ctx.next_slot.fetch_add(1, Ordering::Relaxed);
+            let ctx = &ctx;
+            // Registered before the spawn so the emitter can never
+            // observe zero live workers while any are still starting.
+            ctx.workers_live.fetch_add(1, Ordering::AcqRel);
+            scope.spawn(move || worker_loop(ctx, slot));
+        }
+        // The supervisor: scans progress slots, expires stale leases,
+        // spawns replacements for wedged workers.
+        {
+            let ctx = &ctx;
+            scope.spawn(move || supervisor_loop(ctx, scope));
+        }
+
+        // In-order emitter: republish chunks as soon as the next index
+        // is available, pulling from workers until the run completes
+        // or the pool empties out (cancel / crash budget / I/O error).
+        let mut emitted: Vec<TrialVerdict> = Vec::with_capacity(total as usize);
+        let mut next: u32 = 0;
+        while next < total_chunks {
+            if let Some(verdicts) = ready.remove(&next) {
+                for verdict in &verdicts {
+                    emit(verdict);
+                }
+                emitted.extend(verdicts);
+                next += 1;
+                continue;
+            }
+            match rx.recv_timeout(config.supervision.tick.min(IDLE_POLL)) {
+                Ok((chunk, verdicts)) => {
+                    ready.insert(chunk, verdicts);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if ctx.workers_live.load(Ordering::Acquire) == 0 {
+                        // Every worker has exited; whatever they sent
+                        // is already in the channel. Drain it, then
+                        // stop if the next chunk still isn't there.
+                        while let Ok((chunk, verdicts)) = rx.try_recv() {
+                            ready.insert(chunk, verdicts);
                         }
-                    }
-                    let record = ChunkRecord { chunk, trials };
-                    let appended = (|| -> std::io::Result<()> {
-                        cache.insert_batch(&fresh)?;
-                        let mut journal = journal_slot.lock().expect("journal lock");
-                        journal.append(&record)?;
-                        Ok(())
-                    })();
-                    match appended {
-                        Ok(()) => {
-                            let done = appends_so_far.fetch_add(1, Ordering::Relaxed) + 1;
-                            if crash.crash_after_chunks.is_some_and(|n| done >= n) {
-                                // The whole point: die *after* the
-                                // checkpoint hit disk, with no unwind,
-                                // like a power cut.
-                                std::process::abort();
-                            }
-                            let _ = tx.send((record.chunk, record.trials));
-                        }
-                        Err(e) => {
-                            io_error.lock().expect("error slot").get_or_insert(e);
+                        if !ready.contains_key(&next) {
                             break;
                         }
                     }
                 }
-            });
-        }
-        drop(tx);
-
-        // In-order emitter: republish chunks as soon as the next index
-        // is available, pulling from workers until they all hang up.
-        let mut emitted: Vec<TrialResult> = Vec::with_capacity(total as usize);
-        let mut next: u32 = 0;
-        loop {
-            if let Some(trials) = ready.remove(&next) {
-                for trial in &trials {
-                    emit(trial);
-                }
-                emitted.extend(trials);
-                next += 1;
-                if next == total_chunks {
-                    break;
-                }
-                continue;
-            }
-            match rx.recv() {
-                Ok((chunk, trials)) => {
-                    ready.insert(chunk, trials);
-                }
-                Err(_) => break, // workers done (or cancelled/errored)
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
-        stats.cache_hits = cache_hits.load(Ordering::Relaxed);
-        stats.computed = computed.load(Ordering::Relaxed);
-        let error = io_error.lock().expect("error slot").take();
+        stats.cache_hits = ctx.cache_hits.load(Ordering::Relaxed);
+        stats.computed = ctx.computed.load(Ordering::Relaxed);
+        stats.quarantined = ctx.quarantined.load(Ordering::Relaxed);
+        stats.panics_retried = ctx.panics_retried.load(Ordering::Relaxed);
+        stats.leases_reclaimed = ctx.leases_reclaimed.load(Ordering::Relaxed);
+        // Unblock any worker still waiting on lease churn.
+        cancel.store(
+            cancel.load(Ordering::Relaxed) || next == total_chunks,
+            Ordering::Relaxed,
+        );
+        let error = ctx.io_error.lock().expect("error slot").take();
         if let Some(e) = error {
             return Err(e);
         }
-        let aggregate = TrialAggregate::fold(&emitted);
+        let aggregate = TrialAggregate::fold(
+            &emitted
+                .iter()
+                .filter_map(|v| v.completed().copied())
+                .collect::<Vec<_>>(),
+        );
         Ok(RunOutcome {
             complete: emitted.len() == total as usize,
-            trials: emitted,
+            verdicts: emitted,
             aggregate,
             stats,
         })
     })
+}
+
+fn worker_loop(ctx: &RunCtx<'_>, slot: usize) {
+    // The spawner incremented `workers_live` for us.
+    if let Some(progress) = ctx.progress {
+        progress.workers_active.fetch_add(1, Ordering::Relaxed);
+    }
+    loop {
+        if ctx.bail() {
+            break;
+        }
+        let claimed = {
+            let mut leases = ctx.leases.lock().expect("lease table");
+            if leases.finished() {
+                break;
+            }
+            leases.claim()
+        };
+        let Some((chunk, generation)) = claimed else {
+            // Nothing pending, but leased chunks may yet be reclaimed
+            // by the supervisor — wait for churn instead of exiting.
+            // Capped below the tick so run teardown never waits out a
+            // long scan interval.
+            if ctx.leases.lock().expect("lease table").finished() {
+                break;
+            }
+            std::thread::sleep(ctx.config.supervision.tick.min(IDLE_POLL));
+            continue;
+        };
+        if let Some(progress) = ctx.progress {
+            progress.chunks_leased.fetch_add(1, Ordering::Relaxed);
+        }
+        let (verdicts, fresh) = execute_chunk(ctx, chunk, generation, slot);
+        let committed = ctx
+            .leases
+            .lock()
+            .expect("lease table")
+            .commit(chunk, generation);
+        if let Some(progress) = ctx.progress {
+            progress.chunks_leased.fetch_sub(1, Ordering::Relaxed);
+        }
+        if !committed {
+            // The supervisor reclaimed this lease while we were wedged;
+            // another worker owns (or owned) the chunk now. Discard —
+            // results are deterministic, so the other copy is
+            // equivalent.
+            continue;
+        }
+        let quarantined_here = verdicts
+            .iter()
+            .filter(|v| matches!(v, TrialVerdict::Quarantined(_)))
+            .count() as u64;
+        let record = ChunkRecord {
+            chunk,
+            trials: verdicts,
+        };
+        let appended = (|| -> std::io::Result<()> {
+            ctx.cache.insert_batch(&fresh)?;
+            let mut journal = ctx.journal.lock().expect("journal lock");
+            journal.append(&record)?;
+            Ok(())
+        })();
+        match appended {
+            Ok(()) => {
+                ctx.quarantined
+                    .fetch_add(quarantined_here, Ordering::Relaxed);
+                if let Some(progress) = ctx.progress {
+                    progress.chunks_done.fetch_add(1, Ordering::Relaxed);
+                    progress
+                        .quarantined
+                        .fetch_add(quarantined_here, Ordering::Relaxed);
+                }
+                let done = ctx.appends_so_far.fetch_add(1, Ordering::Relaxed) + 1;
+                let crash_at = ctx
+                    .config
+                    .crash
+                    .crash_after_chunks
+                    .or(ctx.config.chaos.kill_after_chunks);
+                if crash_at.is_some_and(|n| done >= n) {
+                    // The whole point: die *after* the checkpoint hit
+                    // disk, with no unwind, like a power cut.
+                    std::process::abort();
+                }
+                let _ = ctx.tx.send((record.chunk, record.trials));
+            }
+            Err(e) => {
+                ctx.io_error.lock().expect("error slot").get_or_insert(e);
+                break;
+            }
+        }
+    }
+    if let Some(progress) = ctx.progress {
+        progress.workers_active.fetch_sub(1, Ordering::Relaxed);
+    }
+    ctx.workers_live.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Runs every trial of one chunk under the sandbox, returning the
+/// verdicts plus the freshly computed cache entries.
+fn execute_chunk(
+    ctx: &RunCtx<'_>,
+    chunk: u32,
+    generation: u64,
+    slot: usize,
+) -> (Vec<TrialVerdict>, Vec<(u64, TrialResult)>) {
+    let start = chunk * CHUNK_SIZE;
+    let end = (start + CHUNK_SIZE).min(ctx.total_trials);
+    let mut verdicts = Vec::with_capacity((end - start) as usize);
+    let mut fresh = Vec::new();
+    for index in start..end {
+        let trial_seed = ctx.job.exec.trial_seed(index);
+        let key = ctx.job.trial_key(trial_seed);
+        if let Some(hit) = ctx.cache.lookup(key, index) {
+            ctx.cache_hits.fetch_add(1, Ordering::Relaxed);
+            verdicts.push(TrialVerdict::Completed(hit));
+            continue;
+        }
+        let verdict = run_sandboxed(ctx, chunk, generation, slot, index, trial_seed);
+        if let TrialVerdict::Completed(trial) = &verdict {
+            fresh.push((key, *trial));
+        }
+        verdicts.push(verdict);
+        // A reclaimed lease means our remaining work is someone else's;
+        // finishing the chunk would only waste CPU. Keep going anyway
+        // if we're nearly done — the commit check is the arbiter — but
+        // bail mid-chunk on cancellation.
+        if ctx.cancel.load(Ordering::Relaxed) && verdicts.len() < (end - start) as usize {
+            // Incomplete chunks are never committed; drop the partial
+            // work and let a resume recompute it.
+            let mut leases = ctx.leases.lock().expect("lease table");
+            leases.expire(chunk, generation);
+            return (verdicts, fresh);
+        }
+    }
+    (verdicts, fresh)
+}
+
+/// One trial under `catch_unwind` + deadline supervision + retry
+/// budget.
+fn run_sandboxed(
+    ctx: &RunCtx<'_>,
+    chunk: u32,
+    generation: u64,
+    slot: usize,
+    index: u32,
+    trial_seed: u64,
+) -> TrialVerdict {
+    let budget = ctx.config.supervision.retry.max_attempts.max(1);
+    let mut panic_attempts = 0u32;
+    loop {
+        // Timeout charges accrue via the supervisor (possibly against
+        // an earlier lease of this chunk); a trial over budget is
+        // quarantined without running again.
+        let timeout_attempts = ctx.timeout_count(index);
+        if timeout_attempts >= budget {
+            return TrialVerdict::Quarantined(QuarantinedTrial {
+                index,
+                seed: trial_seed,
+                reason: QuarantineReason::Timeout,
+            });
+        }
+        *ctx.in_flight[slot].lock().expect("progress slot") = Some(TrialInFlight {
+            chunk,
+            generation,
+            index,
+            started: Instant::now(),
+        });
+        let chaos = &ctx.config.chaos;
+        let deadline = ctx.config.supervision.trial_deadline;
+        let attempt = panic_attempts;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if chaos.injects_panic(index, trial_seed, attempt) {
+                panic!("chaos: injected worker panic (trial {index})");
+            }
+            if chaos.injects_stall(index, timeout_attempts) {
+                // Stall past the deadline so the supervisor reclaims
+                // the lease; bounded, so wedged threads drain.
+                std::thread::sleep(
+                    deadline
+                        .saturating_mul(2)
+                        .min(deadline + Duration::from_secs(10)),
+                );
+            }
+            ctx.job.exec.run_trial(index)
+        }));
+        *ctx.in_flight[slot].lock().expect("progress slot") = None;
+        match outcome {
+            Ok(trial) => {
+                ctx.computed.fetch_add(1, Ordering::Relaxed);
+                return TrialVerdict::Completed(trial);
+            }
+            Err(_) => {
+                panic_attempts += 1;
+                if panic_attempts >= budget {
+                    return TrialVerdict::Quarantined(QuarantinedTrial {
+                        index,
+                        seed: trial_seed,
+                        reason: QuarantineReason::Panic,
+                    });
+                }
+                ctx.panics_retried.fetch_add(1, Ordering::Relaxed);
+                // Exponential backoff between attempts.
+                let backoff = ctx
+                    .config
+                    .supervision
+                    .retry
+                    .backoff
+                    .saturating_mul(1 << (panic_attempts - 1).min(8));
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+/// Scans the workers' progress slots on a fixed tick; a trial past its
+/// deadline is charged one timeout and its chunk lease expired, and a
+/// replacement worker is spawned (bounded) since the wedged one cannot
+/// claim further work until it returns.
+fn supervisor_loop<'scope, 'env>(
+    ctx: &'scope RunCtx<'env>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+) where
+    'env: 'scope,
+{
+    let mut last_scan = Instant::now();
+    loop {
+        if ctx.bail() || ctx.leases.lock().expect("lease table").finished() {
+            break;
+        }
+        // Sleep in short slices so a finished run tears down promptly
+        // even under a long scan tick; the scan itself keeps its
+        // configured cadence.
+        std::thread::sleep(ctx.config.supervision.tick.min(IDLE_POLL));
+        if last_scan.elapsed() < ctx.config.supervision.tick {
+            continue;
+        }
+        last_scan = Instant::now();
+        for slot in &ctx.in_flight {
+            let stale = {
+                let mut guard = slot.lock().expect("progress slot");
+                match &*guard {
+                    Some(t) if t.started.elapsed() > ctx.config.supervision.trial_deadline => {
+                        guard.take()
+                    }
+                    _ => None,
+                }
+            };
+            let Some(t) = stale else { continue };
+            let expired = ctx
+                .leases
+                .lock()
+                .expect("lease table")
+                .expire(t.chunk, t.generation);
+            if !expired {
+                continue; // Already superseded; nothing to charge.
+            }
+            ctx.leases_reclaimed.fetch_add(1, Ordering::Relaxed);
+            if let Some(progress) = ctx.progress {
+                progress.chunks_leased.fetch_sub(1, Ordering::Relaxed);
+            }
+            *ctx.timeouts
+                .lock()
+                .expect("timeout table")
+                .entry(t.index)
+                .or_insert(0) += 1;
+            // The wedged worker occupies a pool slot until its stalled
+            // trial returns; restore capacity so recovery time stays
+            // bounded by the deadline, not by the stall.
+            if ctx
+                .replacements_left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                let slot = ctx.next_slot.fetch_add(1, Ordering::Relaxed);
+                if slot < ctx.in_flight.len() {
+                    ctx.workers_live.fetch_add(1, Ordering::AcqRel);
+                    scope.spawn(move || worker_loop(ctx, slot));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,7 +895,7 @@ mod tests {
         ResolvedJob::resolve(spec, Path::new(".")).unwrap()
     }
 
-    fn run_fresh(dir: &Path, workers: usize) -> (RunOutcome, Vec<u32>) {
+    fn run_with(dir: &Path, config: &RunConfig) -> (RunOutcome, Vec<u32>) {
         let job = job();
         let mut journal =
             Journal::open(&dir.join(format!("{}.journal", job.job_id())), job.job_hash).unwrap();
@@ -250,14 +905,20 @@ mod tests {
             &job,
             &mut journal,
             &cache,
-            workers,
-            CrashPlan::default(),
-            &AtomicU64::new(0),
-            &AtomicBool::new(false),
-            &mut |t| seen.push(t.index),
+            config,
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
+            &mut |v| seen.push(v.index()),
         )
         .unwrap();
         (outcome, seen)
+    }
+
+    fn run_fresh(dir: &Path, workers: usize) -> (RunOutcome, Vec<u32>) {
+        run_with(dir, &RunConfig::with_workers(workers))
     }
 
     #[test]
@@ -265,13 +926,14 @@ mod tests {
         let base = run_fresh(&temp_dir("w1"), 1);
         for workers in [2, 4, 8] {
             let other = run_fresh(&temp_dir(&format!("w{workers}")), workers);
-            assert_eq!(other.0.trials, base.0.trials, "workers={workers}");
+            assert_eq!(other.0.verdicts, base.0.verdicts, "workers={workers}");
             assert_eq!(other.0.aggregate, base.0.aggregate);
             assert_eq!(other.1, (0..20).collect::<Vec<u32>>());
         }
         assert!(base.0.complete);
         assert_eq!(base.0.stats.computed, 20);
         assert_eq!(base.0.stats.cache_hits, 0);
+        assert_eq!(base.0.stats.quarantined, 0);
     }
 
     #[test]
@@ -292,10 +954,12 @@ mod tests {
                 &job,
                 &mut journal,
                 &cache,
-                1,
-                CrashPlan::default(),
-                &AtomicU64::new(0),
-                &cancel,
+                &RunConfig::with_workers(1),
+                RunHandles {
+                    appends_so_far: &AtomicU64::new(0),
+                    cancel: &cancel,
+                    progress: None,
+                },
                 &mut |_| {
                     count += 1;
                     if count == CHUNK_SIZE {
@@ -317,11 +981,13 @@ mod tests {
             &job,
             &mut journal,
             &empty_cache,
-            4,
-            CrashPlan::default(),
-            &AtomicU64::new(0),
-            &AtomicBool::new(false),
-            &mut |t| order.push(t.index),
+            &RunConfig::with_workers(4),
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
+            &mut |v| order.push(v.index()),
         )
         .unwrap();
         assert!(resumed.complete);
@@ -329,7 +995,7 @@ mod tests {
         assert_eq!(order, (0..20).collect::<Vec<u32>>());
 
         let (fresh, _) = run_fresh(&temp_dir("resume-ref"), 4);
-        assert_eq!(resumed.trials, fresh.trials);
+        assert_eq!(resumed.verdicts, fresh.verdicts);
         assert_eq!(resumed.aggregate, fresh.aggregate);
     }
 
@@ -344,10 +1010,12 @@ mod tests {
             &job,
             &mut journal,
             &cache,
-            4,
-            CrashPlan::default(),
-            &AtomicU64::new(0),
-            &AtomicBool::new(false),
+            &RunConfig::with_workers(4),
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
             &mut |_| {},
         )
         .unwrap();
@@ -359,16 +1027,18 @@ mod tests {
             &job,
             &mut journal,
             &cache,
-            4,
-            CrashPlan::default(),
-            &AtomicU64::new(0),
-            &AtomicBool::new(false),
+            &RunConfig::with_workers(4),
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
             &mut |_| {},
         )
         .unwrap();
         assert_eq!(second.stats.cache_hits, 20);
         assert_eq!(second.stats.computed, 0);
-        assert_eq!(second.trials, first.trials);
+        assert_eq!(second.verdicts, first.verdicts);
         assert_eq!(second.aggregate, first.aggregate);
     }
 
@@ -386,15 +1056,136 @@ mod tests {
             &job,
             &mut journal,
             &cache,
-            4,
-            CrashPlan::default(),
-            &AtomicU64::new(0),
-            &AtomicBool::new(false),
+            &RunConfig::with_workers(4),
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
             &mut |_| {},
         )
         .unwrap();
         assert!(outcome.complete);
-        assert!(outcome.trials.is_empty());
+        assert!(outcome.verdicts.is_empty());
         assert_eq!(outcome.aggregate.trials, 0);
+    }
+
+    #[test]
+    fn injected_panics_are_retried_and_masked() {
+        let reference = run_fresh(&temp_dir("chaos-ref"), 2);
+        let mut config = RunConfig::with_workers(2);
+        config.chaos = ChaosPlan::parse("panic=0.5,seed=11").unwrap();
+        let chaotic = run_with(&temp_dir("chaos-panic"), &config);
+        assert_eq!(chaotic.0.verdicts, reference.0.verdicts);
+        assert_eq!(chaotic.0.aggregate, reference.0.aggregate);
+        assert_eq!(chaotic.0.stats.quarantined, 0);
+        assert!(
+            chaotic.0.stats.panics_retried > 0,
+            "p=0.5 over 20 trials should have injected at least one panic"
+        );
+    }
+
+    #[test]
+    fn a_poisoned_trial_is_quarantined_not_fatal() {
+        let mut config = RunConfig::with_workers(2);
+        config.chaos = ChaosPlan::parse("poison=5").unwrap();
+        config.supervision.retry.backoff = Duration::from_millis(1);
+        let (outcome, seen) = run_with(&temp_dir("poison"), &config);
+        assert!(outcome.complete);
+        assert_eq!(seen, (0..20).collect::<Vec<u32>>());
+        assert_eq!(outcome.stats.quarantined, 1);
+        let quarantined: Vec<_> = outcome
+            .verdicts
+            .iter()
+            .filter_map(|v| match v {
+                TrialVerdict::Quarantined(q) => Some(*q),
+                TrialVerdict::Completed(_) => None,
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].index, 5);
+        assert_eq!(quarantined[0].reason, QuarantineReason::Panic);
+        // The fold covers the 19 completed trials only.
+        assert_eq!(outcome.aggregate.trials, 19);
+
+        // Identical at another worker count: quarantine is
+        // deterministic.
+        let mut config4 = config;
+        config4.workers = 4;
+        let again = run_with(&temp_dir("poison4"), &config4);
+        assert_eq!(again.0.verdicts, outcome.verdicts);
+    }
+
+    #[test]
+    fn a_quarantined_trial_resumes_from_the_journal_without_rerunning() {
+        let dir = temp_dir("poison-resume");
+        let mut config = RunConfig::with_workers(2);
+        config.chaos = ChaosPlan::parse("poison=5").unwrap();
+        config.supervision.retry.backoff = Duration::from_millis(1);
+        let (first, _) = run_with(&dir, &config);
+        assert_eq!(first.stats.quarantined, 1);
+
+        // Resume on the same journal *without* chaos: nothing re-runs,
+        // the quarantined verdict replays from the journal.
+        let job = job();
+        let mut journal =
+            Journal::open(&dir.join(format!("{}.journal", job.job_id())), job.job_hash).unwrap();
+        let cache = Cache::open(&dir.join("cache-fresh")).unwrap();
+        let resumed = run(
+            &job,
+            &mut journal,
+            &cache,
+            &RunConfig::with_workers(2),
+            RunHandles {
+                appends_so_far: &AtomicU64::new(0),
+                cancel: &AtomicBool::new(false),
+                progress: None,
+            },
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.stats.computed, 0,
+            "all chunks came from the journal"
+        );
+        assert_eq!(resumed.verdicts, first.verdicts);
+    }
+
+    #[test]
+    fn a_stalled_trial_is_reclaimed_by_a_healthy_worker() {
+        let reference = run_fresh(&temp_dir("stall-ref"), 2);
+        let mut config = RunConfig::with_workers(2);
+        config.chaos = ChaosPlan::parse("timeout=12").unwrap();
+        config.supervision.trial_deadline = Duration::from_millis(150);
+        config.supervision.tick = Duration::from_millis(10);
+        let chaotic = run_with(&temp_dir("stall"), &config);
+        assert_eq!(chaotic.0.verdicts, reference.0.verdicts);
+        assert_eq!(chaotic.0.stats.quarantined, 0);
+        assert!(
+            chaotic.0.stats.leases_reclaimed >= 1,
+            "the stalled chunk's lease must have been reclaimed"
+        );
+    }
+
+    #[test]
+    fn a_hung_trial_is_quarantined_with_a_timeout_verdict() {
+        let mut config = RunConfig::with_workers(2);
+        config.chaos = ChaosPlan::parse("hang=3").unwrap();
+        config.supervision.trial_deadline = Duration::from_millis(120);
+        config.supervision.tick = Duration::from_millis(10);
+        let (outcome, seen) = run_with(&temp_dir("hang"), &config);
+        assert!(outcome.complete);
+        assert_eq!(seen, (0..20).collect::<Vec<u32>>());
+        let quarantined: Vec<_> = outcome
+            .verdicts
+            .iter()
+            .filter_map(|v| match v {
+                TrialVerdict::Quarantined(q) => Some(*q),
+                TrialVerdict::Completed(_) => None,
+            })
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].index, 3);
+        assert_eq!(quarantined[0].reason, QuarantineReason::Timeout);
     }
 }

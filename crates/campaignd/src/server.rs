@@ -11,26 +11,40 @@
 //! appends in one journal file.
 //!
 //! Shutdown is cooperative: the `shutdown` op (or
-//! [`ServerHandle::shutdown`]) raises a stop flag and self-connects to
-//! wake the blocking `accept`; in-flight jobs are cancelled at their
-//! next chunk boundary, which — by the resumability invariant — loses
-//! no journaled work.
+//! [`ServerHandle::shutdown`]) raises a stop flag; in-flight jobs are
+//! cancelled at their next chunk boundary, which — by the resumability
+//! invariant — loses no journaled work. The `drain` op is the graceful
+//! variant (what the binary maps SIGTERM to): new submissions are
+//! refused with a *retryable* error, running jobs finish their leased
+//! chunks and checkpoint, and the accept loop exits once the last job
+//! has stopped. The accept loop polls with a short timeout rather than
+//! blocking forever, so drain completion is observed without needing a
+//! wake-up connection.
 
 use crate::cache::Cache;
+use crate::chaos::ChaosPlan;
+use crate::hash::to_hex;
 use crate::journal::Journal;
 use crate::protocol::{
-    accepted_line, error_line, evaluation_line, ok_line, parse_request, stats_line, status_line,
-    summary_line, trial_line, EvalRequest, Request,
+    accepted_line, error_line, evaluation_line, ok_line, parse_request, retryable_error_line,
+    stats_line, status_line, summary_line, trial_line, EvalRequest, JobStatus, Request,
 };
-use crate::runner::{run, CrashPlan};
+use crate::runner::{
+    run, CrashPlan, JobProgress, RunConfig, RunHandles, Supervision, TrialVerdict,
+};
 use crate::spec::ResolvedJob;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use tta_sim::{PlanRunMetrics, SimBuilder};
+
+/// How often the accept loop polls for connections and drain/stop
+/// progress.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +59,11 @@ pub struct ServerConfig {
     pub base_dir: PathBuf,
     /// Debug crash hook (`--crash-after-chunks`).
     pub crash: CrashPlan,
+    /// Trial supervision parameters (`--trial-deadline-ms`, retry
+    /// budget).
+    pub supervision: Supervision,
+    /// Failure injection (`--chaos`); default injects nothing.
+    pub chaos: ChaosPlan,
 }
 
 impl ServerConfig {
@@ -58,6 +77,8 @@ impl ServerConfig {
             workers: std::thread::available_parallelism().map_or(1, usize::from),
             base_dir: std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
             crash: CrashPlan::default(),
+            supervision: Supervision::default(),
+            chaos: ChaosPlan::default(),
         }
     }
 }
@@ -67,9 +88,18 @@ struct ServerState {
     config: ServerConfig,
     cache: Cache,
     stop: AtomicBool,
+    drain: AtomicBool,
     appends: AtomicU64,
     jobs_done: AtomicU64,
-    running: Mutex<HashSet<u64>>,
+    /// Live progress of running jobs, keyed by job hash. Doubles as the
+    /// duplicate-submission guard.
+    running: Mutex<HashMap<u64, Arc<JobProgress>>>,
+    /// Trial lines streamed by this process (all jobs), for the chaos
+    /// `drop=N` trigger.
+    trial_lines: AtomicU64,
+    /// Whether the chaos connection drop has already fired (once per
+    /// process).
+    drop_fired: AtomicBool,
 }
 
 /// A running daemon (in-process or the `tta_campaignd` binary's core).
@@ -99,8 +129,6 @@ impl ServerHandle {
     /// Stops the daemon and waits for it to wind down.
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept.
-        let _ = UnixStream::connect(&self.socket);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -111,7 +139,6 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         if self.thread.is_some() {
             self.state.stop.store(true, Ordering::Relaxed);
-            let _ = UnixStream::connect(&self.socket);
             if let Some(thread) = self.thread.take() {
                 let _ = thread.join();
             }
@@ -152,35 +179,63 @@ impl Server {
                 config,
                 cache,
                 stop: AtomicBool::new(false),
+                drain: AtomicBool::new(false),
                 appends: AtomicU64::new(0),
                 jobs_done: AtomicU64::new(0),
-                running: Mutex::new(HashSet::new()),
+                running: Mutex::new(HashMap::new()),
+                trial_lines: AtomicU64::new(0),
+                drop_fired: AtomicBool::new(false),
             }),
             listener,
         })
     }
 
+    /// Raises this daemon's drain flag (as the SIGTERM handler in the
+    /// binary does): running jobs stop at their next chunk boundary
+    /// with their journals checkpointed, new jobs are refused, and
+    /// [`Server::serve`] returns once the last job has stopped.
+    pub fn begin_drain(&self) {
+        begin_drain(&self.state);
+    }
+
     /// Runs the accept loop on the calling thread until a `shutdown`
-    /// request (or [`ServerHandle::shutdown`]) stops it, then joins
-    /// every connection handler.
+    /// request stops it — or a `drain` request (or SIGTERM in the
+    /// binary) has been observed *and* every running job has wound
+    /// down. Joins every connection handler before returning.
     ///
     /// # Errors
     ///
     /// Propagates accept errors other than interruption.
     pub fn serve(self) -> std::io::Result<()> {
-        let mut handlers = Vec::new();
-        for connection in self.listener.incoming() {
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
             if self.state.stop.load(Ordering::Relaxed) {
                 break;
             }
-            let stream = match connection {
-                Ok(stream) => stream,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            if self.state.drain.load(Ordering::Relaxed) {
+                let jobs_running = !self.state.running.lock().expect("running set").is_empty();
+                let handlers_live = handlers.iter().any(|h| !h.is_finished());
+                if !jobs_running && !handlers_live {
+                    break;
+                }
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // The accepted stream inherits the listener's
+                    // nonblocking mode on some platforms; handlers want
+                    // plain blocking I/O.
+                    let _ = stream.set_nonblocking(false);
+                    let state = Arc::clone(&self.state);
+                    handlers.push(std::thread::spawn(move || handle(&state, stream)));
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
-            };
-            let state = Arc::clone(&self.state);
-            handlers.push(std::thread::spawn(move || handle(&state, stream)));
-            handlers.retain(|h| !h.is_finished());
+            }
         }
         for handler in handlers {
             let _ = handler.join();
@@ -212,6 +267,10 @@ impl Server {
     }
 }
 
+fn begin_drain(state: &ServerState) {
+    state.drain.store(true, Ordering::Relaxed);
+}
+
 fn handle(state: &ServerState, stream: UnixStream) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
@@ -234,7 +293,14 @@ fn handle(state: &ServerState, stream: UnixStream) {
             let _ = writeln!(writer, "{}", ok_line());
         }
         Request::Status => {
-            let running = state.running.lock().expect("running set").len();
+            let (running, jobs) = {
+                let running = state.running.lock().expect("running set");
+                let jobs: Vec<JobStatus> = running
+                    .iter()
+                    .map(|(hash, progress)| JobStatus::snapshot(&to_hex(*hash), progress))
+                    .collect();
+                (running.len(), jobs)
+            };
             let _ = writeln!(
                 writer,
                 "{}",
@@ -242,14 +308,18 @@ fn handle(state: &ServerState, stream: UnixStream) {
                     state.cache.len(),
                     running,
                     state.jobs_done.load(Ordering::Relaxed),
+                    state.drain.load(Ordering::Relaxed),
+                    &jobs,
                 )
             );
+        }
+        Request::Drain => {
+            begin_drain(state);
+            let _ = writeln!(writer, "{}", ok_line());
         }
         Request::Shutdown => {
             state.stop.store(true, Ordering::Relaxed);
             let _ = writeln!(writer, "{}", ok_line());
-            // Wake the accept loop (this connection is already past it).
-            let _ = UnixStream::connect(&state.config.socket);
         }
         Request::Eval(request) => {
             let _ = writeln!(writer, "{}", evaluate(&request));
@@ -278,6 +348,14 @@ fn submit(
     spec: crate::spec::JobSpec,
     workers: Option<usize>,
 ) {
+    if state.drain.load(Ordering::Relaxed) {
+        let _ = writeln!(
+            writer,
+            "{}",
+            retryable_error_line("daemon is draining; resubmit to a fresh daemon")
+        );
+        return;
+    }
     let job = match ResolvedJob::resolve(spec, &state.config.base_dir) {
         Ok(job) => job,
         Err(e) => {
@@ -285,20 +363,26 @@ fn submit(
             return;
         }
     };
-    if !state
-        .running
-        .lock()
-        .expect("running set")
-        .insert(job.job_hash)
+    let progress = Arc::new(JobProgress::default());
     {
-        let _ = writeln!(
-            writer,
-            "{}",
-            error_line(&format!("job {} is already running", job.job_id()))
-        );
-        return;
+        let mut running = state.running.lock().expect("running set");
+        if running.contains_key(&job.job_hash) {
+            // Transient by nature — the other submission will finish
+            // (or die), after which a resubmit resumes from its
+            // journal.
+            let _ = writeln!(
+                writer,
+                "{}",
+                retryable_error_line(&format!(
+                    "job {} is already running; resubmit to resume",
+                    job.job_id()
+                ))
+            );
+            return;
+        }
+        running.insert(job.job_hash, Arc::clone(&progress));
     }
-    let result = stream_job(state, writer, &job, workers);
+    let result = stream_job(state, writer, &job, workers, &progress);
     state
         .running
         .lock()
@@ -319,6 +403,7 @@ fn stream_job(
     writer: &mut UnixStream,
     job: &ResolvedJob,
     workers: Option<usize>,
+    progress: &Arc<JobProgress>,
 ) -> std::io::Result<()> {
     let journal_path = state
         .config
@@ -329,39 +414,62 @@ fn stream_job(
     let trials = job.exec.effective_trials();
     writeln!(writer, "{}", accepted_line(&job.job_id(), trials))?;
 
-    // A client hangup (or daemon shutdown) cancels at the next chunk
-    // boundary; journaled chunks survive for the resume.
+    let config = RunConfig {
+        workers: workers.unwrap_or(state.config.workers),
+        supervision: state.config.supervision,
+        chaos: state.config.chaos,
+        crash: state.config.crash,
+    };
+    // A client hangup (or daemon shutdown/drain) cancels at the next
+    // chunk boundary; journaled chunks survive for the resume.
     let cancel = AtomicBool::new(false);
     let mut emit_failed = false;
     let outcome = {
-        let mut emit = |trial: &tta_sim::TrialResult| {
+        let mut emit = |verdict: &TrialVerdict| {
             if emit_failed {
                 return;
             }
-            if state.stop.load(Ordering::Relaxed) {
+            if state.stop.load(Ordering::Relaxed) || state.drain.load(Ordering::Relaxed) {
                 cancel.store(true, Ordering::Relaxed);
             }
-            if writeln!(writer, "{}", trial_line(trial)).is_err() {
+            if writeln!(writer, "{}", trial_line(verdict)).is_err() {
                 emit_failed = true;
                 cancel.store(true, Ordering::Relaxed);
+                return;
+            }
+            let streamed = state.trial_lines.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(limit) = state.config.chaos.drop_after {
+                if streamed >= limit && !state.drop_fired.swap(true, Ordering::Relaxed) {
+                    // Chaos: sever the connection mid-stream, once per
+                    // process. The next emit fails and cancels the run
+                    // at its chunk boundary — exactly a flaky client.
+                    let _ = writer.shutdown(std::net::Shutdown::Both);
+                }
             }
         };
         run(
             job,
             &mut journal,
             &state.cache,
-            workers.unwrap_or(state.config.workers),
-            state.config.crash,
-            &state.appends,
-            &cancel,
+            &config,
+            RunHandles {
+                appends_so_far: &state.appends,
+                cancel: &cancel,
+                progress: Some(progress),
+            },
             &mut emit,
         )?
     };
     if outcome.complete && !emit_failed {
+        let quarantined = outcome
+            .verdicts
+            .iter()
+            .filter(|v| matches!(v, TrialVerdict::Quarantined(_)))
+            .count() as u64;
         writeln!(
             writer,
             "{}",
-            summary_line(&job.job_id(), &outcome.aggregate)
+            summary_line(&job.job_id(), &outcome.aggregate, quarantined)
         )?;
         writeln!(writer, "{}", stats_line(&outcome.stats))?;
     }

@@ -20,6 +20,7 @@
 
 use crate::hash::{fnv1a64, to_hex};
 use crate::json::Json;
+use crate::runner::{QuarantineReason, QuarantinedTrial, TrialVerdict};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
@@ -727,6 +728,53 @@ pub fn trial_from_json(value: &Json) -> Result<TrialResult, SpecError> {
         unavailability,
         time_to_reintegration: ttr,
     })
+}
+
+/// The wire fields of one trial verdict, in canonical order. A
+/// completed trial renders exactly as [`trial_to_fields`] (so journals
+/// and streams from before quarantine existed stay byte-identical); a
+/// quarantined trial renders as
+/// `{"index":N,"seed":S,"quarantined":"panic"|"timeout"}`.
+#[must_use]
+pub fn verdict_to_fields(verdict: &TrialVerdict) -> Vec<(String, Json)> {
+    match verdict {
+        TrialVerdict::Completed(trial) => trial_to_fields(trial),
+        TrialVerdict::Quarantined(q) => vec![
+            ("index".to_string(), Json::UInt(u64::from(q.index))),
+            ("seed".to_string(), Json::UInt(q.seed)),
+            ("quarantined".to_string(), Json::str(q.reason.token())),
+        ],
+    }
+}
+
+/// Parses [`verdict_to_fields`] output back. Records without a
+/// `quarantined` field parse as completed trials, so journals written
+/// before quarantine existed load unchanged.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] naming the missing/malformed field.
+pub fn verdict_from_json(value: &Json) -> Result<TrialVerdict, SpecError> {
+    let Some(reason) = value.get("quarantined") else {
+        return trial_from_json(value).map(TrialVerdict::Completed);
+    };
+    let reason = reason
+        .as_str()
+        .and_then(QuarantineReason::parse)
+        .ok_or_else(|| bad("\"quarantined\" must be \"panic\" or \"timeout\""))?;
+    let index = value
+        .get("index")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("quarantined trial needs integer \"index\""))?;
+    let seed = value
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("quarantined trial needs u64 \"seed\""))?;
+    Ok(TrialVerdict::Quarantined(QuarantinedTrial {
+        index: u32::try_from(index).map_err(|_| bad("\"index\" too large"))?,
+        seed,
+        reason,
+    }))
 }
 
 /// The wire form of a folded aggregate.

@@ -257,9 +257,12 @@ impl DaemonEvaluator {
 impl Evaluator for DaemonEvaluator {
     /// # Panics
     ///
-    /// Panics if the daemon connection fails mid-run — the engine has
-    /// no partial-result path, and a vanished daemon is operator
-    /// intervention, not fuzz-campaign data.
+    /// Panics if the daemon stays unreachable past the retry budget —
+    /// the engine has no partial-result path, and a daemon that never
+    /// comes back is operator intervention, not fuzz-campaign data.
+    /// Transient failures (a dropped connection, a daemon restart, a
+    /// drain-and-relaunch) are retried with the client's standard
+    /// backoff, since `eval` is a pure function and re-asking is free.
     fn evaluate_under(
         &self,
         input: &FuzzInput,
@@ -274,12 +277,20 @@ impl Evaluator for DaemonEvaluator {
             policy: ctx.policy,
             plan: admissible_plan(input, ctx, authority),
         };
-        match self.client.eval(&request) {
-            Ok(metrics) => from_metrics(authority, &metrics),
-            Err(e) => panic!(
-                "campaign daemon on {} failed mid-fuzz: {e}",
-                self.client.socket().display()
-            ),
+        let policy = tta_campaignd::client::ReconnectPolicy::default();
+        let mut attempt = 0u32;
+        loop {
+            match self.client.eval(&request) {
+                Ok(metrics) => return from_metrics(authority, &metrics),
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(attempt));
+                }
+                Err(e) => panic!(
+                    "campaign daemon on {} failed mid-fuzz: {e}",
+                    self.client.socket().display()
+                ),
+            }
         }
     }
 }
