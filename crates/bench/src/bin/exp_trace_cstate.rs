@@ -17,6 +17,7 @@ fn main() {
     let config = ClusterConfig::paper_trace_cstate();
     println!("configuration: {config}\n");
 
+    // detlint: allow(DL02) reason=benchmark measurement; wall-clock is the quantity this binary reports
     let started = Instant::now();
     let report = verify_cluster(&config);
     let elapsed = started.elapsed();

@@ -90,6 +90,7 @@ fn main() {
     let mut rows = Vec::new();
     for authority in CouplerAuthority::all() {
         let config = ClusterConfig::paper(authority);
+        // detlint: allow(DL02) reason=benchmark measurement; wall-clock is the quantity this binary reports
         let started = Instant::now();
         let report = verify_cluster(&config);
         let elapsed = started.elapsed();

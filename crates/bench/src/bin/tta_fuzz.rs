@@ -87,6 +87,7 @@ fn main() {
                 let text = num("--budget");
                 let budget =
                     parse_budget(&text).unwrap_or_else(|| die(&format!("bad budget `{text}`")));
+                // detlint: allow(DL02) reason=--budget deadline; bounds how long the fuzzer explores, results found are still seed-deterministic
                 cfg.deadline = Some(Instant::now() + budget);
             }
             "--rounds" => {

@@ -129,6 +129,7 @@ impl DaemonSession {
                 })
             }
             None => {
+                // detlint: allow(DL02) reason=scratch-dir nonce for uniqueness only; never reaches any result or report
                 let nonce = std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
                     .map_or(0, |d| d.subsec_nanos());

@@ -36,6 +36,9 @@ fn die(why: &str) -> ! {
 /// Set by the signal handler; a watcher thread turns it into a `drain`
 /// request over the daemon's own socket (a handler must not touch the
 /// server directly — flag-and-poll is the only async-signal-safe move).
+/// Relaxed: a one-way latch polled in a loop; no other data is
+/// published through it, and signal handlers cannot use stronger
+/// synchronization anyway.
 static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_terminate(_signum: i32) {

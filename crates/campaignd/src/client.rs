@@ -237,11 +237,13 @@ impl Client {
     /// Returns a [`ClientError::Io`] timeout if the daemon never came
     /// up.
     pub fn wait_ready(&self, timeout: Duration) -> Result<(), ClientError> {
+        // detlint: allow(DL02) reason=client-side startup timeout; decides only when to stop waiting for the daemon, never a trial result
         let deadline = Instant::now() + timeout;
         loop {
             if self.ping() {
                 return Ok(());
             }
+            // detlint: allow(DL02) reason=client-side startup timeout check, out-of-band
             if Instant::now() >= deadline {
                 return Err(ClientError::Io(std::io::Error::new(
                     std::io::ErrorKind::TimedOut,

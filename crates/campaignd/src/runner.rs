@@ -251,8 +251,13 @@ impl RunConfig {
 #[derive(Debug, Clone, Copy)]
 pub struct RunHandles<'a> {
     /// Journal appends across the whole process, fed to the crash hook.
+    /// Relaxed: a monotone counter whose exact interleaving with other
+    /// writers is immaterial — the crash hook only wants "about the
+    /// Nth append".
     pub appends_so_far: &'a AtomicU64,
     /// Set to stop workers at the next chunk (lease) boundary.
+    /// Relaxed latch: false→true once; observing it a chunk late just
+    /// moves the (already chunk-granular) stop boundary.
     pub cancel: &'a AtomicBool,
     /// Live progress counters, kept current when present.
     pub progress: Option<&'a JobProgress>,
@@ -261,17 +266,25 @@ pub struct RunHandles<'a> {
 /// Live progress counters of one running job, shared with the daemon's
 /// `status` op. All counters are monotone except `chunks_leased` and
 /// `workers_active`, which track the current state.
+///
+/// Every field uses Relaxed ordering: these are advisory gauges read by
+/// the `status` op for display only — no decision and no other data
+/// hangs off them, so a momentarily stale or torn-across-fields view is
+/// acceptable by design.
 #[derive(Debug, Default)]
 pub struct JobProgress {
     /// Chunks this run must produce (journal-recovered ones excluded).
+    /// Relaxed gauge (see struct docs).
     pub chunks_total: AtomicU64,
     /// Chunks committed (journaled + handed to the emitter).
+    /// Relaxed gauge (see struct docs).
     pub chunks_done: AtomicU64,
-    /// Chunks currently out on a lease.
+    /// Chunks currently out on a lease. Relaxed gauge (see struct docs).
     pub chunks_leased: AtomicU64,
-    /// Trials quarantined so far.
+    /// Trials quarantined so far. Relaxed gauge (see struct docs).
     pub quarantined: AtomicU64,
-    /// Workers currently in the claim/execute loop.
+    /// Workers currently in the claim/execute loop. Relaxed gauge (see
+    /// struct docs).
     pub workers_active: AtomicU64,
 }
 
@@ -363,19 +376,38 @@ struct RunCtx<'a> {
     timeouts: Mutex<HashMap<u32, u32>>,
     journal: Mutex<&'a mut Journal>,
     io_error: Mutex<Option<std::io::Error>>,
+    /// Relaxed latch, see [`RunHandles::cancel`].
     cancel: &'a AtomicBool,
+    /// Relaxed monotone counter, see [`RunHandles::appends_so_far`].
     appends_so_far: &'a AtomicU64,
     progress: Option<&'a JobProgress>,
+    /// Per-run stats counters (`cache_hits` through
+    /// `leases_reclaimed`): Relaxed monotone counters, read only after
+    /// the worker scope joins — the join is the synchronization point,
+    /// the ordering on the increments carries no data.
     cache_hits: AtomicU64,
+    /// Relaxed monotone stats counter, see [`RunCtx::cache_hits`].
     computed: AtomicU64,
+    /// Relaxed monotone stats counter, see [`RunCtx::cache_hits`].
     quarantined: AtomicU64,
+    /// Relaxed monotone stats counter, see [`RunCtx::cache_hits`].
     panics_retried: AtomicU64,
+    /// Relaxed monotone stats counter, see [`RunCtx::cache_hits`].
     leases_reclaimed: AtomicU64,
+    /// Remaining worker-replacement budget. Relaxed `fetch_sub` ticket
+    /// counter: each decrement claims one replacement; exact order
+    /// among claimants is irrelevant, only that the budget is not
+    /// exceeded (the fetch_sub return value decides that atomically).
     replacements_left: AtomicUsize,
+    /// Next progress-slot index to hand to a spawned worker. Relaxed
+    /// `fetch_add` ticket counter: uniqueness is all that matters.
     next_slot: AtomicUsize,
     /// Workers currently inside `worker_loop`; the emitter stops
     /// waiting once this hits zero (the sender side lives in this
     /// struct, so channel disconnection can never signal that).
+    /// AcqRel/Acquire: the Release half of each decrement publishes the
+    /// worker's final sends before the emitter's Acquire load can
+    /// observe `live == 0` and stop draining (see `emitter_loop`).
     workers_live: AtomicUsize,
     tx: mpsc::Sender<(u32, Vec<TrialVerdict>)>,
 }
@@ -753,6 +785,7 @@ fn run_sandboxed(
             chunk,
             generation,
             index,
+            // detlint: allow(DL02) reason=supervision deadline stamp; read only by the supervisor scan, never by trial execution or output
             started: Instant::now(),
         });
         let chaos = &ctx.config.chaos;
@@ -812,6 +845,7 @@ fn supervisor_loop<'scope, 'env>(
 ) where
     'env: 'scope,
 {
+    // detlint: allow(DL02) reason=supervisor scan cadence; timing decides only when to look for stale leases, reclaim itself is generation-checked
     let mut last_scan = Instant::now();
     loop {
         if ctx.bail() || ctx.leases.lock().expect("lease table").finished() {
@@ -824,6 +858,7 @@ fn supervisor_loop<'scope, 'env>(
         if last_scan.elapsed() < ctx.config.supervision.tick {
             continue;
         }
+        // detlint: allow(DL02) reason=supervisor scan cadence, out-of-band
         last_scan = Instant::now();
         for slot in &ctx.in_flight {
             let stale = {
@@ -997,6 +1032,42 @@ mod tests {
         let (fresh, _) = run_fresh(&temp_dir("resume-ref"), 4);
         assert_eq!(resumed.verdicts, fresh.verdicts);
         assert_eq!(resumed.aggregate, fresh.aggregate);
+    }
+
+    /// The detlint DL02 audit routes every wall-clock read in this
+    /// module out of the deterministic stream (supervision deadlines
+    /// and scan cadence only). This is the behavioral pin for that
+    /// claim: cranking the supervisor's timing from one extreme to the
+    /// other — a frantic 1ms scan tick versus a glacial 5s one, under
+    /// contention at several worker counts — must leave the verdict
+    /// stream and aggregate byte-identical to the stock configuration.
+    /// The deadline stays generous so no lease legitimately expires;
+    /// *that* path is exercised by `chaos.rs`, where degradation is the
+    /// point.
+    #[test]
+    fn supervision_timing_never_leaks_into_the_stream() {
+        let (reference, order) = run_fresh(&temp_dir("sup-ref"), 4);
+        assert!(reference.complete);
+        assert_eq!(order, (0..20).collect::<Vec<u32>>());
+
+        for (name, tick_ms, workers) in [
+            ("frantic-w2", 1u64, 2usize),
+            ("frantic-w8", 1, 8),
+            ("glacial-w4", 5_000, 4),
+        ] {
+            let mut config = RunConfig::with_workers(workers);
+            config.supervision.tick = Duration::from_millis(tick_ms);
+            config.supervision.trial_deadline = Duration::from_secs(600);
+            let (outcome, order) = run_with(&temp_dir(&format!("sup-{name}")), &config);
+            assert!(outcome.complete, "{name}");
+            assert_eq!(outcome.verdicts, reference.verdicts, "{name}");
+            assert_eq!(outcome.aggregate, reference.aggregate, "{name}");
+            assert_eq!(order, (0..20).collect::<Vec<u32>>(), "{name}");
+            assert_eq!(
+                outcome.stats.quarantined, 0,
+                "{name}: a generous deadline must never quarantine"
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl ServerConfig {
         ServerConfig {
             socket: state_dir.join("daemon.sock"),
             state_dir: state_dir.to_path_buf(),
+            // detlint: allow(DL03) reason=default worker count only sizes the pool; trial output is bit-identical at any worker count
             workers: std::thread::available_parallelism().map_or(1, usize::from),
             base_dir: std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
             crash: CrashPlan::default(),
@@ -87,18 +88,29 @@ impl ServerConfig {
 struct ServerState {
     config: ServerConfig,
     cache: Cache,
+    /// Stop/drain flags. Relaxed ordering throughout: each is a latch
+    /// that only ever goes false→true, polled at loop boundaries — a
+    /// handler observing it one iteration late is indistinguishable
+    /// from the signal arriving one iteration later.
     stop: AtomicBool,
+    /// See [`ServerState::stop`] for the Relaxed-latch rationale.
     drain: AtomicBool,
+    /// Monotone counters bumped by handler threads, read only for
+    /// status/stats lines — Relaxed: no other data is published under
+    /// them, and a slightly stale count is fine for reporting.
     appends: AtomicU64,
+    /// See [`ServerState::appends`] — Relaxed monotone counter.
     jobs_done: AtomicU64,
     /// Live progress of running jobs, keyed by job hash. Doubles as the
     /// duplicate-submission guard.
     running: Mutex<HashMap<u64, Arc<JobProgress>>>,
     /// Trial lines streamed by this process (all jobs), for the chaos
-    /// `drop=N` trigger.
+    /// `drop=N` trigger. Relaxed monotone counter: the chaos trigger
+    /// only needs "roughly the Nth line", not a total order.
     trial_lines: AtomicU64,
     /// Whether the chaos connection drop has already fired (once per
-    /// process).
+    /// process). Relaxed + `compare_exchange`-free: double-firing is
+    /// harmless (the second drop hits an already-dropped stream).
     drop_fired: AtomicBool,
 }
 
@@ -295,9 +307,15 @@ fn handle(state: &ServerState, stream: UnixStream) {
         Request::Status => {
             let (running, jobs) = {
                 let running = state.running.lock().expect("running set");
-                let jobs: Vec<JobStatus> = running
+                // Snapshot in job-hash order: the map's own iteration
+                // order varies per process, and a status line that
+                // lists jobs differently on every call is noise to
+                // diff-based tooling.
+                let mut hashes: Vec<u64> = running.keys().copied().collect();
+                hashes.sort_unstable();
+                let jobs: Vec<JobStatus> = hashes
                     .iter()
-                    .map(|(hash, progress)| JobStatus::snapshot(&to_hex(*hash), progress))
+                    .map(|hash| JobStatus::snapshot(&to_hex(*hash), &running[hash]))
                     .collect();
                 (running.len(), jobs)
             };
@@ -422,6 +440,8 @@ fn stream_job(
     };
     // A client hangup (or daemon shutdown/drain) cancels at the next
     // chunk boundary; journaled chunks survive for the resume.
+    // Relaxed: a pure latch — workers may see it an iteration late,
+    // which only delays the (already asynchronous) cancellation.
     let cancel = AtomicBool::new(false);
     let mut emit_failed = false;
     let outcome = {

@@ -1,0 +1,212 @@
+//! Loom model of the lease claim/commit/expire generation handshake.
+//!
+//! `runner.rs`'s `LeaseTable` hands each chunk out under a generation
+//! number; a supervisor that judges a worker stuck *expires* the lease
+//! (returning the chunk to the queue for someone else) and the original
+//! worker's late `commit` must then be refused — otherwise a chunk
+//! would be journaled and emitted twice, corrupting the resumable
+//! stream. The table is private to `runner.rs`, so the model restates
+//! its shared-state essence verbatim (same fields, same generation
+//! checks) behind a loom `Mutex`, then checks over every interleaving
+//! of {worker A, supervisor, worker B}:
+//!
+//! * **no double-publish** — across all claims, commits and reclaims,
+//!   each chunk is committed (published to the stream) at most once;
+//! * **no loss** — despite the forced expiry, every chunk ends
+//!   committed exactly once once the queue drains;
+//! * **stale leases stay dead** — a commit or expire with a superseded
+//!   generation returns false and mutates nothing.
+//!
+//! Build with `RUSTFLAGS="--cfg loom" cargo test -p tta-campaignd
+//! --test loom_lease`. Under the vendored offline stub this runs once
+//! on plain threads; with the real loom it explores all interleavings.
+#![cfg(loom)]
+
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::{HashMap, VecDeque};
+
+/// `runner.rs::LeaseTable`, restated field-for-field.
+#[derive(Default)]
+struct LeaseTable {
+    pending: VecDeque<u32>,
+    active: HashMap<u32, u64>,
+    done: usize,
+    total: usize,
+    next_generation: u64,
+}
+
+impl LeaseTable {
+    fn new(chunks: Vec<u32>) -> LeaseTable {
+        LeaseTable {
+            total: chunks.len(),
+            pending: chunks.into(),
+            ..LeaseTable::default()
+        }
+    }
+
+    fn claim(&mut self) -> Option<(u32, u64)> {
+        let chunk = self.pending.pop_front()?;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.active.insert(chunk, generation);
+        Some((chunk, generation))
+    }
+
+    fn commit(&mut self, chunk: u32, generation: u64) -> bool {
+        match self.active.get(&chunk) {
+            Some(lease) if *lease == generation => {
+                self.active.remove(&chunk);
+                self.done += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expire(&mut self, chunk: u32, generation: u64) -> bool {
+        match self.active.get(&chunk) {
+            Some(lease) if *lease == generation => {
+                self.active.remove(&chunk);
+                self.pending.push_front(chunk);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.done == self.total
+    }
+}
+
+/// The reclaim race, distilled: worker A claims chunk 0 and stalls; the
+/// supervisor expires A's lease; worker B claims the returned chunk and
+/// commits; A wakes and tries to commit its superseded generation.
+/// Every interleaving must end with chunk 0 committed exactly once.
+#[test]
+fn reclaimed_lease_never_double_publishes() {
+    loom::model(|| {
+        let table = Arc::new(Mutex::new(LeaseTable::new(vec![0])));
+        // A claims before the threads race: the model's subject is the
+        // expire/commit/claim interleaving, not the initial claim.
+        let (chunk_a, gen_a) = table.lock().unwrap().claim().expect("chunk available");
+
+        let supervisor = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                // Supervisor judges A stuck and reclaims its chunk.
+                table.lock().unwrap().expire(chunk_a, gen_a)
+            })
+        };
+        let worker_b = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                // B claims whatever the reclaim returned (if it ran
+                // yet) and commits it — the rescue path.
+                let claimed = table.lock().unwrap().claim();
+                claimed.map(|(chunk, generation)| {
+                    assert!(
+                        table.lock().unwrap().commit(chunk, generation),
+                        "a freshly claimed generation must commit"
+                    );
+                    chunk
+                })
+            })
+        };
+        // A wakes up late and tries to publish under its old lease.
+        let late_commit = table.lock().unwrap().commit(chunk_a, gen_a);
+
+        let expired = supervisor.join().unwrap();
+        let rescued = worker_b.join().unwrap();
+
+        // Whoever lost the race must have been refused: at most one of
+        // {A's late commit, B's rescue commit} published chunk 0 (both
+        // may lose — e.g. B claims Nothing *before* the expiry lands,
+        // and the expiry then kills A's lease too).
+        let commits = usize::from(late_commit) + usize::from(rescued.is_some());
+        assert!(commits <= 1, "chunk 0 published twice");
+        if expired {
+            assert!(
+                !late_commit,
+                "an expired generation must never publish (double-emit)"
+            );
+        }
+
+        // Drain: whatever is still pending is claimable and commits
+        // exactly once; afterwards every chunk is committed exactly
+        // once in total (the `done` counter would exceed `total` had
+        // any chunk published twice) and no lease survives.
+        let mut table = table.lock().unwrap();
+        while let Some((chunk, generation)) = table.claim() {
+            assert!(table.commit(chunk, generation));
+        }
+        assert!(table.finished(), "every chunk must end committed");
+        assert!(table.active.is_empty(), "no lease may outlive the run");
+        assert_eq!(table.done, table.total);
+    });
+}
+
+/// Two workers racing over two chunks: the partition property (each
+/// chunk committed exactly once, none lost) holds under every
+/// claim/commit interleaving.
+#[test]
+fn contended_claims_partition_exactly_once() {
+    loom::model(|| {
+        let table = Arc::new(Mutex::new(LeaseTable::new(vec![0, 1])));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                thread::spawn(move || {
+                    let mut committed = 0usize;
+                    loop {
+                        let claimed = table.lock().unwrap().claim();
+                        let Some((chunk, generation)) = claimed else {
+                            break;
+                        };
+                        if table.lock().unwrap().commit(chunk, generation) {
+                            committed += 1;
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        let total: usize = workers.into_iter().map(|h| h.join().unwrap()).sum();
+        let table = table.lock().unwrap();
+        assert_eq!(total, 2, "both chunks committed, each exactly once");
+        assert!(table.finished());
+        assert!(table.active.is_empty());
+    });
+}
+
+/// A stale generation can neither commit nor expire: once superseded,
+/// every verb under the old generation is a refused no-op.
+#[test]
+fn superseded_generations_are_inert() {
+    loom::model(|| {
+        let table = Arc::new(Mutex::new(LeaseTable::new(vec![7])));
+        let (chunk, old_gen) = table.lock().unwrap().claim().unwrap();
+        assert!(table.lock().unwrap().expire(chunk, old_gen));
+        let (chunk2, new_gen) = table.lock().unwrap().claim().unwrap();
+        assert_eq!(chunk, chunk2, "expiry returns the chunk to the queue");
+        assert_ne!(old_gen, new_gen, "reclaim advances the generation");
+
+        let stale = {
+            let table = Arc::clone(&table);
+            thread::spawn(move || {
+                let refused_commit = !table.lock().unwrap().commit(chunk, old_gen);
+                let refused_expire = !table.lock().unwrap().expire(chunk, old_gen);
+                refused_commit && refused_expire
+            })
+        };
+        assert!(
+            table.lock().unwrap().commit(chunk2, new_gen),
+            "the live generation commits"
+        );
+        assert!(stale.join().unwrap(), "stale verbs must all be refused");
+        let table = table.lock().unwrap();
+        assert_eq!(table.done, 1, "exactly one commit despite stale retries");
+        assert!(table.finished());
+    });
+}

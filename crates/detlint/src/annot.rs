@@ -1,0 +1,252 @@
+//! The audited escape hatch: `detlint: allow(DLxx) reason=…`
+//! annotations and the checked-in baseline inventory built from them.
+//!
+//! An allow is a *comment*, so it survives rustfmt and never affects
+//! compilation:
+//!
+//! ```text
+//! // detlint: allow(DL02) reason=supervision deadline, out-of-band
+//! let started = Instant::now();
+//! ```
+//!
+//! A same-line trailing comment applies to its own line; a comment-only
+//! line applies to the next line that has code (attributes and further
+//! comments in between are skipped over). Every allow must name a known
+//! code and carry a non-empty `reason=` — a reasonless allow is a
+//! [`crate::catalog::DL21`] error, and an allow that suppressed nothing
+//! is a [`crate::catalog::DL22`] warning, so the escape hatch stays an
+//! audit trail instead of a mute button.
+//!
+//! The baseline (`--baseline` / `--write-baseline`) is the sorted,
+//! line-oriented inventory of every allow *in effect*:
+//!
+//! ```text
+//! DL02<TAB>crates/campaignd/src/runner.rs<TAB>supervision deadline, out-of-band
+//! ```
+//!
+//! keyed by (code, file, reason) — deliberately not by line number, so
+//! unrelated edits above an annotated site don't churn the baseline.
+//! New or vanished entries surface as [`crate::catalog::DL30`] notes;
+//! CI denies DL30, making every audit change a reviewed change.
+
+use crate::catalog;
+use crate::lex::SourceFile;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowSite {
+    /// The file the annotation lives in.
+    pub file: String,
+    /// 1-based line the allow *applies to* (not the comment's line).
+    pub line: usize,
+    /// The allowed code id, e.g. `DL02`.
+    pub code: String,
+    /// The justification after `reason=` (trimmed).
+    pub reason: String,
+}
+
+/// A malformed annotation: where and why.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// What is wrong.
+    pub problem: String,
+}
+
+/// All annotations of one file, plus the malformed ones.
+#[derive(Debug, Clone, Default)]
+pub struct FileAllows {
+    /// Well-formed allows, keyed by the line they apply to.
+    pub allows: Vec<AllowSite>,
+    /// Malformed annotations (DL21 material).
+    pub bad: Vec<BadAllow>,
+}
+
+const MARKER: &str = "detlint:";
+
+/// Extracts every `detlint:` annotation from `file`'s comments.
+#[must_use]
+pub fn collect(file: &SourceFile) -> FileAllows {
+    let mut out = FileAllows::default();
+    for (idx, line) in file.lines.iter().enumerate() {
+        for comment in &line.comments {
+            // The marker must open the comment (`// detlint: …`);
+            // prose that merely *mentions* `detlint:` mid-sentence —
+            // like this crate's own documentation — is not an
+            // annotation.
+            let Some(rest) = comment.trim_start().strip_prefix(MARKER) else {
+                continue;
+            };
+            let body = rest.trim();
+            let applies_to = if line.has_code {
+                idx + 1
+            } else {
+                // Comment-only line: applies to the next code line,
+                // looking through attributes so an allow above
+                // `#[derive(…)]` still reaches the item it annotates.
+                file.lines
+                    .iter()
+                    .enumerate()
+                    .skip(idx + 1)
+                    .find(|(_, l)| {
+                        l.has_code && {
+                            let t = l.code.trim_start();
+                            !t.starts_with("#[") && !t.starts_with("#![")
+                        }
+                    })
+                    .map_or(idx + 1, |(j, _)| j + 1)
+            };
+            match parse_allow(body) {
+                Ok((code, reason)) => out.allows.push(AllowSite {
+                    file: file.path.clone(),
+                    line: applies_to,
+                    code,
+                    reason,
+                }),
+                Err(problem) => out.bad.push(BadAllow {
+                    line: idx + 1,
+                    problem,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Parses the body after `detlint:` into `(code, reason)`.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(CODE) reason=…`, found `{body}`"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` annotation".to_string())?;
+    let code_name = rest[..close].trim();
+    let code =
+        catalog::find(code_name).ok_or_else(|| format!("unknown lint code `{code_name}`"))?;
+    let after = rest[close + 1..].trim();
+    let reason = after
+        .strip_prefix("reason=")
+        .map(str::trim)
+        .ok_or_else(|| "allow annotation carries no `reason=` justification".to_string())?;
+    if reason.is_empty() {
+        return Err("allow annotation's `reason=` is empty".to_string());
+    }
+    Ok((code.id.to_string(), reason.to_string()))
+}
+
+/// Serializes allow sites as the baseline text: one
+/// `CODE\tFILE\tREASON` line, sorted, deduplicated.
+#[must_use]
+pub fn render_baseline(allows: &[AllowSite]) -> String {
+    let mut lines: Vec<String> = allows
+        .iter()
+        .map(|a| format!("{}\t{}\t{}", a.code, a.file, a.reason))
+        .collect();
+    lines.sort();
+    lines.dedup();
+    let mut out = String::from(
+        "# detlint allow baseline — one `CODE<TAB>FILE<TAB>REASON` per line, sorted.\n\
+         # Regenerate with: tta-detlint --write-baseline <this file> <paths>\n",
+    );
+    for line in &lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a baseline file back into its `CODE\tFILE\tREASON` entries.
+#[must_use]
+pub fn parse_baseline(text: &str) -> Vec<(String, String, String)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .filter_map(|l| {
+            let mut parts = l.splitn(3, '\t');
+            Some((
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+                parts.next().unwrap_or("").to_string(),
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::scan;
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let f = scan(
+            "x.rs",
+            "let t = now(); // detlint: allow(DL02) reason=stats only\n",
+            false,
+        );
+        let allows = collect(&f);
+        assert_eq!(allows.allows.len(), 1);
+        assert_eq!(allows.allows[0].line, 1);
+        assert_eq!(allows.allows[0].code, "DL02");
+        assert_eq!(allows.allows[0].reason, "stats only");
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let f = scan(
+            "x.rs",
+            "// detlint: allow(DL01) reason=sorted below\n// more prose\n#[derive(Debug)]\nfor k in m.keys() {}\n",
+            false,
+        );
+        let allows = collect(&f);
+        assert_eq!(allows.allows.len(), 1);
+        assert_eq!(allows.allows[0].line, 4, "attributes are looked through");
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_code_are_malformed() {
+        let f = scan(
+            "x.rs",
+            "// detlint: allow(DL02)\n// detlint: allow(DL99) reason=x\n// detlint: allow(DL02) reason=\n",
+            false,
+        );
+        let allows = collect(&f);
+        assert!(allows.allows.is_empty());
+        assert_eq!(allows.bad.len(), 3);
+        assert!(allows.bad[0].problem.contains("reason"));
+        assert!(allows.bad[1].problem.contains("unknown lint code"));
+        assert!(allows.bad[2].problem.contains("empty"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let sites = vec![
+            AllowSite {
+                file: "b.rs".into(),
+                line: 9,
+                code: "DL02".into(),
+                reason: "stats".into(),
+            },
+            AllowSite {
+                file: "a.rs".into(),
+                line: 3,
+                code: "DL03".into(),
+                reason: "thread count only picks a schedule".into(),
+            },
+        ];
+        let text = render_baseline(&sites);
+        let parsed = parse_baseline(&text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("DL02".into(), "b.rs".into(), "stats".into()),
+                (
+                    "DL03".into(),
+                    "a.rs".into(),
+                    "thread count only picks a schedule".into()
+                ),
+            ]
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Diagnostics: severities, rendered and JSON output, deny/allow gates.
+//!
+//! The same rustc-flavored shapes as `tta-modellint` (a stable code, a
+//! severity, a message anchored to `file:line`, attached `note:`/
+//! `help:` lines), re-stated here so the linter stays dependency-free.
+//! Rendering is deterministic — diagnostics are sorted by (file, line,
+//! code) before output and carry no timings — so the JSON form is
+//! byte-stable across runs and `--threads` values and can be pinned as
+//! a golden fixture.
+
+use crate::catalog::LintCode;
+use std::fmt;
+
+/// Diagnostic severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: audit trail entries, order-sensitive-but-likely-
+    /// fine accumulations. Never denied by `--deny warnings`.
+    Note,
+    /// Probably a hazard: hash iteration feeding somewhere unknown, an
+    /// undocumented atomic.
+    Warning,
+    /// Definitely broken: an unreadable file, a malformed annotation.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in rendered and JSON output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a source file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable lint code this finding instantiates.
+    pub code: &'static LintCode,
+    /// Severity (the code's default; gates may deny on top).
+    pub severity: Severity,
+    /// The source file, as passed/discovered (normalized separators).
+    pub file: String,
+    /// 1-based line within the file, when the construct has one.
+    pub line: Option<usize>,
+    /// Primary message.
+    pub message: String,
+    /// Attached `= note:` lines.
+    pub notes: Vec<String>,
+    /// Attached `= help:` line.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic at the code's default severity.
+    #[must_use]
+    pub fn new(
+        code: &'static LintCode,
+        file: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity,
+            file: file.into(),
+            line: None,
+            message: message.into(),
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Anchors the diagnostic to a 1-based line.
+    #[must_use]
+    pub fn line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Attaches a `= note:` line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches the `= help:` line.
+    #[must_use]
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the diagnostic in the rustc style:
+    ///
+    /// ```text
+    /// warning[DL01-hash-iteration-order]: `running` is iterated ...
+    ///   --> crates/campaignd/src/server.rs:298
+    ///   = help: sort the entries, or annotate ...
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n",
+            self.severity,
+            self.code.full_name(),
+            self.message
+        );
+        match self.line {
+            Some(line) => out.push_str(&format!("  --> {}:{line}\n", self.file)),
+            None => out.push_str(&format!("  --> {}\n", self.file)),
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  = help: {help}\n"));
+        }
+        out
+    }
+
+    /// Renders the diagnostic as one deterministic JSON object (one
+    /// line, keys in fixed order; hand-rolled like every other JSON in
+    /// this tree).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_string(self.code.id)));
+        out.push_str(&format!(",\"slug\":{}", json_string(self.code.slug)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_string(self.severity.name())
+        ));
+        out.push_str(&format!(",\"file\":{}", json_string(&self.file)));
+        match self.line {
+            Some(line) => out.push_str(&format!(",\"line\":{line}")),
+            None => out.push_str(",\"line\":null"),
+        }
+        out.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        out.push_str(",\"notes\":[");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(note));
+        }
+        out.push(']');
+        match &self.help {
+            Some(help) => out.push_str(&format!(",\"help\":{}", json_string(help))),
+            None => out.push_str(",\"help\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes `text` as a JSON string literal.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Which diagnostics fail the run: `--deny` / `--allow` gates. Same
+/// semantics as `tta-modellint`: `allow` wins over `deny` for specific
+/// codes, `deny_warnings` denies warning-or-worse, errors are always
+/// denied.
+#[derive(Debug, Clone, Default)]
+pub struct Gate {
+    /// Deny every warning-or-worse diagnostic (`--deny warnings`).
+    pub deny_warnings: bool,
+    /// Codes denied regardless of severity (`--deny DL30`).
+    pub deny_codes: Vec<String>,
+    /// Codes never denied (`--allow DL22`). Wins over `deny`.
+    pub allow_codes: Vec<String>,
+}
+
+impl Gate {
+    /// Whether `diag` fails the run under this gate.
+    #[must_use]
+    pub fn denies(&self, diag: &Diagnostic) -> bool {
+        let code = diag.code.id;
+        if self
+            .allow_codes
+            .iter()
+            .any(|c| c.eq_ignore_ascii_case(code) && diag.severity != Severity::Error)
+        {
+            return false;
+        }
+        if diag.severity == Severity::Error {
+            return true;
+        }
+        if self.deny_codes.iter().any(|c| c.eq_ignore_ascii_case(code)) {
+            return true;
+        }
+        self.deny_warnings && diag.severity >= Severity::Warning
+    }
+}
+
+/// The result of a full lint run: every diagnostic in deterministic
+/// (file, line, code) order, plus the audit inventory of allow sites.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every allow annotation that suppressed a finding, in (file,
+    /// line) order — the audit trail the baseline is built from.
+    pub allows_used: Vec<crate::annot::AllowSite>,
+}
+
+impl LintReport {
+    /// Diagnostics failing under `gate`.
+    pub fn denied<'a>(&'a self, gate: &'a Gate) -> impl Iterator<Item = &'a Diagnostic> {
+        self.diagnostics.iter().filter(move |d| gate.denies(d))
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Renders every diagnostic plus a one-line summary.
+    #[must_use]
+    pub fn render(&self, gate: &Gate) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&diag.render());
+            out.push('\n');
+        }
+        let denied = self.denied(gate).count();
+        out.push_str(&format!(
+            "detlint summary: {} error(s), {} warning(s), {} note(s); \
+             {} allow(s) in effect; {} denied\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            self.allows_used.len(),
+            denied
+        ));
+        out
+    }
+
+    /// Renders the whole report as line-oriented JSON: one object per
+    /// diagnostic, then a summary object.
+    #[must_use]
+    pub fn render_json(&self, gate: &Gate) -> String {
+        let mut out = String::new();
+        for diag in &self.diagnostics {
+            out.push_str(&diag.render_json());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"summary\":{{\"errors\":{},\"warnings\":{},\"notes\":{},\
+             \"allows_used\":{},\"denied\":{}}}}}\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Note),
+            self.allows_used.len(),
+            self.denied(gate).count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn render_includes_code_file_and_help() {
+        let diag = Diagnostic::new(catalog::DL01, "x.rs", "`m` iterated without a sort")
+            .line(7)
+            .help("sort the entries");
+        let text = diag.render();
+        assert!(
+            text.starts_with("warning[DL01-hash-iteration-order]:"),
+            "{text}"
+        );
+        assert!(text.contains("--> x.rs:7"), "{text}");
+        assert!(text.contains("= help: sort the entries"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_and_orders_keys() {
+        let diag = Diagnostic::new(catalog::DL20, "a\"b.rs", "bad \"file\"");
+        let json = diag.render_json();
+        assert!(json.starts_with("{\"code\":\"DL20\""), "{json}");
+        assert!(json.contains("\"file\":\"a\\\"b.rs\""), "{json}");
+        assert!(json.contains("\"line\":null"), "{json}");
+    }
+
+    #[test]
+    fn gate_semantics() {
+        let warn = Diagnostic::new(catalog::DL01, "x", "w");
+        let note = Diagnostic::new(catalog::DL30, "x", "n");
+        let err = Diagnostic::new(catalog::DL21, "x", "e");
+        assert_eq!(note.severity, Severity::Note);
+
+        let gate = Gate::default();
+        assert!(!gate.denies(&warn));
+        assert!(gate.denies(&err), "errors are always denied");
+
+        let gate = Gate {
+            deny_warnings: true,
+            ..Gate::default()
+        };
+        assert!(gate.denies(&warn));
+        assert!(!gate.denies(&note), "notes survive --deny warnings");
+
+        let gate = Gate {
+            deny_codes: vec!["dl30".into()],
+            ..Gate::default()
+        };
+        assert!(gate.denies(&note), "--deny CODE denies notes too");
+
+        let gate = Gate {
+            deny_warnings: true,
+            allow_codes: vec!["DL01".into()],
+            ..Gate::default()
+        };
+        assert!(!gate.denies(&warn), "--allow wins over --deny warnings");
+    }
+}

@@ -1,0 +1,420 @@
+//! Token-level source scanning: comment/string stripping, per-line
+//! code + comment views, and lightweight scope resolution (`#[cfg(test)]`
+//! module spans, test-context classification by path).
+//!
+//! detlint deliberately does not parse Rust — a parser would need a
+//! grammar the workspace's no-deps policy rules out, and a lint that
+//! dies on a syntax error is useless mid-refactor. Instead the scanner
+//! produces, per line, the *code view* (string and char literal
+//! contents blanked to spaces, comments removed) and the *comment view*
+//! (every comment's text, including doc comments), which is exactly
+//! what the DL rules need: token matching that can never be fooled by
+//! a `"HashMap"` inside a string or an `unsafe` inside a comment, plus
+//! access to the comments where `SAFETY:`/ordering rationales and
+//! `detlint: allow` annotations live.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments removed and string/char literal
+    /// *contents* replaced by spaces (the delimiting quotes stay, so
+    /// adjacent tokens never merge).
+    pub code: String,
+    /// Text of every comment starting or continuing on this line,
+    /// without the `//`/`///`/`/*`..`*/` markers.
+    pub comments: Vec<String>,
+    /// Whether any non-whitespace code survives on this line.
+    pub has_code: bool,
+    /// Whether the line lies inside a `#[cfg(test)]`-gated module (or
+    /// the file itself is test context): nondeterminism lints are
+    /// relaxed there, hygiene lints are not.
+    pub in_test: bool,
+}
+
+/// A scanned file: its display path and line views.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path as discovered, `/`-separated.
+    pub path: String,
+    /// 0-based line views (diagnostics add 1).
+    pub lines: Vec<Line>,
+    /// Whole-file test context: the path runs through `tests/`,
+    /// `benches/` or `examples/`.
+    pub file_is_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `text` into per-line code/comment views and marks
+/// `#[cfg(test)]` module spans.
+#[must_use]
+pub fn scan(path: &str, text: &str, file_is_test: bool) -> SourceFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut comments: Vec<String> = Vec::new();
+    let mut mode = Mode::Code;
+
+    let flush_comment = |comment: &mut String, comments: &mut Vec<String>| {
+        if !comment.is_empty() {
+            comments.push(std::mem::take(comment));
+        }
+    };
+
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i <= chars.len() {
+        let c = if i < chars.len() { chars[i] } else { '\n' };
+        let at_end = i == chars.len();
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => {
+                    flush_comment(&mut comment, &mut comments);
+                    mode = Mode::Code;
+                }
+                Mode::BlockComment(_) => flush_comment(&mut comment, &mut comments),
+                _ => {}
+            }
+            if !(at_end && code.is_empty() && comments.is_empty() && lines.is_empty()) {
+                let has_code = code.chars().any(|c| !c.is_whitespace() && c != '"');
+                lines.push(Line {
+                    code: std::mem::take(&mut code),
+                    comments: std::mem::take(&mut comments),
+                    has_code,
+                    in_test: false,
+                });
+            }
+            if at_end {
+                break;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        mode = Mode::LineComment;
+                        i += 2;
+                        // Skip doc-comment extras (`///`, `//!`).
+                        while matches!(chars.get(i), Some('/' | '!')) {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        while matches!(chars.get(i), Some('*' | '!'))
+                            && chars.get(i + 1) != Some(&'/')
+                        {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    '"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                    }
+                    'r' | 'b' => {
+                        // Possible string prefix: r", r#…#", br", b"
+                        // (an identifier character before rules it out).
+                        let prev_is_ident = code
+                            .chars()
+                            .last()
+                            .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                        let mut j = i + 1;
+                        let mut is_raw = c == 'r';
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            is_raw = true;
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        if is_raw {
+                            while chars.get(j) == Some(&'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                        }
+                        if !prev_is_ident && chars.get(j) == Some(&'"') {
+                            for _ in i..j {
+                                code.push(' ');
+                            }
+                            code.push('"');
+                            i = j;
+                            mode = if is_raw {
+                                Mode::RawStr(hashes)
+                            } else {
+                                Mode::Str
+                            };
+                        } else {
+                            code.push(c);
+                        }
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`,
+                        // `'\n'`). A lifetime is `'` + ident with no
+                        // closing quote right after.
+                        let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_') && {
+                            let mut j = i + 1;
+                            while chars
+                                .get(j)
+                                .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+                            {
+                                j += 1;
+                            }
+                            chars.get(j) != Some(&'\'')
+                        };
+                        code.push('\'');
+                        if !is_lifetime {
+                            mode = Mode::Char;
+                        }
+                    }
+                    c => code.push(c),
+                }
+            }
+            Mode::LineComment => comment.push(c),
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        flush_comment(&mut comment, &mut comments);
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            Mode::Str => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && next.is_some() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                        continue;
+                    }
+                }
+                code.push(' ');
+            }
+            Mode::Char => {
+                let next = chars.get(i + 1).copied();
+                if c == '\\' && next.is_some() {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    code.push('\'');
+                    mode = Mode::Code;
+                } else {
+                    code.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut file = SourceFile {
+        path: path.to_string(),
+        lines,
+        file_is_test,
+    };
+    mark_test_spans(&mut file);
+    if file_is_test {
+        for line in &mut file.lines {
+            line.in_test = true;
+        }
+    }
+    file
+}
+
+/// Marks every line inside a `#[cfg(test)]`- or `#[cfg(all(test, …))]`-
+/// gated item (almost always `mod tests { … }`) as test context by
+/// brace matching from the attribute.
+fn mark_test_spans(file: &mut SourceFile) {
+    let mut i = 0;
+    while i < file.lines.len() {
+        let code = &file.lines[i].code;
+        let gated = code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test");
+        if !gated {
+            i += 1;
+            continue;
+        }
+        // Find the opening brace of the gated item (same line or one of
+        // the next few), then match braces to the item's end.
+        let mut depth: i32 = 0;
+        let mut opened = false;
+        let mut j = i;
+        'span: while j < file.lines.len() {
+            for c in file.lines[j].code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    // A gated `use`/`fn` declaration without a body
+                    // ends at `;` before any brace opens.
+                    ';' if !opened => break 'span,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+            if j - i > 10_000 {
+                break; // Unbalanced braces; give up on the span.
+            }
+        }
+        if opened {
+            let end = j.min(file.lines.len() - 1);
+            for line in &mut file.lines[i..=end] {
+                line.in_test = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True when `hay[pos..]` starts with `needle` as a whole word: the
+/// characters on both sides are not identifier characters.
+#[must_use]
+pub fn word_at(hay: &str, pos: usize, needle: &str) -> bool {
+    if !hay[pos..].starts_with(needle) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || hay[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    let after = hay[pos + needle.len()..].chars().next();
+    let after_ok = after.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    before_ok && after_ok
+}
+
+/// Every position where `needle` occurs in `hay` as a whole word.
+#[must_use]
+pub fn find_word(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = hay[from..].find(needle) {
+        let pos = from + rel;
+        if word_at(hay, pos, needle) {
+            out.push(pos);
+        }
+        from = pos + needle.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let f = scan(
+            "x.rs",
+            "let a = \"HashMap // not code\"; // real comment\nlet b = 2; /* block\nstill */ let c = 3;\n",
+            false,
+        );
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let a ="));
+        assert_eq!(f.lines[0].comments, vec![" real comment".to_string()]);
+        assert!(f.lines[1].comments[0].contains("block"));
+        assert!(f.lines[2].code.contains("let c = 3;"));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = scan("x.rs", "/// SAFETY: fine\nunsafe fn f() {}\n", false);
+        assert!(f.lines[0].comments[0].contains("SAFETY"));
+        assert!(!f.lines[0].has_code);
+        assert!(f.lines[1].code.contains("unsafe fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan("x.rs", "fn f<'a>(x: &'a str) -> char { 'x' }\n", false);
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains("'x'"), "{}", f.lines[0].code);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("x.rs", "let s = r#\"unsafe { HashMap }\"#;\n", false);
+        assert!(!f.lines[0].code.contains("unsafe"), "{}", f.lines[0].code);
+        assert!(!f.lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn cfg_test_mod_spans_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = scan("x.rs", src, false);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn file_test_context_marks_everything() {
+        let f = scan("tests/x.rs", "fn a() {}\n", true);
+        assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn word_matching_respects_boundaries() {
+        assert_eq!(find_word("unsafe unsafe_code", "unsafe"), vec![0]);
+        assert!(find_word("m.recv_timeout()", "recv").is_empty());
+        assert_eq!(find_word("x.recv()", "recv"), vec![2]);
+    }
+}

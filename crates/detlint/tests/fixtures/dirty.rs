@@ -1,0 +1,72 @@
+//! Deliberately nondeterministic module: every DL rule family must fire
+//! on this file. It is never compiled into any crate — it exists only
+//! as lint-fixture input, the `detlint` analogue of modellint's
+//! `vacuous.toml`. `tta-detlint --deny warnings` over this file must
+//! exit nonzero; the golden JSON pins the exact findings.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::time::Instant;
+
+/// DL11: an atomic field with no ordering rationale anywhere nearby.
+struct Counters {
+    lines_emitted: AtomicU64,
+}
+
+/// DL11: an undocumented atomic local.
+fn undocumented_latch() -> bool {
+    let done = AtomicBool::new(false);
+    done.load(Ordering::Relaxed)
+}
+
+/// DL01: unsorted HashMap iteration feeding the output stream — the
+/// canonical way a per-seed-deterministic tool starts printing results
+/// in a different order on every run.
+fn emit_results(results: &HashMap<u64, String>, counters: &Counters) {
+    for (seed, verdict) in results.iter() {
+        counters.lines_emitted.fetch_add(1, Ordering::Relaxed);
+        println!("{seed}\t{verdict}");
+    }
+}
+
+/// DL01: `for … in &set` without a sink.
+fn emit_seen(seen: &HashSet<u64>) {
+    for seed in seen {
+        println!("seen {seed}");
+    }
+}
+
+/// DL02: wall-clock read in result-producing code.
+fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+/// DL03: worker count leaking into a computed value.
+fn shard_count() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// DL04: float accumulation whose result depends on visit order.
+fn total(results: &HashMap<u64, f64>) -> f64 {
+    results.values().copied().sum::<f64>()
+}
+
+/// DL10: unsafe without a SAFETY comment.
+fn peek(buf: &[u8]) -> u8 {
+    unsafe { *buf.get_unchecked(0) }
+}
+
+/// DL12: blocking recv with no timeout — a dead sender pool strands
+/// this loop forever.
+fn drain(rx: &Receiver<u64>) {
+    while let Ok(v) = rx.recv() {
+        println!("{v}");
+    }
+}
+
+/// DL22 bait: an allow that suppresses nothing.
+// detlint: allow(DL02) reason=stale annotation kept to exercise DL22
+fn quiet() -> u32 {
+    7
+}

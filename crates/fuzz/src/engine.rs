@@ -227,6 +227,7 @@ pub fn fuzz_with(cfg: &FuzzConfig, evaluator: &dyn Evaluator) -> FuzzOutcome {
             let _ = writeln!(journal, "stopping: find budget reached");
             break;
         }
+        // detlint: allow(DL02) reason=wall-clock fuzz budget; bounds exploration time, findings remain seed-deterministic
         if cfg.deadline.is_some_and(|d| Instant::now() >= d) {
             let _ = writeln!(journal, "stopping: wall-clock budget exhausted");
             break;
@@ -448,6 +449,7 @@ fn evaluate_batch(
     if inputs.is_empty() {
         return Vec::new();
     }
+    // detlint: allow(DL03) reason=default worker count; picks a schedule only, exploration results are identical at any thread count
     let available = std::thread::available_parallelism().map_or(1, usize::from);
     let workers = if threads == 0 { available } else { threads }.clamp(1, inputs.len());
     let chunk = inputs.len().div_ceil(workers);

@@ -138,6 +138,7 @@ impl<C: StateCodec> FairGraph<'_, C> {
     /// Checks `property` over this graph's fair executions.
     #[must_use]
     pub fn check(&self, property: &Property<C::State>) -> LivenessOutcome<C::State> {
+        // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
         let start = Instant::now();
         let (witness, sccs_examined) = match property {
             Property::Always(p) => {

@@ -116,6 +116,7 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
     where
         T: TransitionSystem<State = C::State>,
     {
+        // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
         let start = Instant::now();
         let (max_states, mut arena, initial, mut truncated) =
             Self::seed(system, codec, fairness, max_states);
@@ -216,6 +217,7 @@ impl<'c, C: StateCodec> FairGraph<'c, C> {
         if threads == 1 {
             return Self::build(system, codec, fairness, max_states);
         }
+        // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
         let start = Instant::now();
         let (max_states, mut arena, initial, mut truncated) =
             Self::seed(system, codec, fairness, max_states);

@@ -62,6 +62,7 @@ impl BoundedChecker {
         T: TransitionSystem,
         I: Invariant<T::State>,
     {
+        // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
         let start = Instant::now();
         let mut stats = ExploreStats::default();
         // state → largest remaining budget it has been expanded with.

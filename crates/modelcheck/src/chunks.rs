@@ -51,6 +51,9 @@ where
             .collect();
     }
 
+    // Relaxed claim counter: fetch_add uniqueness is the only property
+    // used; each claimed chunk's result is published through the
+    // per-worker Vec joined below, not through this atomic.
     let next = AtomicUsize::new(0);
     let workers = threads.min(n_chunks);
     let parts: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {

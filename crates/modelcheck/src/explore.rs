@@ -248,6 +248,7 @@ where
     I: Invariant<T::State>,
     V: Visited<C::Encoded>,
 {
+    // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
     let start = Instant::now();
     let mut stats = ExploreStats::default();
     let (mut layer, mut violation, mut exhausted) =

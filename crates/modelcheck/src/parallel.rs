@@ -80,6 +80,7 @@ impl ParallelExplorer {
     /// the same default budgets as the sequential [`crate::Explorer`].
     #[must_use]
     pub fn new() -> Self {
+        // detlint: allow(DL03) reason=default worker count; picks a schedule only, exploration results are identical at any thread count
         let threads = std::thread::available_parallelism().map_or(4, usize::from);
         ParallelExplorer {
             threads: threads.max(1),
@@ -207,6 +208,7 @@ impl ParallelExplorer {
             );
         }
 
+        // detlint: allow(DL02) reason=elapsed-time stats only; reported out-of-band, never part of the verification result
         let start = Instant::now();
         let mut stats = ExploreStats::default();
         let (mut layer, mut violation, mut exhausted) =

@@ -19,18 +19,29 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to the `System` allocator
+// (which upholds the `GlobalAlloc` contract) after bumping a Relaxed
+// counter; the counter itself never allocates, so no reentrancy.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller contract forwarded unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout`, same contract as our own caller's.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller contract forwarded unchanged to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from our `alloc`, which delegated
+        // to `System`, so they are valid for `System.dealloc`.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller contract forwarded unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` originate from `System` via our
+        // `alloc`; `new_size` is passed through untouched.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

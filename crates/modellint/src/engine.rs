@@ -117,6 +117,8 @@ pub fn lint(paths: &[PathBuf], opts: &LintOptions) -> LintRun {
 /// results **in target order** regardless of completion order.
 fn run_targets(targets: &[Target], opts: &LintOptions) -> Vec<TargetOutcome> {
     let threads = effective_threads(opts.threads, targets.len());
+    // Relaxed claim counter: only fetch_add uniqueness matters; results
+    // are published through the Mutex-guarded slot vector.
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<TargetOutcome>>> =
         Mutex::new((0..targets.len()).map(|_| None).collect());
@@ -141,6 +143,7 @@ fn run_targets(targets: &[Target], opts: &LintOptions) -> Vec<TargetOutcome> {
 }
 
 fn effective_threads(requested: usize, targets: usize) -> usize {
+    // detlint: allow(DL03) reason=pool sizing only; per-target results are reassembled in target order
     let available = std::thread::available_parallelism().map_or(1, usize::from);
     let threads = if requested == 0 {
         targets.min(available)

@@ -488,6 +488,7 @@ impl Campaign {
             trials: 50,
             slots: 400,
             seed: 0xDB5_2004,
+            // detlint: allow(DL03) reason=default worker count; picks a schedule only, exploration results are identical at any thread count
             threads: std::thread::available_parallelism().map_or(1, usize::from),
             restart_policy: RestartPolicy::Never,
             fault_duration: None,
@@ -592,6 +593,8 @@ impl Campaign {
         scenario: Scenario,
         range: std::ops::Range<u32>,
         progress: &mut dyn FnMut(&TrialResult),
+        // Relaxed latch: polled once per trial; a trial-late stop is
+        // within the documented cancellation granularity.
         cancel: &std::sync::atomic::AtomicBool,
     ) -> Vec<TrialResult> {
         let mut results = Vec::with_capacity(range.len());
